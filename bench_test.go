@@ -1,0 +1,286 @@
+// Package repro_test holds the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation section
+// (experiment IDs E1..E10, see DESIGN.md). Each benchmark regenerates
+// its experiment's rows and reports the simulated execution times as
+// custom metrics (sim-s suffixed), so `go test -bench=.` reproduces
+// the full evaluation. Benchmarks default to a 10x-reduced dataset
+// scale to keep wall-clock time low; set -benchscale=1 for paper-scale
+// runs (the measured *shape* is the same — simulated time scales with
+// the data, wall-clock stays small either way).
+package repro_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var benchScale = flag.Int("benchscale", 10, "dataset shrink factor for benchmarks (1 = paper scale)")
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: *benchScale, Seed: 1}
+}
+
+// BenchmarkTable1LanguageEfficiency regenerates Table I: the KGE
+// workflow with Python operators versus the variant whose join is nine
+// Scala operators, at two data scales.
+func BenchmarkTable1LanguageEfficiency(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.PythonSecs, fmt.Sprintf("python@%d-sim-s", r.Products))
+		b.ReportMetric(r.ScalaSecs, fmt.Sprintf("scala@%d-sim-s", r.Products))
+	}
+}
+
+// BenchmarkFig12aLinesOfCode regenerates Figure 12a: implementation
+// size of the four tasks under both paradigms.
+func BenchmarkFig12aLinesOfCode(b *testing.B) {
+	var rows []experiments.LoCRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig12a(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.ScriptLoC), r.Task+"-script-loc")
+		b.ReportMetric(float64(r.WorkflowLoC), r.Task+"-workflow-loc")
+	}
+}
+
+// BenchmarkFig12bModularity regenerates Figure 12b: KGE execution time
+// across workflow decompositions of 1..6 operators.
+func BenchmarkFig12bModularity(b *testing.B) {
+	var res *experiments.Fig12bResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig12b(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range res.Points {
+		b.ReportMetric(p.Seconds, fmt.Sprintf("ops%d-sim-s", p.Ops))
+	}
+	b.ReportMetric(res.ScriptRef, "script-sim-s")
+}
+
+// reportScale emits a Figure 13 series as benchmark metrics.
+func reportScale(b *testing.B, pts []experiments.ScalePoint) {
+	b.Helper()
+	for _, p := range pts {
+		b.ReportMetric(p.Script, fmt.Sprintf("script@%d-sim-s", p.Size))
+		b.ReportMetric(p.Workflow, fmt.Sprintf("workflow@%d-sim-s", p.Size))
+		if !p.OutputsAgree {
+			b.Fatalf("paradigms disagree at size %d", p.Size)
+		}
+	}
+}
+
+// BenchmarkFig13aDICEScale regenerates Figure 13a: DICE over growing
+// datasets.
+func BenchmarkFig13aDICEScale(b *testing.B) {
+	var pts []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig13aDICE(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportScale(b, pts)
+}
+
+// BenchmarkFig13bWEFScale regenerates Figure 13b: WEF training over
+// growing tweet sets.
+func BenchmarkFig13bWEFScale(b *testing.B) {
+	var pts []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig13bWEF(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportScale(b, pts)
+}
+
+// BenchmarkFig13cKGEScale regenerates Figure 13c: KGE over growing
+// candidate sets.
+func BenchmarkFig13cKGEScale(b *testing.B) {
+	var pts []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig13cKGE(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportScale(b, pts)
+}
+
+// BenchmarkFig13dGOTTAScale regenerates Figure 13d: GOTTA over growing
+// paragraph counts.
+func BenchmarkFig13dGOTTAScale(b *testing.B) {
+	var pts []experiments.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig13dGOTTA(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportScale(b, pts)
+}
+
+// reportWorkers emits a Figure 14 series as benchmark metrics.
+func reportWorkers(b *testing.B, pts []experiments.WorkerPoint) {
+	b.Helper()
+	for _, p := range pts {
+		b.ReportMetric(p.Script, fmt.Sprintf("script@%dw-sim-s", p.Workers))
+		b.ReportMetric(p.Workflow, fmt.Sprintf("workflow@%dw-sim-s", p.Workers))
+	}
+}
+
+// BenchmarkFig14aDICEWorkers regenerates Figure 14a: DICE across
+// worker counts.
+func BenchmarkFig14aDICEWorkers(b *testing.B) {
+	var pts []experiments.WorkerPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig14aDICE(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportWorkers(b, pts)
+}
+
+// BenchmarkFig14bGOTTAWorkers regenerates Figure 14b: GOTTA across
+// worker counts.
+func BenchmarkFig14bGOTTAWorkers(b *testing.B) {
+	var pts []experiments.WorkerPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig14bGOTTA(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportWorkers(b, pts)
+}
+
+// BenchmarkFig14cKGEWorkers regenerates Figure 14c: KGE across worker
+// counts.
+func BenchmarkFig14cKGEWorkers(b *testing.B) {
+	var pts []experiments.WorkerPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig14cKGE(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportWorkers(b, pts)
+}
+
+// BenchmarkAblationTorchPin quantifies Ray's 1-CPU torch pin on GOTTA.
+func BenchmarkAblationTorchPin(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationTorchPin(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Seconds, "pinned-sim-s")
+	b.ReportMetric(rows[1].Seconds, "unpinned-sim-s")
+}
+
+// BenchmarkAblationObjectStore sweeps the object store's transfer
+// rates on GOTTA's script paradigm.
+func BenchmarkAblationObjectStore(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationObjectStore(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, r := range rows {
+		b.ReportMetric(r.Seconds, fmt.Sprintf("store%d-sim-s", i))
+	}
+}
+
+// BenchmarkAblationSerde sweeps the workflow engine's serialization
+// throughput on DICE.
+func BenchmarkAblationSerde(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationSerde(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, r := range rows {
+		b.ReportMetric(r.Seconds, fmt.Sprintf("serde%d-sim-s", i))
+	}
+}
+
+// BenchmarkAblationBatching compares engine-managed batching against
+// whole-table batches on DICE.
+func BenchmarkAblationBatching(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AblationBatching(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Seconds, "auto-sim-s")
+	b.ReportMetric(rows[1].Seconds, "wholetable-sim-s")
+}
+
+// BenchmarkExtSpreadsheetKGE regenerates the extension experiment: the
+// KGE task under the spreadsheet paradigm next to script and workflow.
+func BenchmarkExtSpreadsheetKGE(b *testing.B) {
+	var pts []experiments.ThreeWayPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.ExtSpreadsheetKGE(experiments.Config{Scale: *benchScale * 4, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.Spreadsheet, fmt.Sprintf("sheet@%d-sim-s", p.Size))
+	}
+}
+
+// BenchmarkAutoTuneDICE regenerates the Aspect #2 tuner demonstration.
+func BenchmarkAutoTuneDICE(b *testing.B) {
+	var out *experiments.TuneOutcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = experiments.AutoTuneDICE(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(out.BaselineSeconds, "baseline-sim-s")
+	b.ReportMetric(out.TunedSeconds, "tuned-sim-s")
+}

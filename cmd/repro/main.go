@@ -1,0 +1,268 @@
+// Command repro runs the reproduction's experiment suite — every table
+// and figure of the paper's evaluation — and prints measured values
+// next to the paper's published numbers.
+//
+// Usage:
+//
+//	repro                     # run everything at paper scale
+//	repro -experiment fig13a  # one experiment
+//	repro -scale 10           # shrink datasets 10x for a quick pass
+//	repro -list               # list experiment IDs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID to run (see -list)")
+		scale      = flag.Int("scale", 1, "dataset shrink factor (1 = paper scale)")
+		seed       = flag.Uint64("seed", 1, "dataset seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		charts     = flag.Bool("charts", true, "render ASCII charts for figure experiments")
+		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs {
+			desc, _ := experiments.Describe(id)
+			fmt.Printf("%-8s %s\n", id, desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	ids := experiments.IDs
+	if *experiment != "all" {
+		if _, err := experiments.Describe(*experiment); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		if err := run(id, cfg, *charts && !*jsonOut, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func run(id string, cfg experiments.Config, charts, jsonOut bool) error {
+	desc, err := experiments.Describe(id)
+	if err != nil {
+		return err
+	}
+	if !jsonOut {
+		fmt.Println("==", desc)
+	}
+	w := os.Stdout
+	emit := func(v any) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"experiment": id, "description": desc, "result": v})
+	}
+	switch id {
+	case "table1":
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(rows)
+		}
+		out := [][]string{{"products", "python (s)", "scala (s)", "paper python", "paper scala", "outputs agree"}}
+		for _, r := range rows {
+			out = append(out, []string{
+				strconv.Itoa(r.Products), report.Secs(r.PythonSecs), report.Secs(r.ScalaSecs),
+				report.Secs(r.PaperPython), report.Secs(r.PaperScala), fmt.Sprint(r.OutputsAgree),
+			})
+		}
+		report.Table(w, out)
+	case "fig12a":
+		rows, err := experiments.Fig12a(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(rows)
+		}
+		out := [][]string{{"task", "script LoC", "workflow LoC", "paper script", "paper workflow"}}
+		var labels []string
+		var values []float64
+		for _, r := range rows {
+			out = append(out, []string{
+				r.Task, strconv.Itoa(r.ScriptLoC), strconv.Itoa(r.WorkflowLoC),
+				strconv.Itoa(r.PaperScript), strconv.Itoa(r.PaperWorkflow),
+			})
+			labels = append(labels, r.Task+"/script", r.Task+"/workflow")
+			values = append(values, float64(r.ScriptLoC), float64(r.WorkflowLoC))
+		}
+		report.Table(w, out)
+		if charts {
+			report.Bar(w, "lines of code", labels, values, 40)
+		}
+	case "fig12b":
+		res, err := experiments.Fig12b(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(res)
+		}
+		out := [][]string{{"operators", "workflow (s)", "paper"}}
+		var pts []report.Point
+		for _, p := range res.Points {
+			paper := "-"
+			if p.Paper > 0 {
+				paper = report.Secs(p.Paper)
+			}
+			out = append(out, []string{strconv.Itoa(p.Ops), report.Secs(p.Seconds), paper})
+			pts = append(pts, report.Point{X: float64(p.Ops), Y: p.Seconds})
+		}
+		out = append(out, []string{"script", report.Secs(res.ScriptRef), report.Secs(res.PaperScript)})
+		report.Table(w, out)
+		if charts {
+			report.Chart(w, "KGE time vs operator count", []report.Series{{Name: "workflow", Points: pts}}, 48, 10)
+		}
+	case "fig13a", "fig13b", "fig13c", "fig13d":
+		fn := map[string]func(experiments.Config) ([]experiments.ScalePoint, error){
+			"fig13a": experiments.Fig13aDICE,
+			"fig13b": experiments.Fig13bWEF,
+			"fig13c": experiments.Fig13cKGE,
+			"fig13d": experiments.Fig13dGOTTA,
+		}[id]
+		pts, err := fn(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(pts)
+		}
+		out := [][]string{{"size", "script (s)", "workflow (s)", "paper script", "paper workflow", "outputs agree"}}
+		var s1, s2 []report.Point
+		for _, p := range pts {
+			ps, pw := "-", "-"
+			if p.PaperScript > 0 {
+				ps = report.Secs(p.PaperScript)
+			}
+			if p.PaperWorkflow > 0 {
+				pw = report.Secs(p.PaperWorkflow)
+			}
+			out = append(out, []string{
+				strconv.Itoa(p.Size), report.Secs(p.Script), report.Secs(p.Workflow),
+				ps, pw, fmt.Sprint(p.OutputsAgree),
+			})
+			s1 = append(s1, report.Point{X: float64(p.Size), Y: p.Script})
+			s2 = append(s2, report.Point{X: float64(p.Size), Y: p.Workflow})
+		}
+		report.Table(w, out)
+		if charts {
+			report.Chart(w, "time vs dataset size", []report.Series{
+				{Name: "script", Points: s1}, {Name: "workflow", Points: s2},
+			}, 48, 10)
+		}
+	case "fig14a", "fig14b", "fig14c":
+		fn := map[string]func(experiments.Config) ([]experiments.WorkerPoint, error){
+			"fig14a": experiments.Fig14aDICE,
+			"fig14b": experiments.Fig14bGOTTA,
+			"fig14c": experiments.Fig14cKGE,
+		}[id]
+		pts, err := fn(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(pts)
+		}
+		out := [][]string{{"workers", "script (s)", "workflow (s)", "paper script", "paper workflow", "parallel procs (s/w)"}}
+		var s1, s2 []report.Point
+		for _, p := range pts {
+			out = append(out, []string{
+				strconv.Itoa(p.Workers), report.Secs(p.Script), report.Secs(p.Workflow),
+				report.Secs(p.PaperScript), report.Secs(p.PaperWorkflow),
+				fmt.Sprintf("%d/%d", p.ScriptProcs, p.WorkflowProcs),
+			})
+			s1 = append(s1, report.Point{X: float64(p.Workers), Y: p.Script})
+			s2 = append(s2, report.Point{X: float64(p.Workers), Y: p.Workflow})
+		}
+		report.Table(w, out)
+		if charts {
+			report.Chart(w, "time vs workers", []report.Series{
+				{Name: "script", Points: s1}, {Name: "workflow", Points: s2},
+			}, 48, 10)
+		}
+	case "ablation-torch", "ablation-store", "ablation-serde", "ablation-batch":
+		fn := map[string]func(experiments.Config) ([]experiments.AblationRow, error){
+			"ablation-torch": experiments.AblationTorchPin,
+			"ablation-store": experiments.AblationObjectStore,
+			"ablation-serde": experiments.AblationSerde,
+			"ablation-batch": experiments.AblationBatching,
+		}[id]
+		rows, err := fn(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(rows)
+		}
+		out := [][]string{{"configuration", "time (s)", "note"}}
+		for _, r := range rows {
+			out = append(out, []string{r.Config, report.Secs(r.Seconds), r.Note})
+		}
+		report.Table(w, out)
+	case "autotune":
+		out, err := experiments.AutoTuneDICE(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(out)
+		}
+		rows := [][]string{{"operator", "workers"}}
+		for _, r := range out.Rows {
+			rows = append(rows, []string{r.Operator, strconv.Itoa(r.Workers)})
+		}
+		report.Table(w, rows)
+		fmt.Fprintf(w, "baseline (1 worker/op): %s s   tuned: %s s   cores used: %d\n",
+			report.Secs(out.BaselineSeconds), report.Secs(out.TunedSeconds), out.CoresUsed)
+	case "ext-spreadsheet":
+		pts, err := experiments.ExtSpreadsheetKGE(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(pts)
+		}
+		rows := [][]string{{"size", "script (s)", "workflow (s)", "spreadsheet (s)", "outputs agree"}}
+		var s1, s2, s3 []report.Point
+		for _, p := range pts {
+			rows = append(rows, []string{
+				strconv.Itoa(p.Size), report.Secs(p.Script), report.Secs(p.Workflow),
+				report.Secs(p.Spreadsheet), fmt.Sprint(p.AllAgree),
+			})
+			s1 = append(s1, report.Point{X: float64(p.Size), Y: p.Script})
+			s2 = append(s2, report.Point{X: float64(p.Size), Y: p.Workflow})
+			s3 = append(s3, report.Point{X: float64(p.Size), Y: p.Spreadsheet})
+		}
+		report.Table(w, rows)
+		if charts {
+			report.Chart(w, "KGE under three paradigms", []report.Series{
+				{Name: "script", Points: s1}, {Name: "workflow", Points: s2}, {Name: "spreadsheet", Points: s3},
+			}, 48, 10)
+		}
+	default:
+		return fmt.Errorf("repro: unhandled experiment %q", id)
+	}
+	return nil
+}

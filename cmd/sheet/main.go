@@ -1,0 +1,144 @@
+// Command sheet evaluates a spreadsheet described as a simple text
+// script — the third-paradigm engine's CLI. Each line assigns a cell:
+//
+//	A1 = 120            # numeric literal
+//	A2 = "wildfire"     # text literal
+//	B1 := =A1 * 2       # formula (after ':=' everything is the formula)
+//	print B1            # print a cell
+//	grid A1:C5          # print a rectangle of cells
+//
+// Blank lines and '#' comments are ignored. Edits recalculate
+// dependents eagerly, so later `print`s observe earlier edits — and a
+// second assignment to an input cell reruns its formulas, exactly like
+// a real spreadsheet session.
+//
+// Usage:
+//
+//	sheet -script ledger.sheet
+//	echo 'A1 = 2
+//	B1 := =A1*21
+//	print B1' | sheet
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sheet"
+)
+
+func main() {
+	script := flag.String("script", "", "path to a sheet script (default: stdin)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	s := sheet.New(nil)
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := execLine(s, line); err != nil {
+			fatal(fmt.Errorf("line %d: %w", lineNo, err))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%d formula evaluations, %.3f simulated s\n", s.Evals(), s.Elapsed())
+}
+
+func execLine(s *sheet.Sheet, line string) error {
+	switch {
+	case strings.HasPrefix(line, "print "):
+		ref := strings.TrimSpace(line[len("print "):])
+		v, err := s.Get(ref)
+		if err != nil {
+			return err
+		}
+		src, _ := s.Formula(ref)
+		if src != "" {
+			fmt.Printf("%s = %s   (%s)\n", ref, v, src)
+		} else {
+			fmt.Printf("%s = %s\n", ref, v)
+		}
+		return nil
+	case strings.HasPrefix(line, "grid "):
+		return printGrid(s, strings.TrimSpace(line[len("grid "):]))
+	case strings.Contains(line, ":="):
+		parts := strings.SplitN(line, ":=", 2)
+		return s.SetFormula(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]))
+	case strings.Contains(line, "="):
+		parts := strings.SplitN(line, "=", 2)
+		ref := strings.TrimSpace(parts[0])
+		lit := strings.TrimSpace(parts[1])
+		return setLiteral(s, ref, lit)
+	default:
+		return fmt.Errorf("cannot parse %q (want `ref = literal`, `ref := =formula`, `print ref` or `grid a:b`)", line)
+	}
+}
+
+func setLiteral(s *sheet.Sheet, ref, lit string) error {
+	if strings.HasPrefix(lit, `"`) && strings.HasSuffix(lit, `"`) && len(lit) >= 2 {
+		return s.Set(ref, lit[1:len(lit)-1])
+	}
+	switch lit {
+	case "TRUE", "true":
+		return s.Set(ref, true)
+	case "FALSE", "false":
+		return s.Set(ref, false)
+	}
+	f, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return fmt.Errorf("literal %q is not a number, quoted string or boolean", lit)
+	}
+	return s.Set(ref, f)
+}
+
+func printGrid(s *sheet.Sheet, spec string) error {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("grid wants a range like A1:C5")
+	}
+	from, err := sheet.ParseRef(parts[0])
+	if err != nil {
+		return err
+	}
+	to, err := sheet.ParseRef(parts[1])
+	if err != nil {
+		return err
+	}
+	for row := from.Row; row <= to.Row; row++ {
+		var cells []string
+		for col := from.Col; col <= to.Col; col++ {
+			v, err := s.Get(sheet.Ref{Col: col, Row: row}.String())
+			if err != nil {
+				return err
+			}
+			cells = append(cells, fmt.Sprintf("%-12s", v.String()))
+		}
+		fmt.Println(strings.Join(cells, " "))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sheet:", err)
+	os.Exit(1)
+}

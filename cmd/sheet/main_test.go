@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sheet"
+)
+
+func TestExecLine(t *testing.T) {
+	s := sheet.New(nil)
+	lines := []string{
+		"A1 = 10",
+		`A2 = "fire"`,
+		"A3 = TRUE",
+		"B1 := =A1*3",
+		"print B1",
+		"grid A1:B1",
+	}
+	for _, l := range lines {
+		if err := execLine(s, l); err != nil {
+			t.Fatalf("%q: %v", l, err)
+		}
+	}
+	v, err := s.Get("B1")
+	if err != nil || v.Num != 30 {
+		t.Fatalf("B1 = %v, %v", v, err)
+	}
+}
+
+func TestExecLineErrors(t *testing.T) {
+	s := sheet.New(nil)
+	bad := []string{
+		"just words",
+		"A1 = not-a-literal",
+		"B1 := SUM(A1)", // formula without '='
+		"print ZZZ",     // bad ref? ParseRef accepts ZZZ1 only...
+		"grid A1",
+		"grid A1:??",
+	}
+	for _, l := range bad {
+		if err := execLine(s, l); err == nil {
+			t.Errorf("%q: expected error", l)
+		}
+	}
+}
+
+func TestSetLiteralKinds(t *testing.T) {
+	s := sheet.New(nil)
+	if err := setLiteral(s, "A1", "3.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := setLiteral(s, "A2", `"quoted"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := setLiteral(s, "A3", "false"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Get("A2")
+	if v.Str != "quoted" {
+		t.Fatalf("A2 = %v", v)
+	}
+}

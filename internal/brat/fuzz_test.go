@@ -1,0 +1,46 @@
+package brat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and
+// that everything it accepts survives a render/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("T1\tAge 18 27\t34-yr-old\n")
+	f.Add("E1\tClinical_event:T3 Theme:T4\n")
+	f.Add("")
+	f.Add("T1\tAge 0\tx\n")
+	f.Add("garbage")
+	f.Add("T1\tAge 18 27\t34\tyr\told\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		rendered := Render(doc)
+		doc2, err := ParseString(rendered)
+		if err != nil {
+			t.Fatalf("render output failed to parse: %v\nrendered: %q", err, rendered)
+		}
+		if len(doc2.Entities) != len(doc.Entities) || len(doc2.Events) != len(doc.Events) {
+			t.Fatalf("round trip changed counts: %d/%d -> %d/%d",
+				len(doc.Entities), len(doc.Events), len(doc2.Entities), len(doc2.Events))
+		}
+	})
+}
+
+// FuzzValidate checks Validate never panics on parsed documents.
+func FuzzValidate(f *testing.F) {
+	f.Add(sample, 100)
+	f.Fuzz(func(t *testing.T, input string, textLen int) {
+		doc, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		_ = doc.Validate(textLen)
+		_ = doc.EntityByID(strings.Repeat("T", 3))
+	})
+}

@@ -1,0 +1,81 @@
+// Package cluster describes the simulated compute cluster the
+// experiments run on. It mirrors the paper's setup: two four-node
+// Google Cloud clusters, each node with 8 vCPUs, 64 GB RAM and a
+// 100 GB HDD, one extra node hosting the controller (Texera) or the
+// Ray head.
+package cluster
+
+import "fmt"
+
+// Node is one virtual machine.
+type Node struct {
+	Name     string
+	VCPUs    int
+	RAMBytes int64
+}
+
+// Cluster is a set of worker nodes plus a head/controller node.
+type Cluster struct {
+	Head    Node
+	Workers []Node
+}
+
+// GB is a convenience constant for sizing nodes.
+const GB = int64(1) << 30
+
+// Paper returns the cluster used throughout the paper's evaluation:
+// four workers with 8 vCPUs and 64 GB each, plus a head node.
+func Paper() *Cluster {
+	c := &Cluster{Head: Node{Name: "head", VCPUs: 8, RAMBytes: 64 * GB}}
+	for i := 0; i < 4; i++ {
+		c.Workers = append(c.Workers, Node{
+			Name:     fmt.Sprintf("worker-%d", i+1),
+			VCPUs:    8,
+			RAMBytes: 64 * GB,
+		})
+	}
+	return c
+}
+
+// TotalWorkerCPUs returns the number of vCPUs across worker nodes.
+func (c *Cluster) TotalWorkerCPUs() int {
+	n := 0
+	for _, w := range c.Workers {
+		n += w.VCPUs
+	}
+	return n
+}
+
+// TotalWorkerRAM returns the bytes of RAM across worker nodes.
+func (c *Cluster) TotalWorkerRAM() int64 {
+	var n int64
+	for _, w := range c.Workers {
+		n += w.RAMBytes
+	}
+	return n
+}
+
+// Validate reports an error for empty or malformed clusters.
+func (c *Cluster) Validate() error {
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("cluster: no worker nodes")
+	}
+	all := append([]Node{c.Head}, c.Workers...)
+	seen := make(map[string]bool, len(all))
+	for _, n := range all {
+		if n.Name == "" {
+			return fmt.Errorf("cluster: node with empty name")
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		if n.VCPUs <= 0 {
+			return fmt.Errorf("cluster: node %q has %d vCPUs", n.Name, n.VCPUs)
+		}
+		if n.RAMBytes <= 0 {
+			return fmt.Errorf("cluster: node %q has %d bytes of RAM", n.Name, n.RAMBytes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import "testing"
+
+func TestPaperCluster(t *testing.T) {
+	c := Paper()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Workers) != 4 {
+		t.Fatalf("workers = %d, want 4", len(c.Workers))
+	}
+	if c.TotalWorkerCPUs() != 32 {
+		t.Fatalf("total vCPUs = %d, want 32", c.TotalWorkerCPUs())
+	}
+	if c.TotalWorkerRAM() != 4*64*GB {
+		t.Fatalf("total RAM = %d", c.TotalWorkerRAM())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Cluster
+	}{
+		{"no workers", Cluster{Head: Node{Name: "h", VCPUs: 1, RAMBytes: 1}}},
+		{"empty name", Cluster{Head: Node{Name: "h", VCPUs: 1, RAMBytes: 1}, Workers: []Node{{Name: "", VCPUs: 1, RAMBytes: 1}}}},
+		{"duplicate name", Cluster{Head: Node{Name: "h", VCPUs: 1, RAMBytes: 1}, Workers: []Node{{Name: "h", VCPUs: 1, RAMBytes: 1}}}},
+		{"zero cpus", Cluster{Head: Node{Name: "h", VCPUs: 1, RAMBytes: 1}, Workers: []Node{{Name: "w", VCPUs: 0, RAMBytes: 1}}}},
+		{"zero ram", Cluster{Head: Node{Name: "h", VCPUs: 1, RAMBytes: 1}, Workers: []Node{{Name: "w", VCPUs: 1, RAMBytes: 0}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package core defines the comparison framework that is this
+// reproduction's primary deliverable: the Paradigm and Task
+// abstractions under which the four data-science workloads (DICE, WEF,
+// GOTTA, KGE) are implemented twice — once as a notebook script scaled
+// with the Ray-style backend, once as a dataflow workflow — and
+// measured on the paper's four metrics: total execution time, number
+// of parallel processes, lines of code, and number of operators.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// Paradigm identifies one of the two platform paradigms under
+// comparison.
+type Paradigm int
+
+const (
+	// Script is the Jupyter-Notebook-plus-Ray paradigm.
+	Script Paradigm = iota
+	// Workflow is the Texera-style GUI dataflow paradigm.
+	Workflow
+)
+
+// String returns the paradigm name.
+func (p Paradigm) String() string {
+	switch p {
+	case Script:
+		return "script"
+	case Workflow:
+		return "workflow"
+	default:
+		return fmt.Sprintf("Paradigm(%d)", int(p))
+	}
+}
+
+// RunConfig controls one task execution.
+type RunConfig struct {
+	// Model supplies cost constants; nil uses cost.Default().
+	Model *cost.Model
+	// Workers is the parallelism knob: per-operator worker count for
+	// the workflow paradigm, Ray num_cpus for the script paradigm.
+	// Zero means 1.
+	Workers int
+}
+
+// Normalize fills defaults and validates.
+func (c RunConfig) Normalize() (RunConfig, error) {
+	if c.Model == nil {
+		c.Model = cost.Default()
+	}
+	if err := c.Model.Validate(); err != nil {
+		return c, err
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
+	return c, nil
+}
+
+// Result is the measured outcome of one task under one paradigm.
+type Result struct {
+	Task     string
+	Paradigm Paradigm
+
+	// SimSeconds is the paper's "total execution time" metric.
+	SimSeconds float64
+	// LinesOfCode is the paper's implementation-size metric.
+	LinesOfCode int
+	// Operators is the paper's subtask-count metric: workflow operator
+	// count, or notebook cell count for scripts.
+	Operators int
+	// ParallelProcs is the paper's "number of parallel processes".
+	ParallelProcs int
+
+	// Output is the task's canonical result table, used to assert the
+	// two paradigms compute the same thing.
+	Output *relation.Table
+	// Quality holds task-specific quality numbers (F1, exact match,
+	// hit rate) keyed by metric name.
+	Quality map[string]float64
+}
+
+// Task is one of the four benchmark workloads, runnable under both
+// paradigms.
+type Task interface {
+	// Name returns the task's short name (dice, wef, gotta, kge).
+	Name() string
+	// Run executes the task under the given paradigm.
+	Run(p Paradigm, cfg RunConfig) (*Result, error)
+}
+
+// RunBoth executes a task under both paradigms with the same config.
+func RunBoth(t Task, cfg RunConfig) (script, workflow *Result, err error) {
+	script, err = t.Run(Script, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s under %s: %w", t.Name(), Script, err)
+	}
+	workflow, err = t.Run(Workflow, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s under %s: %w", t.Name(), Workflow, err)
+	}
+	return script, workflow, nil
+}
+
+// SpeedupOver returns how much faster r is than other, as the ratio
+// other/r of execution times (1.5 means 50% faster).
+func (r *Result) SpeedupOver(other *Result) float64 {
+	if r.SimSeconds <= 0 {
+		return 0
+	}
+	return other.SimSeconds / r.SimSeconds
+}

@@ -1,0 +1,147 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	m := Default()
+	m.SerdeBytesPerSec = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error for zero serde rate")
+	}
+	m = Default()
+	m.TaskOverhead = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error for negative overhead")
+	}
+	m = Default()
+	m.TorchCoresRay = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error for zero torch cores")
+	}
+}
+
+func TestLanguageFactors(t *testing.T) {
+	if Python.InterpFactor() != 1.0 {
+		t.Fatalf("Python factor = %v, want 1.0", Python.InterpFactor())
+	}
+	if f := Scala.InterpFactor(); f >= 1.0 || f <= 0 {
+		t.Fatalf("Scala factor = %v, want in (0,1)", f)
+	}
+	if Scala.InterpFactor() != Java.InterpFactor() {
+		t.Fatal("Scala and Java should cost identically")
+	}
+	if R.InterpFactor() != 1.0 {
+		t.Fatal("R should cost like Python")
+	}
+}
+
+func TestLanguageStrings(t *testing.T) {
+	for l, want := range map[Language]string{Python: "Python", Scala: "Scala", Java: "Java", R: "R"} {
+		if l.String() != want {
+			t.Fatalf("String() = %q, want %q", l.String(), want)
+		}
+	}
+	if got := Language(99).String(); got != "Language(99)" {
+		t.Fatalf("unknown language String() = %q", got)
+	}
+}
+
+func TestWorkSeconds(t *testing.T) {
+	w := Work{Interp: 10, Mem: 5}
+	py := w.Seconds(Python)
+	sc := w.Seconds(Scala)
+	if py != 15 {
+		t.Fatalf("Python seconds = %v, want 15", py)
+	}
+	if sc >= py {
+		t.Fatalf("Scala (%v) should beat Python (%v) on interp-heavy work", sc, py)
+	}
+	if sc <= 5 {
+		t.Fatalf("Scala (%v) cannot beat the memory-bound floor of 5", sc)
+	}
+}
+
+func TestWorkMemBoundConvergence(t *testing.T) {
+	// As Mem dominates, the Python/Scala gap must vanish — the Table I
+	// mechanism.
+	small := Work{Interp: 1, Mem: 0.1}
+	large := Work{Interp: 1, Mem: 50}
+	gapSmall := small.Seconds(Python) / small.Seconds(Scala)
+	gapLarge := large.Seconds(Python) / large.Seconds(Scala)
+	if gapSmall <= gapLarge {
+		t.Fatalf("gap should shrink with memory-bound work: small=%v large=%v", gapSmall, gapLarge)
+	}
+	if gapLarge > 1.05 {
+		t.Fatalf("memory-dominated gap = %v, want near 1", gapLarge)
+	}
+}
+
+func TestWorkScaleAdd(t *testing.T) {
+	w := Work{Interp: 2, Mem: 3}.Scale(2).Add(Work{Interp: 1, Mem: 1})
+	if w.Interp != 5 || w.Mem != 7 {
+		t.Fatalf("got %+v", w)
+	}
+}
+
+func TestRatesLinear(t *testing.T) {
+	m := Default()
+	f := func(kb uint16) bool {
+		b := int64(kb) * 1024
+		ok := true
+		ok = ok && math.Abs(m.SerdeSeconds(2*b)-2*m.SerdeSeconds(b)) < 1e-9
+		ok = ok && math.Abs(m.TransferSeconds(2*b)-2*m.TransferSeconds(b)) < 1e-9
+		ok = ok && math.Abs(m.PutSeconds(2*b, false)-2*m.PutSeconds(b, false)) < 1e-9
+		ok = ok && math.Abs(m.GetSeconds(2*b, true)-2*m.GetSeconds(b, true)) < 1e-9
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroAndNegativeBytesAreFree(t *testing.T) {
+	m := Default()
+	for _, b := range []int64{0, -10} {
+		if m.SerdeSeconds(b) != 0 || m.TransferSeconds(b) != 0 ||
+			m.PutSeconds(b, false) != 0 || m.GetSeconds(b, false) != 0 {
+			t.Fatalf("bytes=%d should cost nothing", b)
+		}
+	}
+}
+
+func TestSpillSlowerThanMemory(t *testing.T) {
+	m := Default()
+	b := int64(1 << 30)
+	if m.PutSeconds(b, true) <= m.PutSeconds(b, false) {
+		t.Fatal("spilled put should be slower than in-memory put")
+	}
+	if m.GetSeconds(b, true) <= m.GetSeconds(b, false) {
+		t.Fatal("spilled get should be slower than in-memory get")
+	}
+}
+
+func TestTorchSpeedup(t *testing.T) {
+	if TorchSpeedup(1) != 1 {
+		t.Fatal("1 core must give speedup 1")
+	}
+	if TorchSpeedup(0) != 1 {
+		t.Fatal("0 cores clamps to 1")
+	}
+	s8 := TorchSpeedup(8)
+	if s8 <= 3 || s8 >= 8 {
+		t.Fatalf("8-core speedup = %v, want sublinear in (3,8)", s8)
+	}
+	if TorchSpeedup(4) >= s8 {
+		t.Fatal("speedup must increase with cores")
+	}
+}

@@ -1,0 +1,580 @@
+package dataflow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/relation"
+	"repro/internal/sim"
+)
+
+// Config controls one workflow execution.
+type Config struct {
+	// Model supplies the cost constants; nil uses cost.Default().
+	Model *cost.Model
+	// BatchSize overrides the batch size of every source; 0 lets each
+	// source auto-tune (the engine-managed batching the paper credits
+	// Texera with).
+	BatchSize int
+	// Cluster, when set, bounds operator parallelism: no single
+	// operator may request more workers than the cluster's worker
+	// vCPUs (operators multiplex cores between themselves, as Texera's
+	// workers do, so the sum is not bounded).
+	Cluster *cluster.Cluster
+}
+
+// Result is the outcome of a completed workflow execution.
+type Result struct {
+	// Tables holds each sink's collected output, keyed by sink name.
+	Tables map[string]*relation.Table
+	// Trace is the cost record of the execution.
+	Trace *Trace
+	// SimSeconds is the simulated cluster execution time.
+	SimSeconds float64
+	// Schedule is the full simulator timeline behind SimSeconds.
+	Schedule *sim.Result
+}
+
+// AutoBatchSize picks the batch size a source uses when none is
+// configured: large enough to amortize per-batch overhead on big
+// inputs, small enough to produce many batches for pipelining and
+// worker load balancing — tiny inputs stream row by row.
+func AutoBatchSize(rows int) int {
+	b := rows / 96
+	if b < 1 {
+		b = 1
+	}
+	if b > 2048 {
+		b = 2048
+	}
+	return b
+}
+
+type edgeStat struct {
+	mu      sync.Mutex
+	batches int64
+	tuples  int64
+	bytes   int64
+}
+
+type nodeRuntime struct {
+	n            *node
+	state        atomic.Int32
+	inTuples     atomic.Int64
+	outTuples    atomic.Int64
+	batches      atomic.Int64
+	inQ          [][]*queue // [port][worker]
+	edgeQ        []*queue   // per outEdge, feeding that edge's router
+	edgeStats    []*edgeStat
+	inputSchemas []*relation.Schema
+	sinkTable    *relation.Table
+	sinkMu       sync.Mutex
+
+	workMu     sync.Mutex
+	workByPort []cost.Work
+	endWork    cost.Work
+	openWork   cost.Work
+
+	wg sync.WaitGroup
+}
+
+// Phase sentinels for work attribution outside port processing.
+const (
+	phaseEnd  = -1 // EndPort / Close
+	phaseOpen = -2 // Open (per-worker initialization)
+)
+
+func (rt *nodeRuntime) setState(s State) { rt.state.Store(int32(s)) }
+
+// addWork charges work to a port bucket, the end bucket (phaseEnd) or
+// the open bucket (phaseOpen).
+func (rt *nodeRuntime) addWork(port int, w cost.Work) {
+	rt.workMu.Lock()
+	defer rt.workMu.Unlock()
+	switch {
+	case port == phaseOpen:
+		rt.openWork = rt.openWork.Add(w)
+	case port < 0:
+		rt.endWork = rt.endWork.Add(w)
+	default:
+		rt.workByPort[port] = rt.workByPort[port].Add(w)
+	}
+}
+
+// execCtx is the per-worker ExecCtx implementation.
+type execCtx struct {
+	rt     *nodeRuntime
+	worker int
+	phase  int // current port, or -1 during EndPort/Close
+}
+
+func (ec *execCtx) AddWork(w cost.Work) { ec.rt.addWork(ec.phase, w) }
+func (ec *execCtx) Worker() int         { return ec.worker }
+
+// Execution is a running (or finished) workflow.
+type Execution struct {
+	wf     *Workflow
+	cfg    Config
+	model  *cost.Model
+	ctx    context.Context
+	cancel context.CancelFunc
+	gate   *gate
+	rts    []*nodeRuntime
+	done   chan struct{}
+
+	errOnce sync.Once
+	err     error
+
+	result *Result
+}
+
+// Start validates the workflow and launches its execution
+// asynchronously. Use Wait for completion, Pause/Resume for control,
+// and Progress for live operator states.
+func (w *Workflow) Start(ctx context.Context, cfg Config) (*Execution, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	model := cfg.Model
+	if model == nil {
+		model = cost.Default()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cluster != nil {
+		if err := cfg.Cluster.Validate(); err != nil {
+			return nil, err
+		}
+		limit := cfg.Cluster.TotalWorkerCPUs()
+		for _, n := range w.nodes {
+			if n.parallelism > limit {
+				return nil, fmt.Errorf("dataflow: operator %q requests %d workers, cluster has %d worker vCPUs", n.name, n.parallelism, limit)
+			}
+		}
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	ex := &Execution{
+		wf:     w,
+		cfg:    cfg,
+		model:  model,
+		ctx:    runCtx,
+		cancel: cancel,
+		gate:   newGate(),
+		done:   make(chan struct{}),
+	}
+
+	// Build runtimes.
+	ex.rts = make([]*nodeRuntime, len(w.nodes))
+	for _, n := range w.nodes {
+		rt := &nodeRuntime{n: n}
+		ports := 0
+		switch n.kind {
+		case kindOperator:
+			ports = n.op.Desc().Ports
+		case kindSink:
+			ports = 1
+		}
+		rt.inQ = make([][]*queue, ports)
+		for p := range rt.inQ {
+			rt.inQ[p] = make([]*queue, n.parallelism)
+			for wk := range rt.inQ[p] {
+				rt.inQ[p][wk] = newQueue()
+			}
+		}
+		rt.edgeQ = make([]*queue, len(n.outEdges))
+		rt.edgeStats = make([]*edgeStat, len(n.outEdges))
+		for i := range n.outEdges {
+			rt.edgeQ[i] = newQueue()
+			rt.edgeStats[i] = &edgeStat{}
+		}
+		if ports > 0 {
+			rt.workByPort = make([]cost.Work, ports)
+		} else {
+			rt.workByPort = make([]cost.Work, 1) // source generation work
+		}
+		rt.inputSchemas = make([]*relation.Schema, ports)
+		for _, e := range n.inEdges {
+			rt.inputSchemas[e.port] = e.from.schema
+		}
+		if n.kind == kindSink {
+			rt.sinkTable = relation.NewTable(n.schema)
+		}
+		rt.setState(Initializing)
+		ex.rts[n.id] = rt
+	}
+
+	// Launch edge routers.
+	var routerWG sync.WaitGroup
+	for _, n := range w.nodes {
+		rt := ex.rts[n.id]
+		for i, e := range n.outEdges {
+			routerWG.Add(1)
+			go ex.runRouter(&routerWG, e, rt.edgeQ[i])
+		}
+	}
+
+	// Launch node workers.
+	var nodeWG sync.WaitGroup
+	for _, n := range w.nodes {
+		rt := ex.rts[n.id]
+		nodeWG.Add(1)
+		go ex.runNode(&nodeWG, rt)
+	}
+
+	go func() {
+		nodeWG.Wait()
+		routerWG.Wait()
+		ex.finish()
+		close(ex.done)
+	}()
+	return ex, nil
+}
+
+// Run executes the workflow synchronously and returns its result.
+func (w *Workflow) Run(ctx context.Context, cfg Config) (*Result, error) {
+	ex, err := w.Start(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Wait()
+}
+
+// fail records the first error and cancels the execution.
+func (ex *Execution) fail(err error) {
+	ex.errOnce.Do(func() {
+		ex.err = err
+		ex.cancel()
+	})
+}
+
+// Wait blocks until the execution completes and returns its result or
+// the first operator error.
+func (ex *Execution) Wait() (*Result, error) {
+	<-ex.done
+	if ex.err != nil {
+		return nil, ex.err
+	}
+	return ex.result, nil
+}
+
+// Pause suspends all workers at the next batch boundary.
+func (ex *Execution) Pause() { ex.gate.pause() }
+
+// Resume releases a paused execution.
+func (ex *Execution) Resume() { ex.gate.resume() }
+
+// Paused reports whether the execution is paused.
+func (ex *Execution) Paused() bool { return ex.gate.paused() }
+
+// Progress returns a snapshot of every node's state and tuple
+// counters, in node order.
+func (ex *Execution) Progress() []OpProgress {
+	paused := ex.gate.paused()
+	out := make([]OpProgress, len(ex.rts))
+	for i, rt := range ex.rts {
+		s := State(rt.state.Load())
+		if paused && s == Running {
+			s = Paused
+		}
+		out[i] = OpProgress{
+			Name:      rt.n.name,
+			Kind:      rt.n.kind.String(),
+			State:     s,
+			InTuples:  rt.inTuples.Load(),
+			OutTuples: rt.outTuples.Load(),
+			Workers:   rt.n.parallelism,
+		}
+	}
+	return out
+}
+
+// emit forwards rows produced by a node to all its out edges and
+// updates trace counters.
+func (ex *Execution) emit(rt *nodeRuntime, rows []relation.Tuple) {
+	if len(rows) == 0 {
+		return
+	}
+	rt.outTuples.Add(int64(len(rows)))
+	rt.batches.Add(1)
+	var bytes int64
+	for _, r := range rows {
+		bytes += relation.EncodedSize(r)
+	}
+	for i := range rt.n.outEdges {
+		st := rt.edgeStats[i]
+		st.mu.Lock()
+		st.batches++
+		st.tuples += int64(len(rows))
+		st.bytes += bytes
+		st.mu.Unlock()
+		rt.edgeQ[i].push(batchMsg{rows: rows})
+	}
+}
+
+// runRouter moves batches from a producer's edge queue into the
+// consumer's per-worker port queues according to the edge's
+// partitioning.
+func (ex *Execution) runRouter(wg *sync.WaitGroup, e *edge, in *queue) {
+	defer wg.Done()
+	toRT := ex.rts[e.to.id]
+	outs := toRT.inQ[e.port]
+	defer func() {
+		for _, q := range outs {
+			q.close()
+		}
+	}()
+	rr := 0
+	for {
+		msg, ok, err := in.pop(ex.ctx)
+		if err != nil || !ok {
+			return
+		}
+		switch e.part.kind {
+		case partBroadcast:
+			for _, q := range outs {
+				q.push(msg)
+			}
+		case partHash:
+			if len(outs) == 1 {
+				outs[0].push(msg)
+				break
+			}
+			buckets := make([][]relation.Tuple, len(outs))
+			for _, r := range msg.rows {
+				h := fnv32(r.Key(e.keyPos))
+				buckets[int(h)%len(outs)] = append(buckets[int(h)%len(outs)], r)
+			}
+			for wk, b := range buckets {
+				if len(b) > 0 {
+					outs[wk].push(batchMsg{rows: b})
+				}
+			}
+		default: // round robin
+			outs[rr%len(outs)].push(msg)
+			rr++
+		}
+	}
+}
+
+// fnv32 hashes a string with FNV-1a.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// runNode executes one node: a generator for sources, a collector for
+// sinks, or parallelism workers for operators.
+func (ex *Execution) runNode(wg *sync.WaitGroup, rt *nodeRuntime) {
+	defer wg.Done()
+	defer func() {
+		// Whatever happened, close out-edge queues so downstream sees
+		// EOF.
+		for _, q := range rt.edgeQ {
+			q.close()
+		}
+	}()
+	switch rt.n.kind {
+	case kindSource:
+		ex.runSource(rt)
+	case kindSink:
+		ex.runSink(rt)
+	default:
+		rt.wg.Add(rt.n.parallelism)
+		for wk := 0; wk < rt.n.parallelism; wk++ {
+			go ex.runWorker(rt, wk)
+		}
+		rt.wg.Wait()
+		if State(rt.state.Load()) != Failed {
+			rt.setState(Completed)
+		}
+	}
+}
+
+// runSource streams the source table downstream in batches.
+func (ex *Execution) runSource(rt *nodeRuntime) {
+	rt.setState(Running)
+	size := rt.n.batchSize
+	if size == 0 {
+		size = ex.cfg.BatchSize
+	}
+	if size == 0 {
+		size = AutoBatchSize(rt.n.table.Len())
+	}
+	for _, b := range rt.n.table.Batches(size) {
+		if err := ex.gate.wait(ex.ctx); err != nil {
+			return
+		}
+		rt.addWork(0, rt.n.scanWork.Scale(float64(len(b.Rows))))
+		ex.emit(rt, b.Rows)
+	}
+	rt.setState(Completed)
+}
+
+// runSink collects rows into the sink table.
+func (ex *Execution) runSink(rt *nodeRuntime) {
+	rt.setState(Running)
+	q := rt.inQ[0][0]
+	for {
+		msg, ok, err := q.pop(ex.ctx)
+		if err != nil {
+			return
+		}
+		if !ok {
+			rt.setState(Completed)
+			return
+		}
+		if err := ex.gate.wait(ex.ctx); err != nil {
+			return
+		}
+		rt.inTuples.Add(int64(len(msg.rows)))
+		rt.sinkMu.Lock()
+		for _, r := range msg.rows {
+			rt.sinkTable.AppendUnchecked(r)
+		}
+		rt.sinkMu.Unlock()
+	}
+}
+
+// runWorker executes one operator worker: ports in order, batches in
+// arrival order.
+func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
+	defer rt.wg.Done()
+	inst := rt.n.op.NewInstance()
+	ec := &execCtx{rt: rt, worker: worker}
+	if sb, ok := inst.(schemaBinder); ok {
+		if err := sb.bindSchemas(rt.inputSchemas); err != nil {
+			ex.failOp(rt, worker, -1, err)
+			return
+		}
+	}
+	ec.phase = phaseOpen
+	if err := inst.Open(ec); err != nil {
+		ex.failOp(rt, worker, -1, err)
+		return
+	}
+	rt.setState(Running)
+	ports := rt.n.op.Desc().Ports
+	for port := 0; port < ports; port++ {
+		q := rt.inQ[port][worker]
+		for {
+			msg, ok, err := q.pop(ex.ctx)
+			if err != nil {
+				return // canceled
+			}
+			if !ok {
+				break // port exhausted
+			}
+			if err := ex.gate.wait(ex.ctx); err != nil {
+				return
+			}
+			rt.inTuples.Add(int64(len(msg.rows)))
+			ec.phase = port
+			out, err := inst.Process(ec, port, msg.rows)
+			if err != nil {
+				ex.failOp(rt, worker, port, err)
+				return
+			}
+			ex.emit(rt, out)
+		}
+		ec.phase = phaseEnd
+		out, err := inst.EndPort(ec, port)
+		if err != nil {
+			ex.failOp(rt, worker, port, err)
+			return
+		}
+		ex.emit(rt, out)
+	}
+	ec.phase = phaseEnd
+	if err := inst.Close(ec); err != nil {
+		ex.failOp(rt, worker, -1, err)
+	}
+}
+
+// failOp records an operator-attributed error.
+func (ex *Execution) failOp(rt *nodeRuntime, worker, port int, err error) {
+	rt.setState(Failed)
+	ex.fail(&OpError{Op: rt.n.name, Worker: worker, Port: port, Err: err})
+}
+
+// finish assembles the result after all goroutines stopped.
+func (ex *Execution) finish() {
+	if ex.err != nil {
+		return
+	}
+	trace := ex.buildTrace()
+	jobs, pools, err := Lower(trace, ex.model)
+	if err != nil {
+		ex.fail(fmt.Errorf("dataflow: lowering failed: %w", err))
+		return
+	}
+	sched, err := sim.Schedule(jobs, pools)
+	if err != nil {
+		ex.fail(fmt.Errorf("dataflow: scheduling failed: %w", err))
+		return
+	}
+	tables := make(map[string]*relation.Table)
+	for _, rt := range ex.rts {
+		if rt.n.kind == kindSink {
+			tables[rt.n.name] = rt.sinkTable
+		}
+	}
+	ex.result = &Result{
+		Tables:     tables,
+		Trace:      trace,
+		SimSeconds: sched.Makespan,
+		Schedule:   sched,
+	}
+}
+
+// buildTrace snapshots all runtime counters into a Trace.
+func (ex *Execution) buildTrace() *Trace {
+	tr := &Trace{Workflow: ex.wf.name}
+	for _, rt := range ex.rts {
+		nt := NodeTrace{
+			ID:             rt.n.id,
+			Name:           rt.n.name,
+			Kind:           rt.n.kind.String(),
+			Parallelism:    rt.n.parallelism,
+			InTuples:       rt.inTuples.Load(),
+			OutTuples:      rt.outTuples.Load(),
+			EmittedBatches: rt.batches.Load(),
+			WorkByPort:     append([]cost.Work(nil), rt.workByPort...),
+			EndWork:        rt.endWork,
+			OpenWork:       rt.openWork,
+		}
+		if rt.n.kind == kindOperator {
+			d := rt.n.op.Desc()
+			nt.Language = d.Language
+			nt.BlockingPorts = append([]bool(nil), d.BlockingPorts...)
+			nt.FullyBlocking = d.FullyBlocking()
+			switch rt.n.op.(type) {
+			case *SortOp, *LimitOp:
+				nt.Parallelizable = false
+			default:
+				nt.Parallelizable = !nt.FullyBlocking
+			}
+		}
+		tr.Nodes = append(tr.Nodes, nt)
+		for i, e := range rt.n.outEdges {
+			st := rt.edgeStats[i]
+			tr.Edges = append(tr.Edges, EdgeTrace{
+				From:    e.from.id,
+				To:      e.to.id,
+				Port:    e.port,
+				Batches: st.batches,
+				Tuples:  st.tuples,
+				Bytes:   st.bytes,
+			})
+		}
+	}
+	return tr
+}

@@ -1,0 +1,41 @@
+package dataflow
+
+import "testing"
+
+// FuzzParseSpec checks the JSON workflow compiler never panics: any
+// input either fails to parse, fails to build, or yields a valid
+// workflow.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(demoSpec)
+	f.Add(`{"name":"x","operators":[],"links":[]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Add(`{"name":"x","operators":[{"id":"a","type":"source","schema":[{"name":"v","type":"int"}],"data":[[1]]},{"id":"b","type":"sink"}],"links":[{"from":"a","to":"b"}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec([]byte(input))
+		if err != nil {
+			return
+		}
+		w, err := Build(spec)
+		if err != nil {
+			return
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("Build returned an invalid workflow: %v", err)
+		}
+	})
+}
+
+// FuzzParseCondition checks the condition mini-parser never panics.
+func FuzzParseCondition(f *testing.F) {
+	f.Add(`age >= 21`)
+	f.Add(`name == "ann"`)
+	f.Add(``)
+	f.Add(`<=`)
+	f.Add(`x == ==`)
+	f.Fuzz(func(t *testing.T, input string) {
+		if _, err := parseCondition(input); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// Lower converts an execution trace into simulator jobs and pools.
+//
+// The mapping follows the pipelined-dataflow semantics of the engine:
+//
+//   - every node gets a pool with one slot per worker, so operator
+//     parallelism bounds how many of its batch jobs run concurrently;
+//   - each input batch of each port becomes a job whose cost is the
+//     node's recorded CPU work for that port (converted through the
+//     operator's language) plus deserialization, spread evenly over the
+//     port's batches; serialization of a node's output is charged to
+//     the jobs that emit it;
+//   - a batch job depends on the upstream job that emitted its batch —
+//     which is what lets consecutive operators overlap in time
+//     (pipelining) — and on a barrier over all earlier ports, because a
+//     worker drains ports strictly in order (a join's probe cannot
+//     start before its build side is complete);
+//   - fully blocking operators (sort, group-by, model training) emit
+//     from their end job, so nothing downstream starts until they have
+//     consumed all input;
+//   - per-node startup jobs and a workflow-submission job model the
+//     fixed overheads of the controller.
+func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
+	if tr == nil {
+		return nil, nil, fmt.Errorf("dataflow: nil trace")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	nodeByID := make(map[NodeID]*NodeTrace, len(tr.Nodes))
+	for i := range tr.Nodes {
+		nodeByID[tr.Nodes[i].ID] = &tr.Nodes[i]
+	}
+	inEdges := make(map[NodeID][]*EdgeTrace)
+	outEdges := make(map[NodeID][]*EdgeTrace)
+	for i := range tr.Edges {
+		e := &tr.Edges[i]
+		if _, ok := nodeByID[e.From]; !ok {
+			return nil, nil, fmt.Errorf("dataflow: edge from unknown node %d", e.From)
+		}
+		if _, ok := nodeByID[e.To]; !ok {
+			return nil, nil, fmt.Errorf("dataflow: edge to unknown node %d", e.To)
+		}
+		inEdges[e.To] = append(inEdges[e.To], e)
+		outEdges[e.From] = append(outEdges[e.From], e)
+	}
+
+	const controllerPool = "controller"
+	pools := []sim.Pool{{Name: controllerPool, Slots: 1}}
+	poolOf := make(map[NodeID]string, len(tr.Nodes))
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		name := fmt.Sprintf("n%d:%s", n.ID, n.Name)
+		poolOf[n.ID] = name
+		slots := n.Parallelism
+		if slots < 1 {
+			slots = 1
+		}
+		pools = append(pools, sim.Pool{Name: name, Slots: slots})
+	}
+
+	var jobs []sim.Job
+	nextID := sim.JobID(0)
+	addJob := func(name, pool string, costSec, latency float64, deps []sim.JobID) sim.JobID {
+		id := nextID
+		nextID++
+		jobs = append(jobs, sim.Job{
+			ID: id, Name: name, Pool: pool,
+			Cost: costSec, Latency: latency, Deps: deps,
+		})
+		return id
+	}
+
+	// Workflow submission.
+	rootID := addJob("submit:"+tr.Workflow, controllerPool, m.ControlOverhead, 0, nil)
+
+	// Process nodes in topological order so upstream emit jobs exist
+	// when consumers are lowered. Node IDs are assigned in creation
+	// order which is not necessarily topological, so sort by
+	// dependencies.
+	order, err := topoNodeOrder(tr.Nodes, tr.Edges)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	emitJobsOf := make(map[NodeID][]sim.JobID, len(tr.Nodes))
+	for _, nid := range order {
+		n := nodeByID[nid]
+		pool := poolOf[nid]
+		lang := n.Language
+
+		startup := addJob("startup:"+n.Name, pool, m.OperatorStartup, 0, []sim.JobID{rootID})
+		// Per-worker initialization (Open): workers initialize in
+		// parallel, so the gate costs OpenWork divided by parallelism.
+		if open := n.OpenWork.Seconds(lang); open > 0 {
+			par := n.Parallelism
+			if par < 1 {
+				par = 1
+			}
+			startup = addJob("init:"+n.Name, pool, open/float64(par), 0, []sim.JobID{startup})
+		}
+
+		ins := make([]*EdgeTrace, 0, len(inEdges[nid]))
+		ins = append(ins, inEdges[nid]...)
+		// Ports in ascending order.
+		for i := 0; i < len(ins); i++ {
+			for j := i + 1; j < len(ins); j++ {
+				if ins[j].Port < ins[i].Port {
+					ins[i], ins[j] = ins[j], ins[i]
+				}
+			}
+		}
+
+		// Output serialization: the engine serializes a node's output
+		// once per out edge (each consumer link carries its own copy).
+		var outBytes int64
+		for _, e := range outEdges[nid] {
+			outBytes += e.Bytes
+		}
+		encodeTotal := m.SerdeSeconds(outBytes)
+
+		var allPortJobs []sim.JobID
+		var lastPortJobs []sim.JobID
+		prevBarrier := startup
+		for pi, e := range ins {
+			work := 0.0
+			if e.Port < len(n.WorkByPort) {
+				work = n.WorkByPort[e.Port].Seconds(lang)
+			}
+			decode := m.SerdeSeconds(e.Bytes)
+			b := int(e.Batches)
+			var portJobs []sim.JobID
+			if b > 0 {
+				perJob := (work + decode) / float64(b)
+				latency := m.TransferSeconds(e.Bytes / int64(b))
+				upstream := emitJobsOf[e.From]
+				for j := 0; j < b; j++ {
+					deps := []sim.JobID{prevBarrier}
+					if len(upstream) > 0 {
+						k := j
+						if k >= len(upstream) {
+							k = len(upstream) - 1
+						}
+						deps = append(deps, upstream[k])
+					}
+					id := addJob(fmt.Sprintf("%s:p%d:b%d", n.Name, e.Port, j), pool, perJob, latency, deps)
+					portJobs = append(portJobs, id)
+				}
+			} else if up := emitJobsOf[e.From]; len(up) > 0 {
+				// Empty stream: a zero-cost job keeps the dependency on
+				// the upstream end-of-stream.
+				id := addJob(fmt.Sprintf("%s:p%d:eos", n.Name, e.Port), pool, 0, 0, append([]sim.JobID{prevBarrier}, up[len(up)-1]))
+				portJobs = append(portJobs, id)
+			}
+			allPortJobs = append(allPortJobs, portJobs...)
+			lastPortJobs = portJobs
+			// Barrier: later ports wait for this whole port (workers
+			// drain ports in order).
+			if pi < len(ins)-1 {
+				prevBarrier = addJob(fmt.Sprintf("%s:p%d:end", n.Name, e.Port), pool, 0, 0, append([]sim.JobID{prevBarrier}, portJobs...))
+			}
+		}
+
+		// Source nodes have no input edges; their generation work is
+		// in WorkByPort[0], spread over emitted batches.
+		if len(ins) == 0 {
+			b := int(n.EmittedBatches)
+			work := 0.0
+			if len(n.WorkByPort) > 0 {
+				work = n.WorkByPort[0].Seconds(lang)
+			}
+			if b > 0 {
+				perJob := (work + encodeTotal) / float64(b)
+				for j := 0; j < b; j++ {
+					id := addJob(fmt.Sprintf("%s:gen:b%d", n.Name, j), pool, perJob, 0, []sim.JobID{startup})
+					allPortJobs = append(allPortJobs, id)
+					lastPortJobs = append(lastPortJobs, id)
+				}
+			}
+			encodeTotal = 0 // already charged
+		}
+
+		// End job: EndPort/Close work plus, for fully blocking
+		// operators, the whole output serialization.
+		endCost := n.EndWork.Seconds(lang)
+		if n.FullyBlocking {
+			endCost += encodeTotal
+		} else if len(lastPortJobs) > 0 && encodeTotal > 0 {
+			// Streaming operators serialize as they emit: spread the
+			// encode cost over the emitting jobs by appending it to
+			// their costs.
+			share := encodeTotal / float64(len(lastPortJobs))
+			for _, id := range lastPortJobs {
+				jobs[int(id)].Cost += share
+			}
+			encodeTotal = 0
+		}
+		endDeps := append([]sim.JobID{startup}, allPortJobs...)
+		endID := addJob(fmt.Sprintf("%s:close", n.Name), pool, endCost, 0, endDeps)
+
+		switch {
+		case n.FullyBlocking:
+			emitJobsOf[nid] = []sim.JobID{endID}
+		case len(lastPortJobs) > 0:
+			emitJobsOf[nid] = lastPortJobs
+		default:
+			emitJobsOf[nid] = []sim.JobID{endID}
+		}
+	}
+
+	return jobs, pools, nil
+}
+
+// topoNodeOrder sorts trace node IDs topologically.
+func topoNodeOrder(nodes []NodeTrace, edges []EdgeTrace) ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(nodes))
+	adj := make(map[NodeID][]NodeID)
+	for _, n := range nodes {
+		indeg[n.ID] = 0
+	}
+	for _, e := range edges {
+		indeg[e.To]++
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	var queue []NodeID
+	for _, n := range nodes {
+		if indeg[n.ID] == 0 {
+			queue = append(queue, n.ID)
+		}
+	}
+	var order []NodeID
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, to := range adj[id] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != len(nodes) {
+		return nil, fmt.Errorf("dataflow: trace contains a cycle")
+	}
+	return order, nil
+}
+
+// SimTime lowers a trace and schedules it, returning the simulated
+// makespan.
+func SimTime(tr *Trace, m *cost.Model) (float64, error) {
+	jobs, pools, err := Lower(tr, m)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.Schedule(jobs, pools)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

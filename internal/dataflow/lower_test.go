@@ -1,0 +1,205 @@
+package dataflow
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+	"repro/internal/sim"
+)
+
+func traceOf(t *testing.T, w *Workflow) *Trace {
+	t.Helper()
+	res, err := w.Run(context.Background(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func simpleWorkflow(t *testing.T) *Workflow {
+	w := New("lower")
+	src := w.Source("src", intTable(2000))
+	f := w.Op(NewFilter("f", cost.Python, func(relation.Tuple) bool { return true }))
+	snk := w.Sink("out")
+	w.Connect(src, f, 0, RoundRobin())
+	w.Connect(f, snk, 0, RoundRobin())
+	return w
+}
+
+func TestLowerProducesValidSchedule(t *testing.T) {
+	tr := traceOf(t, simpleWorkflow(t))
+	m := cost.Default()
+	jobs, pools, err := Lower(tr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 || len(pools) != 4 { // controller + 3 nodes
+		t.Fatalf("jobs=%d pools=%d", len(jobs), len(pools))
+	}
+	res, err := sim.Schedule(jobs, pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= m.ControlOverhead {
+		t.Fatalf("makespan %v should exceed the submission overhead", res.Makespan)
+	}
+}
+
+func TestLowerDeterministic(t *testing.T) {
+	tr := traceOf(t, simpleWorkflow(t))
+	m := cost.Default()
+	t1, err := SimTime(tr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := SimTime(tr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatalf("non-deterministic sim time: %v vs %v", t1, t2)
+	}
+}
+
+func TestLowerNilTrace(t *testing.T) {
+	if _, _, err := Lower(nil, cost.Default()); err == nil {
+		t.Fatal("expected error for nil trace")
+	}
+}
+
+func TestLowerBadEdges(t *testing.T) {
+	tr := &Trace{
+		Nodes: []NodeTrace{{ID: 0, Name: "a"}},
+		Edges: []EdgeTrace{{From: 0, To: 9}},
+	}
+	if _, _, err := Lower(tr, cost.Default()); err == nil {
+		t.Fatal("expected error for unknown edge target")
+	}
+	tr2 := &Trace{
+		Nodes: []NodeTrace{{ID: 0, Name: "a"}},
+		Edges: []EdgeTrace{{From: 9, To: 0}},
+	}
+	if _, _, err := Lower(tr2, cost.Default()); err == nil {
+		t.Fatal("expected error for unknown edge source")
+	}
+}
+
+func TestLowerCyclicTrace(t *testing.T) {
+	tr := &Trace{
+		Nodes: []NodeTrace{{ID: 0, Name: "a"}, {ID: 1, Name: "b"}},
+		Edges: []EdgeTrace{{From: 0, To: 1, Batches: 1}, {From: 1, To: 0, Batches: 1}},
+	}
+	if _, _, err := Lower(tr, cost.Default()); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestLowerScalaCheaperThanPython(t *testing.T) {
+	// Two identical traces differing only in operator language: the
+	// Scala one must schedule faster when interp-bound work dominates.
+	mk := func(lang cost.Language) *Trace {
+		return &Trace{
+			Workflow: "langs",
+			Nodes: []NodeTrace{
+				{ID: 0, Name: "src", Kind: "source", Parallelism: 1, EmittedBatches: 10, WorkByPort: []cost.Work{{Interp: 0.1}}},
+				{ID: 1, Name: "op", Kind: "operator", Parallelism: 1, Language: lang,
+					WorkByPort: []cost.Work{{Interp: 30}}, BlockingPorts: []bool{false}},
+				{ID: 2, Name: "out", Kind: "sink", Parallelism: 1, WorkByPort: []cost.Work{{}}},
+			},
+			Edges: []EdgeTrace{
+				{From: 0, To: 1, Port: 0, Batches: 10, Tuples: 1000, Bytes: 10000},
+				{From: 1, To: 2, Port: 0, Batches: 10, Tuples: 1000, Bytes: 10000},
+			},
+		}
+	}
+	py, err := SimTime(mk(cost.Python), cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := SimTime(mk(cost.Scala), cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc >= py {
+		t.Fatalf("Scala (%v) should beat Python (%v)", sc, py)
+	}
+}
+
+func TestLowerBlockingGatesDownstream(t *testing.T) {
+	// A fully blocking middle operator forces the sink to start only
+	// after all input is consumed: makespan ~= sum of stage times, not
+	// max.
+	mk := func(blocking bool) *Trace {
+		return &Trace{
+			Workflow: "blocking",
+			Nodes: []NodeTrace{
+				{ID: 0, Name: "src", Kind: "source", Parallelism: 1, EmittedBatches: 20, WorkByPort: []cost.Work{{Interp: 10}}},
+				{ID: 1, Name: "mid", Kind: "operator", Parallelism: 1,
+					WorkByPort: []cost.Work{{Interp: 10}}, BlockingPorts: []bool{blocking}, FullyBlocking: blocking},
+				{ID: 2, Name: "tail", Kind: "operator", Parallelism: 1,
+					WorkByPort: []cost.Work{{Interp: 10}}, BlockingPorts: []bool{false}},
+				{ID: 3, Name: "out", Kind: "sink", Parallelism: 1, WorkByPort: []cost.Work{{}}},
+			},
+			Edges: []EdgeTrace{
+				{From: 0, To: 1, Port: 0, Batches: 20, Tuples: 2000, Bytes: 1000},
+				{From: 1, To: 2, Port: 0, Batches: 20, Tuples: 2000, Bytes: 1000},
+				{From: 2, To: 3, Port: 0, Batches: 20, Tuples: 2000, Bytes: 1000},
+			},
+		}
+	}
+	stream, err := SimTime(mk(false), cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := SimTime(mk(true), cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block <= stream {
+		t.Fatalf("blocking (%v) should be slower than streaming (%v)", block, stream)
+	}
+	// Streaming should approach the bottleneck stage time (10s) plus
+	// pipeline fill. The blocking variant still overlaps with its own
+	// upstream, but the 10s tail stage cannot start until the blocking
+	// operator closes, so it lands near 10 (src∥mid) + 10 (tail).
+	if stream > 15 {
+		t.Fatalf("streaming makespan %v too close to sequential", stream)
+	}
+	if block < 20 {
+		t.Fatalf("blocking makespan %v unexpectedly overlapped", block)
+	}
+}
+
+func TestLowerSerdeGrowsWithOperatorCount(t *testing.T) {
+	// The same data crossing more edges must spend more total time on
+	// serde — Aspect #4's overhead claim. With heavy data and light
+	// work, a longer chain is slower.
+	mk := func(ops int) *Trace {
+		tr := &Trace{Workflow: "chain"}
+		tr.Nodes = append(tr.Nodes, NodeTrace{ID: 0, Name: "src", Kind: "source", Parallelism: 1, EmittedBatches: 4, WorkByPort: []cost.Work{{}}})
+		const bytes = 40 << 30 // 40 GB so serde dominates
+		for i := 1; i <= ops; i++ {
+			tr.Nodes = append(tr.Nodes, NodeTrace{
+				ID: NodeID(i), Name: "op", Kind: "operator", Parallelism: 1,
+				WorkByPort: []cost.Work{{}}, BlockingPorts: []bool{false},
+			})
+			tr.Edges = append(tr.Edges, EdgeTrace{From: NodeID(i - 1), To: NodeID(i), Port: 0, Batches: 4, Tuples: 100, Bytes: bytes})
+		}
+		tr.Nodes = append(tr.Nodes, NodeTrace{ID: NodeID(ops + 1), Name: "out", Kind: "sink", Parallelism: 1, WorkByPort: []cost.Work{{}}})
+		tr.Edges = append(tr.Edges, EdgeTrace{From: NodeID(ops), To: NodeID(ops + 1), Port: 0, Batches: 4, Tuples: 100, Bytes: bytes})
+		return tr
+	}
+	t2, err := SimTime(mk(2), cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6, err := SimTime(mk(6), cost.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t6 <= t2 {
+		t.Fatalf("6-op serde-bound chain (%v) should be slower than 2-op (%v)", t6, t2)
+	}
+}

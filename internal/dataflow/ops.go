@@ -1,0 +1,493 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// Default per-tuple work constants, in Python-seconds. These are the
+// engine-level defaults; tasks calibrate their own operator costs where
+// the paper's workloads demand it.
+var (
+	// DefaultScanWork is charged per tuple by sources.
+	DefaultScanWork = cost.Work{Interp: 1.5e-6, Mem: 0.5e-6}
+	// DefaultFilterWork is charged per input tuple by Filter.
+	DefaultFilterWork = cost.Work{Interp: 2.0e-6, Mem: 0.3e-6}
+	// DefaultProjectWork is charged per input tuple by Project.
+	DefaultProjectWork = cost.Work{Interp: 1.2e-6, Mem: 0.3e-6}
+	// DefaultMapWork is charged per input tuple by Map/FlatMap UDFs.
+	DefaultMapWork = cost.Work{Interp: 4.0e-6, Mem: 0.5e-6}
+	// DefaultBuildWork is charged per build-side tuple by HashJoin.
+	DefaultBuildWork = cost.Work{Interp: 3.0e-6, Mem: 1.0e-6}
+	// DefaultProbeWork is charged per probe-side tuple by HashJoin,
+	// before the size-dependent memory term.
+	DefaultProbeWork = cost.Work{Interp: 3.5e-6, Mem: 0.8e-6}
+	// DefaultGroupWork is charged per input tuple by GroupBy.
+	DefaultGroupWork = cost.Work{Interp: 3.0e-6, Mem: 0.8e-6}
+	// DefaultSortWorkPerCmp is charged per comparison by Sort.
+	DefaultSortWorkPerCmp = cost.Work{Interp: 0.4e-6, Mem: 0.1e-6}
+)
+
+// base provides Desc plumbing for the builtin operators.
+type base struct {
+	desc Desc
+}
+
+func (b base) Desc() Desc { return b.desc }
+
+// ---------------------------------------------------------------------------
+// Filter
+
+// FilterOp keeps tuples satisfying a predicate.
+type FilterOp struct {
+	base
+	Keep relation.Predicate
+	Work cost.Work // per input tuple
+}
+
+// NewFilter returns a filter operator named name.
+func NewFilter(name string, lang cost.Language, keep relation.Predicate) *FilterOp {
+	return &FilterOp{
+		base: base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}}},
+		Keep: keep,
+		Work: DefaultFilterWork,
+	}
+}
+
+// OutputSchema passes the input schema through.
+func (o *FilterOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	if len(in) != 1 || in[0] == nil {
+		return nil, fmt.Errorf("dataflow: %s: filter needs exactly one input", o.desc.Name)
+	}
+	return in[0], nil
+}
+
+// NewInstance returns a stateless filter worker.
+func (o *FilterOp) NewInstance() Instance { return &filterInstance{op: o} }
+
+type filterInstance struct{ op *FilterOp }
+
+func (fi *filterInstance) Open(ExecCtx) error { return nil }
+func (fi *filterInstance) Process(ec ExecCtx, _ int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	ec.AddWork(fi.op.Work.Scale(float64(len(rows))))
+	var out []relation.Tuple
+	for _, r := range rows {
+		if fi.op.Keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+func (fi *filterInstance) EndPort(ExecCtx, int) ([]relation.Tuple, error) { return nil, nil }
+func (fi *filterInstance) Close(ExecCtx) error                            { return nil }
+
+// ---------------------------------------------------------------------------
+// Project
+
+// ProjectOp keeps only the named columns.
+type ProjectOp struct {
+	base
+	Names []string
+	Work  cost.Work
+}
+
+// NewProject returns a projection operator.
+func NewProject(name string, lang cost.Language, names ...string) *ProjectOp {
+	return &ProjectOp{
+		base:  base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}}},
+		Names: names,
+		Work:  DefaultProjectWork,
+	}
+}
+
+// OutputSchema projects the input schema.
+func (o *ProjectOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	if len(in) != 1 || in[0] == nil {
+		return nil, fmt.Errorf("dataflow: %s: project needs exactly one input", o.desc.Name)
+	}
+	return in[0].Project(o.Names...)
+}
+
+// NewInstance returns a projection worker.
+func (o *ProjectOp) NewInstance() Instance { return &projectInstance{op: o} }
+
+type projectInstance struct {
+	op  *ProjectOp
+	pos []int
+}
+
+func (pi *projectInstance) Open(ExecCtx) error { return nil }
+func (pi *projectInstance) Process(ec ExecCtx, _ int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	ec.AddWork(pi.op.Work.Scale(float64(len(rows))))
+	out := make([]relation.Tuple, len(rows))
+	for i, r := range rows {
+		if pi.pos == nil {
+			// Positions are resolved lazily from the first row's width;
+			// the workflow validated the schema, so the names exist.
+			return nil, fmt.Errorf("dataflow: %s: positions not bound", pi.op.desc.Name)
+		}
+		row := make(relation.Tuple, len(pi.pos))
+		for k, p := range pi.pos {
+			row[k] = r[p]
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+func (pi *projectInstance) EndPort(ExecCtx, int) ([]relation.Tuple, error) { return nil, nil }
+func (pi *projectInstance) Close(ExecCtx) error                            { return nil }
+
+// bindSchema lets the executor resolve column positions once the input
+// schema is known. Operators that need positions implement it.
+type schemaBinder interface {
+	bindSchemas(in []*relation.Schema) error
+}
+
+func (pi *projectInstance) bindSchemas(in []*relation.Schema) error {
+	pi.pos = make([]int, len(pi.op.Names))
+	for i, n := range pi.op.Names {
+		p := in[0].IndexOf(n)
+		if p < 0 {
+			return fmt.Errorf("dataflow: %s: unknown column %q", pi.op.desc.Name, n)
+		}
+		pi.pos[i] = p
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Map / FlatMap (UDF)
+
+// MapFunc transforms one tuple into zero or more tuples.
+type MapFunc func(relation.Tuple) ([]relation.Tuple, error)
+
+// MapOp applies a user-defined function to every tuple — the engine's
+// generic Python/Scala UDF operator.
+type MapOp struct {
+	base
+	Out  *relation.Schema
+	Fn   MapFunc
+	Work cost.Work // per input tuple
+	// ExtraWork, if non-nil, lets a UDF charge additional data-dependent
+	// work per tuple (for example model inference cost).
+	ExtraWork func(relation.Tuple) cost.Work
+}
+
+// NewMap returns a UDF operator with the given output schema.
+func NewMap(name string, lang cost.Language, out *relation.Schema, fn MapFunc) *MapOp {
+	return &MapOp{
+		base: base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}}},
+		Out:  out,
+		Fn:   fn,
+		Work: DefaultMapWork,
+	}
+}
+
+// OutputSchema returns the declared output schema.
+func (o *MapOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	if len(in) != 1 || in[0] == nil {
+		return nil, fmt.Errorf("dataflow: %s: map needs exactly one input", o.desc.Name)
+	}
+	return o.Out, nil
+}
+
+// NewInstance returns a UDF worker.
+func (o *MapOp) NewInstance() Instance { return &mapInstance{op: o} }
+
+type mapInstance struct{ op *MapOp }
+
+func (mi *mapInstance) Open(ExecCtx) error { return nil }
+func (mi *mapInstance) Process(ec ExecCtx, _ int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	ec.AddWork(mi.op.Work.Scale(float64(len(rows))))
+	var out []relation.Tuple
+	for _, r := range rows {
+		if mi.op.ExtraWork != nil {
+			ec.AddWork(mi.op.ExtraWork(r))
+		}
+		produced, err := mi.op.Fn(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, produced...)
+	}
+	return out, nil
+}
+func (mi *mapInstance) EndPort(ExecCtx, int) ([]relation.Tuple, error) { return nil, nil }
+func (mi *mapInstance) Close(ExecCtx) error                            { return nil }
+
+// ---------------------------------------------------------------------------
+// HashJoin
+
+// HashJoinOp joins a probe stream (port 1) against a built hash table
+// of the build stream (port 0). The build port is blocking. Its probe
+// cost includes a memory-bound term that grows with the logarithm of
+// the build-side size — probing a table that outgrows the caches costs
+// the same in every language, which is the mechanism behind the
+// paper's Table I.
+type HashJoinOp struct {
+	base
+	BuildKey, ProbeKey string
+	Kind               relation.JoinType
+	BuildWork          cost.Work // per build tuple
+	ProbeWork          cost.Work // per probe tuple, before the memory term
+	// ProbeMemLog is the Mem-seconds added per probe tuple per log2 of
+	// the build-side row count.
+	ProbeMemLog float64
+}
+
+// NewHashJoin returns a hash-join operator. Port 0 is the build side,
+// port 1 the probe side.
+func NewHashJoin(name string, lang cost.Language, buildKey, probeKey string, kind relation.JoinType) *HashJoinOp {
+	return &HashJoinOp{
+		base:        base{Desc{Name: name, Language: lang, Ports: 2, BlockingPorts: []bool{true, false}}},
+		BuildKey:    buildKey,
+		ProbeKey:    probeKey,
+		Kind:        kind,
+		BuildWork:   DefaultBuildWork,
+		ProbeWork:   DefaultProbeWork,
+		ProbeMemLog: 0.15e-6,
+	}
+}
+
+// OutputSchema concatenates probe columns with build columns (minus the
+// build key), matching relation.HashJoin with the probe side on the
+// left.
+func (o *HashJoinOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	if len(in) != 2 || in[0] == nil || in[1] == nil {
+		return nil, fmt.Errorf("dataflow: %s: hash join needs two inputs", o.desc.Name)
+	}
+	build, probe := in[0], in[1]
+	empty := relation.NewTable(probe)
+	emptyBuild := relation.NewTable(build)
+	proto, err := relation.HashJoin(empty, emptyBuild, o.ProbeKey, o.BuildKey, o.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: %s: %w", o.desc.Name, err)
+	}
+	return proto.Schema(), nil
+}
+
+// NewInstance returns a join worker with its own hash table.
+func (o *HashJoinOp) NewInstance() Instance { return &joinInstance{op: o} }
+
+type joinInstance struct {
+	op          *HashJoinOp
+	buildSchema *relation.Schema
+	probeSchema *relation.Schema
+	buildRows   *relation.Table
+}
+
+func (ji *joinInstance) bindSchemas(in []*relation.Schema) error {
+	if len(in) != 2 {
+		return fmt.Errorf("dataflow: %s: expected two input schemas", ji.op.desc.Name)
+	}
+	ji.buildSchema, ji.probeSchema = in[0], in[1]
+	ji.buildRows = relation.NewTable(in[0])
+	return nil
+}
+
+func (ji *joinInstance) Open(ExecCtx) error { return nil }
+
+func (ji *joinInstance) Process(ec ExecCtx, port int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	switch port {
+	case 0:
+		ec.AddWork(ji.op.BuildWork.Scale(float64(len(rows))))
+		for _, r := range rows {
+			ji.buildRows.AppendUnchecked(r)
+		}
+		return nil, nil
+	case 1:
+		w := ji.op.ProbeWork
+		if n := ji.buildRows.Len(); n > 1 {
+			w.Mem += ji.op.ProbeMemLog * math.Log2(float64(n))
+		}
+		ec.AddWork(w.Scale(float64(len(rows))))
+		probe, err := relation.FromRows(ji.probeSchema, rows)
+		if err != nil {
+			return nil, err
+		}
+		out, err := relation.HashJoin(probe, ji.buildRows, ji.op.ProbeKey, ji.op.BuildKey, ji.op.Kind)
+		if err != nil {
+			return nil, err
+		}
+		return out.Rows(), nil
+	default:
+		return nil, fmt.Errorf("dataflow: %s: unexpected port %d", ji.op.desc.Name, port)
+	}
+}
+func (ji *joinInstance) EndPort(ExecCtx, int) ([]relation.Tuple, error) { return nil, nil }
+func (ji *joinInstance) Close(ExecCtx) error                            { return nil }
+
+// ---------------------------------------------------------------------------
+// GroupBy
+
+// GroupByOp groups its single blocking port and emits aggregates when
+// the input ends.
+type GroupByOp struct {
+	base
+	Keys []string
+	Aggs []relation.Aggregate
+	Work cost.Work // per input tuple
+}
+
+// NewGroupBy returns a blocking group-by operator.
+func NewGroupBy(name string, lang cost.Language, keys []string, aggs []relation.Aggregate) *GroupByOp {
+	return &GroupByOp{
+		base: base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{true}}},
+		Keys: keys,
+		Aggs: aggs,
+		Work: DefaultGroupWork,
+	}
+}
+
+// OutputSchema derives the grouped schema.
+func (o *GroupByOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	if len(in) != 1 || in[0] == nil {
+		return nil, fmt.Errorf("dataflow: %s: group-by needs exactly one input", o.desc.Name)
+	}
+	proto, err := relation.GroupBy(relation.NewTable(in[0]), o.Keys, o.Aggs)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: %s: %w", o.desc.Name, err)
+	}
+	return proto.Schema(), nil
+}
+
+// NewInstance returns a group-by worker.
+func (o *GroupByOp) NewInstance() Instance { return &groupByInstance{op: o} }
+
+type groupByInstance struct {
+	op  *GroupByOp
+	in  *relation.Table
+	sch *relation.Schema
+}
+
+func (gi *groupByInstance) bindSchemas(in []*relation.Schema) error {
+	gi.sch = in[0]
+	gi.in = relation.NewTable(in[0])
+	return nil
+}
+func (gi *groupByInstance) Open(ExecCtx) error { return nil }
+func (gi *groupByInstance) Process(ec ExecCtx, _ int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	ec.AddWork(gi.op.Work.Scale(float64(len(rows))))
+	for _, r := range rows {
+		gi.in.AppendUnchecked(r)
+	}
+	return nil, nil
+}
+func (gi *groupByInstance) EndPort(ec ExecCtx, _ int) ([]relation.Tuple, error) {
+	out, err := relation.GroupBy(gi.in, gi.op.Keys, gi.op.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	return out.Rows(), nil
+}
+func (gi *groupByInstance) Close(ExecCtx) error { return nil }
+
+// ---------------------------------------------------------------------------
+// Sort
+
+// SortOp buffers its blocking input and emits it sorted on EndPort.
+type SortOp struct {
+	base
+	Fields []string
+	Work   cost.Work // per comparison
+}
+
+// NewSort returns a blocking sort operator.
+func NewSort(name string, lang cost.Language, fields ...string) *SortOp {
+	return &SortOp{
+		base:   base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{true}}},
+		Fields: fields,
+		Work:   DefaultSortWorkPerCmp,
+	}
+}
+
+// OutputSchema passes the input schema through.
+func (o *SortOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	if len(in) != 1 || in[0] == nil {
+		return nil, fmt.Errorf("dataflow: %s: sort needs exactly one input", o.desc.Name)
+	}
+	return in[0], nil
+}
+
+// NewInstance returns a sort worker.
+func (o *SortOp) NewInstance() Instance { return &sortInstance{op: o} }
+
+type sortInstance struct {
+	op *SortOp
+	in *relation.Table
+}
+
+func (si *sortInstance) bindSchemas(in []*relation.Schema) error {
+	si.in = relation.NewTable(in[0])
+	return nil
+}
+func (si *sortInstance) Open(ExecCtx) error { return nil }
+func (si *sortInstance) Process(_ ExecCtx, _ int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	for _, r := range rows {
+		si.in.AppendUnchecked(r)
+	}
+	return nil, nil
+}
+func (si *sortInstance) EndPort(ec ExecCtx, _ int) ([]relation.Tuple, error) {
+	n := float64(si.in.Len())
+	if n > 1 {
+		ec.AddWork(si.op.Work.Scale(n * math.Log2(n)))
+	}
+	if err := si.in.SortBy(si.op.Fields...); err != nil {
+		return nil, err
+	}
+	return si.in.Rows(), nil
+}
+func (si *sortInstance) Close(ExecCtx) error { return nil }
+
+// ---------------------------------------------------------------------------
+// Limit
+
+// LimitOp passes through at most N tuples (per workflow, so it should
+// run with parallelism 1).
+type LimitOp struct {
+	base
+	N int
+}
+
+// NewLimit returns a limit operator.
+func NewLimit(name string, lang cost.Language, n int) *LimitOp {
+	return &LimitOp{
+		base: base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}}},
+		N:    n,
+	}
+}
+
+// OutputSchema passes the input schema through.
+func (o *LimitOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	if len(in) != 1 || in[0] == nil {
+		return nil, fmt.Errorf("dataflow: %s: limit needs exactly one input", o.desc.Name)
+	}
+	return in[0], nil
+}
+
+// NewInstance returns a limit worker.
+func (o *LimitOp) NewInstance() Instance { return &limitInstance{op: o, left: o.N} }
+
+type limitInstance struct {
+	op   *LimitOp
+	left int
+}
+
+func (li *limitInstance) Open(ExecCtx) error { return nil }
+func (li *limitInstance) Process(ec ExecCtx, _ int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	ec.AddWork(DefaultProjectWork.Scale(float64(len(rows))))
+	if li.left <= 0 {
+		return nil, nil
+	}
+	if len(rows) > li.left {
+		rows = rows[:li.left]
+	}
+	li.left -= len(rows)
+	return rows, nil
+}
+func (li *limitInstance) EndPort(ExecCtx, int) ([]relation.Tuple, error) { return nil, nil }
+func (li *limitInstance) Close(ExecCtx) error                            { return nil }

@@ -1,0 +1,107 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// Operator-level unit tests exercising the schema rules directly,
+// without spinning up an execution.
+
+var intSchema = relation.MustSchema(
+	relation.Field{Name: "id", Type: relation.Int},
+	relation.Field{Name: "v", Type: relation.Int},
+)
+
+func TestOutputSchemaArityChecks(t *testing.T) {
+	ops := []Operator{
+		NewFilter("f", cost.Python, func(relation.Tuple) bool { return true }),
+		NewProject("p", cost.Python, "id"),
+		NewMap("m", cost.Python, intSchema, nil),
+		NewGroupBy("g", cost.Python, []string{"v"}, []relation.Aggregate{{Func: relation.Count, As: "n"}}),
+		NewSort("s", cost.Python, "v"),
+		NewLimit("l", cost.Python, 5),
+	}
+	for _, op := range ops {
+		if _, err := op.OutputSchema(nil); err == nil {
+			t.Errorf("%s: expected error for no inputs", op.Desc().Name)
+		}
+		if _, err := op.OutputSchema([]*relation.Schema{nil}); err == nil {
+			t.Errorf("%s: expected error for nil input schema", op.Desc().Name)
+		}
+		if _, err := op.OutputSchema([]*relation.Schema{intSchema, intSchema}); err == nil {
+			t.Errorf("%s: expected error for two inputs", op.Desc().Name)
+		}
+	}
+	j := NewHashJoin("j", cost.Python, "id", "id", relation.Inner)
+	if _, err := j.OutputSchema([]*relation.Schema{intSchema}); err == nil {
+		t.Error("join: expected error for one input")
+	}
+	if _, err := j.OutputSchema([]*relation.Schema{intSchema, nil}); err == nil {
+		t.Error("join: expected error for nil input")
+	}
+	u := NewUnion("u", cost.Python)
+	if _, err := u.OutputSchema([]*relation.Schema{intSchema}); err == nil {
+		t.Error("union: expected error for one input")
+	}
+}
+
+func TestFilterSchemaPassThrough(t *testing.T) {
+	f := NewFilter("f", cost.Python, func(relation.Tuple) bool { return true })
+	s, err := f.OutputSchema([]*relation.Schema{intSchema})
+	if err != nil || !s.Equal(intSchema) {
+		t.Fatalf("filter schema: %v %v", s, err)
+	}
+}
+
+func TestProjectSchemaErrors(t *testing.T) {
+	p := NewProject("p", cost.Python, "missing")
+	if _, err := p.OutputSchema([]*relation.Schema{intSchema}); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+}
+
+func TestJoinSchemaKeyErrors(t *testing.T) {
+	j := NewHashJoin("j", cost.Python, "missing", "id", relation.Inner)
+	if _, err := j.OutputSchema([]*relation.Schema{intSchema, intSchema}); err == nil {
+		t.Fatal("expected error for unknown build key")
+	}
+	other := relation.MustSchema(relation.Field{Name: "id", Type: relation.String})
+	j2 := NewHashJoin("j2", cost.Python, "id", "id", relation.Inner)
+	if _, err := j2.OutputSchema([]*relation.Schema{other, intSchema}); err == nil {
+		t.Fatal("expected error for key type mismatch")
+	}
+}
+
+func TestGroupBySchemaErrors(t *testing.T) {
+	g := NewGroupBy("g", cost.Python, []string{"missing"}, []relation.Aggregate{{Func: relation.Count, As: "n"}})
+	if _, err := g.OutputSchema([]*relation.Schema{intSchema}); err == nil {
+		t.Fatal("expected error for unknown group key")
+	}
+}
+
+func TestWorkflowAccessors(t *testing.T) {
+	w := New("accessors")
+	if w.Name() != "accessors" {
+		t.Fatalf("Name() = %q", w.Name())
+	}
+	src := w.Source("src", intTable(3), WithScanWork(cost.Work{Interp: 1}))
+	if w.OutputSchemaOf(src) != nil {
+		t.Fatal("schema should be nil before validation")
+	}
+	if w.OutputSchemaOf(NodeID(99)) != nil {
+		t.Fatal("out-of-range node should give nil schema")
+	}
+	f := w.Op(NewFilter("f", cost.Python, func(relation.Tuple) bool { return true }))
+	snk := w.Sink("out")
+	w.Connect(src, f, 0, RoundRobin())
+	w.Connect(f, snk, 0, RoundRobin())
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.OutputSchemaOf(src) == nil {
+		t.Fatal("schema missing after validation")
+	}
+}

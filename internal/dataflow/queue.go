@@ -1,0 +1,149 @@
+package dataflow
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// batchMsg is one batch of rows flowing along an edge.
+type batchMsg struct {
+	rows []relation.Tuple
+}
+
+// queue is an unbounded MPSC queue of batches. Unbounded buffering
+// keeps diamond-shaped DAGs deadlock-free: a producer never blocks on a
+// slow consumer, which matters when one operator feeds both the build
+// and probe side of a downstream join.
+type queue struct {
+	mu     sync.Mutex
+	items  []batchMsg
+	closed bool
+	signal chan struct{} // capacity 1; a token means "state changed"
+}
+
+func newQueue() *queue {
+	return &queue{signal: make(chan struct{}, 1)}
+}
+
+func (q *queue) notify() {
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+// push enqueues a batch. Pushing to a closed queue panics — it would
+// indicate an executor sequencing bug.
+func (q *queue) push(m batchMsg) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("dataflow: push to closed queue")
+	}
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	q.notify()
+}
+
+// close marks the end of the stream.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notify()
+}
+
+// pop dequeues the next batch. ok is false when the queue is closed
+// and drained, or when ctx is done (err distinguishes the two).
+func (q *queue) pop(ctx context.Context) (m batchMsg, ok bool, err error) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			m = q.items[0]
+			q.items = q.items[1:]
+			remaining := len(q.items) > 0
+			q.mu.Unlock()
+			if remaining {
+				q.notify() // keep the signal alive for queued items
+			}
+			return m, true, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return batchMsg{}, false, nil
+		}
+		q.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return batchMsg{}, false, ctx.Err()
+		case <-q.signal:
+		}
+	}
+}
+
+// gate implements cooperative pause/resume. Workers call wait between
+// batches; Pause makes them block until Resume.
+type gate struct {
+	mu   sync.Mutex
+	open chan struct{} // closed channel = gate open
+}
+
+func newGate() *gate {
+	g := &gate{}
+	ch := make(chan struct{})
+	close(ch)
+	g.open = ch
+	return g
+}
+
+func (g *gate) pause() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.open:
+		// Currently open: replace with a blocking channel.
+		g.open = make(chan struct{})
+	default:
+		// Already paused.
+	}
+}
+
+func (g *gate) resume() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.open:
+		// Already open.
+	default:
+		close(g.open)
+	}
+}
+
+func (g *gate) paused() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case <-g.open:
+		return false
+	default:
+		return true
+	}
+}
+
+// wait blocks while the gate is paused; it returns ctx.Err() if the
+// context ends first.
+func (g *gate) wait(ctx context.Context) error {
+	for {
+		g.mu.Lock()
+		ch := g.open
+		g.mu.Unlock()
+		select {
+		case <-ch:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

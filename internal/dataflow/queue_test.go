@@ -1,0 +1,161 @@
+package dataflow
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue()
+	for i := 0; i < 10; i++ {
+		q.push(batchMsg{rows: []relation.Tuple{{int64(i)}}})
+	}
+	q.close()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		m, ok, err := q.pop(ctx)
+		if err != nil || !ok {
+			t.Fatalf("pop %d: ok=%v err=%v", i, ok, err)
+		}
+		if m.rows[0][0] != int64(i) {
+			t.Fatalf("pop %d got %v", i, m.rows[0][0])
+		}
+	}
+	if _, ok, err := q.pop(ctx); ok || err != nil {
+		t.Fatal("closed drained queue should return !ok, nil error")
+	}
+}
+
+func TestQueueBlocksUntilPush(t *testing.T) {
+	q := newQueue()
+	got := make(chan int64, 1)
+	go func() {
+		m, ok, _ := q.pop(context.Background())
+		if ok {
+			got <- m.rows[0][0].(int64)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.push(batchMsg{rows: []relation.Tuple{{int64(42)}}})
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop never woke up")
+	}
+}
+
+func TestQueuePopHonorsContext(t *testing.T) {
+	q := newQueue()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := q.pop(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected context error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop did not return on cancel")
+	}
+}
+
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := newQueue()
+	const producers, each = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				q.push(batchMsg{rows: []relation.Tuple{{int64(i)}}})
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		q.close()
+	}()
+	count := 0
+	ctx := context.Background()
+	for {
+		_, ok, err := q.pop(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != producers*each {
+		t.Fatalf("received %d of %d messages", count, producers*each)
+	}
+}
+
+func TestQueuePushAfterClosePanics(t *testing.T) {
+	q := newQueue()
+	q.close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.push(batchMsg{})
+}
+
+func TestGatePauseResume(t *testing.T) {
+	g := newGate()
+	if g.paused() {
+		t.Fatal("new gate should be open")
+	}
+	if err := g.wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.pause()
+	if !g.paused() {
+		t.Fatal("gate should be paused")
+	}
+	g.pause() // idempotent
+	released := make(chan struct{})
+	go func() {
+		g.wait(context.Background())
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("wait returned while paused")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.resume()
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("wait did not release after resume")
+	}
+	g.resume() // idempotent
+	if g.paused() {
+		t.Fatal("gate should be open after resume")
+	}
+}
+
+func TestGateWaitHonorsContext(t *testing.T) {
+	g := newGate()
+	g.pause()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.wait(ctx); err == nil {
+		t.Fatal("expected context error")
+	}
+}

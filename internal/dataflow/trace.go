@@ -1,0 +1,85 @@
+package dataflow
+
+import "repro/internal/cost"
+
+// Trace is the cost record of one workflow execution: what every node
+// really did, in data quantities and charged work. The lowering in
+// lower.go converts it into simulator jobs.
+type Trace struct {
+	Workflow string
+	Nodes    []NodeTrace
+	Edges    []EdgeTrace
+}
+
+// NodeTrace records one node's execution totals.
+type NodeTrace struct {
+	ID          NodeID
+	Name        string
+	Kind        string // "source", "operator", "sink"
+	Language    cost.Language
+	Parallelism int
+
+	// InTuples and OutTuples are the per-operator progress counters the
+	// GUI shows (paper Figure 9).
+	InTuples  int64
+	OutTuples int64
+
+	// EmittedBatches counts the batches this node emitted downstream.
+	EmittedBatches int64
+
+	// WorkByPort is the CPU work charged while processing each input
+	// port (index 0 for sources' generation work).
+	WorkByPort []cost.Work
+
+	// EndWork is the CPU work charged during EndPort/Close — the bulk
+	// of a blocking operator's cost (for example sorting).
+	EndWork cost.Work
+
+	// OpenWork is the CPU work charged during Open across all workers
+	// (for example each worker loading a model or building a lookup
+	// table). Workers initialize in parallel, so its wall-clock
+	// contribution is OpenWork/Parallelism, gating the operator's
+	// first batch.
+	OpenWork cost.Work
+
+	// BlockingPorts mirrors the operator descriptor.
+	BlockingPorts []bool
+
+	// FullyBlocking marks operators that emit only at the end.
+	FullyBlocking bool
+
+	// Parallelizable marks operators the tuner may scale out: stream
+	// operators whose state is either absent or key-partitioned. Sorts,
+	// limits and fully blocking operators (which need all input in one
+	// place) are excluded.
+	Parallelizable bool
+}
+
+// TotalWork sums the node's charged work across ports and end phase.
+func (n *NodeTrace) TotalWork() cost.Work {
+	w := n.EndWork
+	for _, p := range n.WorkByPort {
+		w = w.Add(p)
+	}
+	return w
+}
+
+// EdgeTrace records the data volume that crossed one edge.
+type EdgeTrace struct {
+	From, To NodeID
+	Port     int
+	Batches  int64
+	Tuples   int64
+	Bytes    int64 // encoded size of all tuples, for serde accounting
+}
+
+// OpProgress is a point-in-time progress snapshot for one node, the
+// unit of the engine's progress display.
+type OpProgress struct {
+	Name      string
+	Kind      string
+	State     State
+	InTuples  int64
+	OutTuples int64
+	Workers   int
+}

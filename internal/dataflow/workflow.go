@@ -1,0 +1,338 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// NodeID identifies a node within one workflow.
+type NodeID int
+
+type nodeKind int
+
+const (
+	kindSource nodeKind = iota
+	kindOperator
+	kindSink
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case kindSource:
+		return "source"
+	case kindOperator:
+		return "operator"
+	default:
+		return "sink"
+	}
+}
+
+type edge struct {
+	from, to *node
+	port     int // input port index at the consumer
+	part     Partitioning
+	keyPos   int // resolved hash key position in producer schema
+}
+
+type node struct {
+	id          NodeID
+	kind        nodeKind
+	name        string
+	op          Operator         // kindOperator only
+	table       *relation.Table  // kindSource only
+	scanWork    cost.Work        // kindSource only, per tuple
+	srcSchema   *relation.Schema // kindSource only
+	parallelism int
+	batchSize   int // source batch size; 0 = workflow default / auto
+	inEdges     []*edge
+	outEdges    []*edge
+	schema      *relation.Schema // output schema, set by Validate
+}
+
+// Workflow is a DAG of sources, operators and sinks under
+// construction. Builder methods record the first error and make
+// Validate report it, so call sites can chain without checking each
+// step.
+type Workflow struct {
+	name      string
+	nodes     []*node
+	err       error
+	validated bool
+}
+
+// New returns an empty workflow with the given name.
+func New(name string) *Workflow {
+	return &Workflow{name: name}
+}
+
+// Name returns the workflow name.
+func (w *Workflow) Name() string { return w.name }
+
+func (w *Workflow) fail(err error) NodeID {
+	if w.err == nil {
+		w.err = err
+	}
+	return NodeID(-1)
+}
+
+func (w *Workflow) addNode(n *node) NodeID {
+	n.id = NodeID(len(w.nodes))
+	w.nodes = append(w.nodes, n)
+	w.validated = false
+	return n.id
+}
+
+// NodeOpt configures a node at creation.
+type NodeOpt func(*node)
+
+// WithParallelism sets the number of workers executing an operator.
+func WithParallelism(n int) NodeOpt {
+	return func(nd *node) { nd.parallelism = n }
+}
+
+// WithBatchSize overrides the batch size a source emits.
+func WithBatchSize(n int) NodeOpt {
+	return func(nd *node) { nd.batchSize = n }
+}
+
+// WithScanWork overrides the per-tuple cost a source charges.
+func WithScanWork(w cost.Work) NodeOpt {
+	return func(nd *node) { nd.scanWork = w }
+}
+
+// Source adds a table-scan source node and returns its ID.
+func (w *Workflow) Source(name string, t *relation.Table, opts ...NodeOpt) NodeID {
+	if t == nil {
+		return w.fail(fmt.Errorf("dataflow: source %q has nil table", name))
+	}
+	n := &node{
+		kind:        kindSource,
+		name:        name,
+		table:       t,
+		srcSchema:   t.Schema(),
+		scanWork:    DefaultScanWork,
+		parallelism: 1,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	if n.parallelism != 1 {
+		return w.fail(fmt.Errorf("dataflow: source %q: sources run with parallelism 1", name))
+	}
+	return w.addNode(n)
+}
+
+// Op adds an operator node and returns its ID.
+func (w *Workflow) Op(op Operator, opts ...NodeOpt) NodeID {
+	if op == nil {
+		return w.fail(fmt.Errorf("dataflow: nil operator"))
+	}
+	d := op.Desc()
+	if err := d.Validate(); err != nil {
+		return w.fail(err)
+	}
+	n := &node{kind: kindOperator, name: d.Name, op: op, parallelism: 1}
+	for _, o := range opts {
+		o(n)
+	}
+	if n.parallelism < 1 {
+		return w.fail(fmt.Errorf("dataflow: operator %q: parallelism %d", d.Name, n.parallelism))
+	}
+	return w.addNode(n)
+}
+
+// Sink adds a result-collecting sink node and returns its ID.
+func (w *Workflow) Sink(name string) NodeID {
+	n := &node{kind: kindSink, name: name, parallelism: 1}
+	return w.addNode(n)
+}
+
+// Connect wires from's output into to's input port with the given
+// partitioning.
+func (w *Workflow) Connect(from, to NodeID, port int, part Partitioning) {
+	if w.err != nil {
+		return
+	}
+	if int(from) < 0 || int(from) >= len(w.nodes) || int(to) < 0 || int(to) >= len(w.nodes) {
+		w.fail(fmt.Errorf("dataflow: connect: node id out of range (%d -> %d)", from, to))
+		return
+	}
+	f, t := w.nodes[from], w.nodes[to]
+	if f.kind == kindSink {
+		w.fail(fmt.Errorf("dataflow: connect: sink %q cannot produce output", f.name))
+		return
+	}
+	if t.kind == kindSource {
+		w.fail(fmt.Errorf("dataflow: connect: source %q cannot consume input", t.name))
+		return
+	}
+	maxPort := 0
+	if t.kind == kindOperator {
+		maxPort = t.op.Desc().Ports - 1
+	}
+	if port < 0 || port > maxPort {
+		w.fail(fmt.Errorf("dataflow: connect: %q has no input port %d", t.name, port))
+		return
+	}
+	for _, e := range t.inEdges {
+		if e.port == port {
+			w.fail(fmt.Errorf("dataflow: connect: input port %d of %q already connected", port, t.name))
+			return
+		}
+	}
+	e := &edge{from: f, to: t, port: port, part: part, keyPos: -1}
+	f.outEdges = append(f.outEdges, e)
+	t.inEdges = append(t.inEdges, e)
+	w.validated = false
+}
+
+// Validate checks the workflow: builder errors, dangling ports,
+// cycles, schema propagation, hash-partition keys, and the
+// parallelism constraints of stateful operators. It is idempotent and
+// called automatically by Start.
+func (w *Workflow) Validate() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.validated {
+		return nil
+	}
+	if len(w.nodes) == 0 {
+		return fmt.Errorf("dataflow: workflow %q is empty", w.name)
+	}
+
+	// Every operator port connected; sinks exactly one input.
+	for _, n := range w.nodes {
+		switch n.kind {
+		case kindOperator:
+			ports := n.op.Desc().Ports
+			if len(n.inEdges) != ports {
+				return fmt.Errorf("dataflow: operator %q has %d of %d input ports connected", n.name, len(n.inEdges), ports)
+			}
+		case kindSink:
+			if len(n.inEdges) != 1 {
+				return fmt.Errorf("dataflow: sink %q needs exactly one input, has %d", n.name, len(n.inEdges))
+			}
+			if len(n.outEdges) != 0 {
+				return fmt.Errorf("dataflow: sink %q has outputs", n.name)
+			}
+		case kindSource:
+			if len(n.outEdges) == 0 {
+				return fmt.Errorf("dataflow: source %q is not connected", n.name)
+			}
+		}
+	}
+
+	order, err := w.topoOrder()
+	if err != nil {
+		return err
+	}
+
+	// Schema propagation in topological order.
+	for _, n := range order {
+		switch n.kind {
+		case kindSource:
+			n.schema = n.srcSchema
+		case kindOperator:
+			in := make([]*relation.Schema, n.op.Desc().Ports)
+			for _, e := range n.inEdges {
+				in[e.port] = e.from.schema
+			}
+			s, err := n.op.OutputSchema(in)
+			if err != nil {
+				return err
+			}
+			n.schema = s
+		case kindSink:
+			n.schema = n.inEdges[0].from.schema
+		}
+	}
+
+	// Resolve hash-partition keys against producer schemas and check
+	// stateful-operator parallelism rules.
+	for _, n := range w.nodes {
+		for _, e := range n.inEdges {
+			if e.part.kind == partHash {
+				p := e.from.schema.IndexOf(e.part.key)
+				if p < 0 {
+					return fmt.Errorf("dataflow: edge %q->%q: hash key %q not in producer schema [%s]", e.from.name, e.to.name, e.part.key, e.from.schema)
+				}
+				e.keyPos = p
+			}
+		}
+		if n.kind != kindOperator || n.parallelism == 1 {
+			continue
+		}
+		switch n.op.(type) {
+		case *SortOp, *LimitOp:
+			return fmt.Errorf("dataflow: operator %q cannot run with parallelism %d", n.name, n.parallelism)
+		case *HashJoinOp:
+			for _, e := range n.inEdges {
+				if e.part.kind != partHash && !(e.port == 0 && e.part.kind == partBroadcast) {
+					return fmt.Errorf("dataflow: parallel join %q requires hash-partitioned inputs (or a broadcast build side); port %d is %s", n.name, e.port, e.part)
+				}
+			}
+		case *GroupByOp:
+			if n.inEdges[0].part.kind != partHash {
+				return fmt.Errorf("dataflow: parallel group-by %q requires a hash-partitioned input", n.name)
+			}
+		}
+	}
+
+	w.validated = true
+	return nil
+}
+
+// topoOrder returns the nodes topologically sorted or a cycle error.
+func (w *Workflow) topoOrder() ([]*node, error) {
+	indeg := make([]int, len(w.nodes))
+	for _, n := range w.nodes {
+		indeg[n.id] = len(n.inEdges)
+	}
+	var queue []*node
+	for _, n := range w.nodes {
+		if indeg[n.id] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	var order []*node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range n.outEdges {
+			indeg[e.to.id]--
+			if indeg[e.to.id] == 0 {
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	if len(order) != len(w.nodes) {
+		return nil, fmt.Errorf("dataflow: workflow %q contains a cycle", w.name)
+	}
+	return order, nil
+}
+
+// NumOperators returns the number of operator nodes (the paper's
+// operator-count metric excludes sources and sinks' view operators are
+// counted as operators by Texera, so sinks are included).
+func (w *Workflow) NumOperators() int {
+	n := 0
+	for _, nd := range w.nodes {
+		if nd.kind != kindSource {
+			n++
+		}
+	}
+	return n
+}
+
+// OutputSchemaOf returns the validated output schema of a node, or nil
+// before validation.
+func (w *Workflow) OutputSchemaOf(id NodeID) *relation.Schema {
+	if int(id) < 0 || int(id) >= len(w.nodes) {
+		return nil
+	}
+	return w.nodes[id].schema
+}

@@ -1,0 +1,74 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ml/genqa"
+	"repro/internal/xrand"
+)
+
+// Passage is one GOTTA input paragraph with its cloze
+// question/answer pairs.
+type Passage struct {
+	ID   string
+	Text string
+	QAs  []genqa.Example
+}
+
+var qaSubjects = []string{"the expedition", "the committee", "the laboratory", "the orchestra", "the museum"}
+var qaVerbs = []string{"announced", "completed", "documented", "postponed", "rehearsed"}
+var qaObjects = []string{
+	"a new field survey", "the annual budget review", "an unusual mineral sample",
+	"the winter concert series", "a restored medieval manuscript", "the coastal mapping project",
+	"a joint research agreement", "the visitor education program",
+}
+var qaTails = []string{
+	"after months of preparation", "despite the funding delays", "to wide public interest",
+	"under difficult conditions", "earlier than planned",
+}
+
+// GeneratePassages builds n passages of sentsPer sentences each. Every
+// sentence contributes one cloze question whose answer is the
+// sentence's object phrase, matching GOTTA's cloze-augmentation input.
+func GeneratePassages(n, sentsPer int, seed uint64) []Passage {
+	r := xrand.New(seed)
+	out := make([]Passage, n)
+	for i := 0; i < n; i++ {
+		var sentences []string
+		var qas []genqa.Example
+		used := map[string]bool{}
+		for s := 0; s < sentsPer; s++ {
+			obj := xrand.Choice(r, qaObjects)
+			// Distinct objects per passage keep answers unambiguous.
+			for used[obj] && len(used) < len(qaObjects) {
+				obj = xrand.Choice(r, qaObjects)
+			}
+			used[obj] = true
+			sentence := fmt.Sprintf("%s %s %s %s.",
+				capitalize(xrand.Choice(r, qaSubjects)),
+				xrand.Choice(r, qaVerbs),
+				obj,
+				xrand.Choice(r, qaTails))
+			sentences = append(sentences, sentence)
+			cloze, err := genqa.MakeCloze(sentence, obj)
+			if err == nil {
+				qas = append(qas, genqa.Example{Cloze: cloze, Answer: obj})
+			}
+		}
+		text := strings.Join(sentences, " ")
+		for q := range qas {
+			qas[q].Context = text
+		}
+		out[i] = Passage{ID: fmt.Sprintf("passage-%03d", i), Text: text, QAs: qas}
+	}
+	return out
+}
+
+// capitalize uppercases the first byte of an ASCII sentence start.
+func capitalize(s string) string {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}

@@ -1,0 +1,298 @@
+// Package textclf implements a small fine-tunable text classifier: a
+// hashed embedding bag feeding a one-hidden-layer MLP trained with
+// backpropagation. It is the reproduction's stand-in for the
+// pre-trained BERT models the WEF task fine-tunes — same pipeline shape
+// (load a pre-trained encoder, fine-tune on labeled tweets, predict),
+// at laptop scale. The paper-scale compute cost is carried by the cost
+// model, not by this implementation.
+package textclf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/textproc"
+	"repro/internal/xrand"
+)
+
+// Config controls fine-tuning.
+type Config struct {
+	Epochs int     // default 5
+	LR     float64 // default 0.05
+	Seed   uint64
+}
+
+// Model is one binary classifier.
+type Model struct {
+	name   string
+	hashD  int // embedding table rows
+	dim    int // embedding width
+	hidden int
+
+	emb [][]float64 // hashD x dim
+	w1  [][]float64 // dim x hidden
+	b1  []float64
+	w2  []float64 // hidden
+	b2  float64
+}
+
+// Pretrained builds a model whose embedding table is deterministically
+// initialized from name — the stand-in for downloading a pre-trained
+// checkpoint. hashD is the embedding-table size, dim the embedding
+// width, hidden the MLP width.
+func Pretrained(name string, hashD, dim, hidden int) (*Model, error) {
+	if hashD <= 0 || dim <= 0 || hidden <= 0 {
+		return nil, fmt.Errorf("textclf: sizes must be positive (hashD=%d dim=%d hidden=%d)", hashD, dim, hidden)
+	}
+	seed := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		seed ^= uint64(name[i])
+		seed *= 1099511628211
+	}
+	r := xrand.New(seed)
+	m := &Model{name: name, hashD: hashD, dim: dim, hidden: hidden}
+	m.emb = randMatrix(r, hashD, dim, 0.5/math.Sqrt(float64(dim)))
+	m.w1 = randMatrix(r, dim, hidden, 1/math.Sqrt(float64(dim)))
+	m.b1 = make([]float64, hidden)
+	m.w2 = make([]float64, hidden)
+	for i := range m.w2 {
+		m.w2[i] = r.Norm() / math.Sqrt(float64(hidden))
+	}
+	return m, nil
+}
+
+func randMatrix(r *xrand.Rand, rows, cols int, scale float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = r.Norm() * scale
+		}
+	}
+	return m
+}
+
+// Name returns the checkpoint name.
+func (m *Model) Name() string { return m.name }
+
+// SizeBytes returns the simulated parameter footprint — used when the
+// model is shipped through the object store or the network. It scales
+// with the real parameter count but is calibrated to BERT-base's
+// ~440 MB footprint via a fixed multiplier.
+func (m *Model) SizeBytes() int64 {
+	params := int64(m.hashD*m.dim + m.dim*m.hidden + m.hidden + m.hidden + 1)
+	const bertBase = 440 << 20
+	// Scale a 64k x 32 reference config to bertBase.
+	ref := int64(65536*32 + 32*16 + 16 + 16 + 1)
+	return params * bertBase / ref
+}
+
+// bucket hashes a token into the embedding table.
+func (m *Model) bucket(tok string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(tok); i++ {
+		h ^= uint32(tok[i])
+		h *= 16777619
+	}
+	return int(h>>1) % m.hashD
+}
+
+// embed returns the mean embedding of the document's tokens and the
+// bucket list (for the backward pass). Empty documents embed to zero.
+func (m *Model) embed(text string) ([]float64, []int) {
+	toks := textproc.Tokenize(text)
+	x := make([]float64, m.dim)
+	var buckets []int
+	for _, t := range toks {
+		if textproc.Stopwords[t] {
+			continue
+		}
+		b := m.bucket(t)
+		buckets = append(buckets, b)
+		for j, v := range m.emb[b] {
+			x[j] += v
+		}
+	}
+	if len(buckets) > 0 {
+		inv := 1 / float64(len(buckets))
+		for j := range x {
+			x[j] *= inv
+		}
+	}
+	return x, buckets
+}
+
+// forward computes the hidden activations and output probability.
+func (m *Model) forward(x []float64) (h []float64, p float64) {
+	h = make([]float64, m.hidden)
+	for j := 0; j < m.hidden; j++ {
+		s := m.b1[j]
+		for i := 0; i < m.dim; i++ {
+			s += m.w1[i][j] * x[i]
+		}
+		if s > 0 {
+			h[j] = s
+		}
+	}
+	z := m.b2
+	for j, v := range h {
+		z += m.w2[j] * v
+	}
+	return h, stableSigmoid(z)
+}
+
+func stableSigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Finetune trains the model on labeled texts with SGD backprop,
+// updating the MLP and the touched embedding rows (true fine-tuning).
+func (m *Model) Finetune(texts []string, labels []bool, cfg Config) error {
+	if len(texts) == 0 {
+		return fmt.Errorf("textclf: empty training set")
+	}
+	if len(texts) != len(labels) {
+		return fmt.Errorf("textclf: %d texts, %d labels", len(texts), len(labels))
+	}
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = 5
+	}
+	lr := cfg.LR
+	if lr == 0 {
+		lr = 0.05
+	}
+	r := xrand.New(cfg.Seed)
+	idx := make([]int, len(texts))
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			m.step(texts[i], labels[i], lr)
+		}
+	}
+	return nil
+}
+
+// step performs one SGD update.
+func (m *Model) step(text string, label bool, lr float64) {
+	x, buckets := m.embed(text)
+	h, p := m.forward(x)
+	y := 0.0
+	if label {
+		y = 1.0
+	}
+	dz := p - y
+
+	// Output layer.
+	dh := make([]float64, m.hidden)
+	for j := range h {
+		if h[j] > 0 {
+			dh[j] = dz * m.w2[j]
+		}
+		m.w2[j] -= lr * dz * h[j]
+	}
+	m.b2 -= lr * dz
+
+	// Hidden layer and input gradient.
+	dx := make([]float64, m.dim)
+	for i := 0; i < m.dim; i++ {
+		for j := 0; j < m.hidden; j++ {
+			if dh[j] != 0 {
+				dx[i] += m.w1[i][j] * dh[j]
+				m.w1[i][j] -= lr * dh[j] * x[i]
+			}
+		}
+	}
+	for j := 0; j < m.hidden; j++ {
+		m.b1[j] -= lr * dh[j]
+	}
+
+	// Embedding rows (mean pooling spreads the gradient).
+	if len(buckets) > 0 {
+		inv := 1 / float64(len(buckets))
+		for _, b := range buckets {
+			row := m.emb[b]
+			for i := range row {
+				row[i] -= lr * dx[i] * inv
+			}
+		}
+	}
+}
+
+// Proba returns P(label=true) for a text.
+func (m *Model) Proba(text string) float64 {
+	x, _ := m.embed(text)
+	_, p := m.forward(x)
+	return p
+}
+
+// Predict thresholds Proba at 0.5.
+func (m *Model) Predict(text string) bool { return m.Proba(text) >= 0.5 }
+
+// Ensemble is a set of independently fine-tuned binary models used for
+// multi-label classification — the WEF pipeline's four framing models.
+type Ensemble struct {
+	Labels []string
+	Models []*Model
+}
+
+// NewEnsemble creates one pretrained model per label.
+func NewEnsemble(labels []string, hashD, dim, hidden int) (*Ensemble, error) {
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("textclf: ensemble needs at least one label")
+	}
+	e := &Ensemble{Labels: append([]string(nil), labels...)}
+	for _, l := range labels {
+		m, err := Pretrained("bert-"+l, hashD, dim, hidden)
+		if err != nil {
+			return nil, err
+		}
+		e.Models = append(e.Models, m)
+	}
+	return e, nil
+}
+
+// Finetune trains each model on its label column. golds[i][k] is
+// whether example i carries label k.
+func (e *Ensemble) Finetune(texts []string, golds [][]bool, cfg Config) error {
+	for k, m := range e.Models {
+		col := make([]bool, len(texts))
+		for i := range texts {
+			if len(golds[i]) != len(e.Models) {
+				return fmt.Errorf("textclf: example %d has %d labels, ensemble has %d", i, len(golds[i]), len(e.Models))
+			}
+			col[i] = golds[i][k]
+		}
+		sub := cfg
+		sub.Seed = cfg.Seed*31 + uint64(k)
+		if err := m.Finetune(texts, col, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict returns the multi-label prediction for a text.
+func (e *Ensemble) Predict(text string) []bool {
+	out := make([]bool, len(e.Models))
+	for k, m := range e.Models {
+		out[k] = m.Predict(text)
+	}
+	return out
+}
+
+// SizeBytes sums the member models' footprints.
+func (e *Ensemble) SizeBytes() int64 {
+	var n int64
+	for _, m := range e.Models {
+		n += m.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,275 @@
+package notebook
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestKernelVariables(t *testing.T) {
+	k := NewKernel(nil)
+	if k.Defined("x") {
+		t.Fatal("x should not be defined")
+	}
+	if _, err := k.Need("x"); err == nil || !strings.Contains(err.Error(), "NameError") {
+		t.Fatalf("Need should fail like Python: %v", err)
+	}
+	k.Set("x", 42)
+	v, ok := k.Get("x")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if v, err := k.Need("x"); err != nil || v.(int) != 42 {
+		t.Fatalf("Need = %v, %v", v, err)
+	}
+}
+
+func TestKernelClock(t *testing.T) {
+	m := cost.Default()
+	k := NewKernel(m)
+	if k.Elapsed() != m.ControlOverhead {
+		t.Fatalf("fresh kernel elapsed = %v, want startup %v", k.Elapsed(), m.ControlOverhead)
+	}
+	k.Charge(cost.Work{Interp: 2, Mem: 1})
+	if got := k.Elapsed() - m.ControlOverhead; got != 3 {
+		t.Fatalf("charged = %v, want 3", got)
+	}
+	k.ChargeSeconds(1.5)
+	if got := k.Elapsed() - m.ControlOverhead; got != 4.5 {
+		t.Fatalf("charged = %v, want 4.5", got)
+	}
+}
+
+func TestChargeSecondsRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernel(nil).ChargeSeconds(-1)
+}
+
+func TestRunAllTopDown(t *testing.T) {
+	nb := New("demo", nil)
+	var order []string
+	for _, name := range []string{"load", "train", "plot"} {
+		name := name
+		nb.Add(&Cell{Name: name, Run: func(k *Kernel) error {
+			order = append(order, name)
+			return nil
+		}})
+	}
+	if err := nb.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "load,train,plot" {
+		t.Fatalf("order = %v", order)
+	}
+	if nb.Kernel().ExecCount() != 3 {
+		t.Fatalf("exec count = %d", nb.Kernel().ExecCount())
+	}
+}
+
+func TestArbitraryExecutionOrder(t *testing.T) {
+	// The Figure 8 hazard: "Write" can run before "Sentiment_Analysis";
+	// state decides what happens, not cell position.
+	nb := New("fig8", nil)
+	load := nb.Add(&Cell{Name: "Load", Run: func(k *Kernel) error {
+		k.Set("data", []int{1, 2, 3})
+		return nil
+	}})
+	analyze := nb.Add(&Cell{Name: "Sentiment_Analysis", Run: func(k *Kernel) error {
+		if _, err := k.Need("data"); err != nil {
+			return err
+		}
+		k.Set("predictions", []int{1, 0, 1})
+		return nil
+	}})
+	write := nb.Add(&Cell{Name: "Write", Run: func(k *Kernel) error {
+		_, err := k.Need("predictions")
+		return err
+	}})
+
+	// Out of order: Write before Sentiment_Analysis fails with a
+	// NameError, exactly as in a real notebook.
+	if err := nb.RunCell(load); err != nil {
+		t.Fatal(err)
+	}
+	err := nb.RunCell(write)
+	if err == nil || !strings.Contains(err.Error(), "NameError") {
+		t.Fatalf("expected NameError, got %v", err)
+	}
+	// Correct order now succeeds.
+	if err := nb.RunCell(analyze); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.RunCell(write); err != nil {
+		t.Fatal(err)
+	}
+	if nb.Kernel().ExecCount() != 4 {
+		t.Fatalf("exec count = %d", nb.Kernel().ExecCount())
+	}
+}
+
+func TestCellErrorTraceback(t *testing.T) {
+	nb := New("trace", nil)
+	boom := errors.New("division by zero")
+	idx := nb.Add(&Cell{Name: "compute", Run: func(k *Kernel) error {
+		return k.Call("main", func() error {
+			return k.Call("helper", func() error {
+				return boom
+			})
+		})
+	}})
+	err := nb.RunCell(idx)
+	var cellErr *CellError
+	if !errors.As(err, &cellErr) {
+		t.Fatalf("error type %T", err)
+	}
+	if cellErr.Cell != "compute" || cellErr.ExecCount != 1 {
+		t.Fatalf("cell error = %+v", cellErr)
+	}
+	if len(cellErr.Stack) != 2 || cellErr.Stack[0] != "main" || cellErr.Stack[1] != "helper" {
+		t.Fatalf("stack = %v", cellErr.Stack)
+	}
+	if !strings.Contains(cellErr.Error(), "main -> helper") {
+		t.Fatalf("rendered = %q", cellErr.Error())
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("unwrap chain broken")
+	}
+}
+
+func TestErrStackResetBetweenCells(t *testing.T) {
+	nb := New("reset", nil)
+	bad := nb.Add(&Cell{Name: "bad", Run: func(k *Kernel) error {
+		return k.Call("f", func() error { return errors.New("x") })
+	}})
+	direct := nb.Add(&Cell{Name: "direct", Run: func(k *Kernel) error {
+		return errors.New("no frames")
+	}})
+	if err := nb.RunCell(bad); err == nil {
+		t.Fatal("expected error")
+	}
+	err := nb.RunCell(direct)
+	var cellErr *CellError
+	if !errors.As(err, &cellErr) {
+		t.Fatal("expected CellError")
+	}
+	if len(cellErr.Stack) != 0 {
+		t.Fatalf("stale stack leaked: %v", cellErr.Stack)
+	}
+}
+
+func TestRunCellOutOfRange(t *testing.T) {
+	nb := New("oob", nil)
+	if err := nb.RunCell(0); err == nil {
+		t.Fatal("expected error for missing cell")
+	}
+	if err := nb.RunCell(-1); err == nil {
+		t.Fatal("expected error for negative index")
+	}
+}
+
+func TestHistoryRecordsTime(t *testing.T) {
+	nb := New("hist", nil)
+	nb.Add(&Cell{Name: "work", Run: func(k *Kernel) error {
+		k.Charge(cost.Work{Interp: 5})
+		return nil
+	}})
+	if err := nb.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	h := nb.Kernel().History()
+	if len(h) != 1 || h[0].Cell != "work" || h[0].Count != 1 {
+		t.Fatalf("history = %+v", h)
+	}
+	if h[0].Seconds != 5 {
+		t.Fatalf("cell seconds = %v", h[0].Seconds)
+	}
+}
+
+func TestLinesOfCode(t *testing.T) {
+	c := &Cell{Name: "loc", Source: "import pandas as pd\n\n# a comment\ndf = pd.read_csv('x')\nprint(df)\n"}
+	if c.LinesOfCode() != 3 {
+		t.Fatalf("cell LoC = %d, want 3", c.LinesOfCode())
+	}
+	nb := New("loc", nil)
+	nb.Add(c)
+	nb.Add(&Cell{Name: "more", Source: "x = 1\ny = 2"})
+	if nb.LinesOfCode() != 5 {
+		t.Fatalf("notebook LoC = %d, want 5", nb.LinesOfCode())
+	}
+}
+
+func TestRunAllStopsAtFirstError(t *testing.T) {
+	nb := New("stop", nil)
+	ran := 0
+	nb.Add(&Cell{Name: "a", Run: func(k *Kernel) error { ran++; return nil }})
+	nb.Add(&Cell{Name: "b", Run: func(k *Kernel) error { ran++; return errors.New("fail") }})
+	nb.Add(&Cell{Name: "c", Run: func(k *Kernel) error { ran++; return nil }})
+	if err := nb.RunAll(); err == nil {
+		t.Fatal("expected error")
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d cells, want 2", ran)
+	}
+}
+
+func TestRestartClearsState(t *testing.T) {
+	nb := New("restart", nil)
+	nb.Add(&Cell{Name: "set", Run: func(k *Kernel) error {
+		k.Set("x", 1)
+		k.Charge(cost.Work{Interp: 2})
+		return nil
+	}})
+	if err := nb.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !nb.Kernel().Defined("x") || nb.Kernel().ExecCount() != 1 {
+		t.Fatal("state missing before restart")
+	}
+	elapsed := nb.Elapsed()
+	nb.Restart()
+	if nb.Kernel().Defined("x") {
+		t.Fatal("variable survived restart")
+	}
+	if nb.Kernel().ExecCount() != 0 || len(nb.Kernel().History()) != 0 {
+		t.Fatal("execution history survived restart")
+	}
+	if nb.Elapsed() >= elapsed {
+		t.Fatal("clock did not reset")
+	}
+	if nb.NumCells() != 1 {
+		t.Fatal("cells should survive restart")
+	}
+}
+
+func TestRestartAndRunAllReproducible(t *testing.T) {
+	nb := New("rra", nil)
+	nb.Add(&Cell{Name: "a", Run: func(k *Kernel) error {
+		k.Set("x", 1)
+		k.Charge(cost.Work{Interp: 1})
+		return nil
+	}})
+	nb.Add(&Cell{Name: "b", Run: func(k *Kernel) error {
+		_, err := k.Need("x")
+		k.Charge(cost.Work{Interp: 2})
+		return err
+	}})
+	if err := nb.RestartAndRunAll(); err != nil {
+		t.Fatal(err)
+	}
+	first := nb.Elapsed()
+	if err := nb.RestartAndRunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if nb.Elapsed() != first {
+		t.Fatalf("restart-and-run-all not reproducible: %v vs %v", nb.Elapsed(), first)
+	}
+	if nb.Kernel().ExecCount() != 2 {
+		t.Fatalf("exec count = %d after restart", nb.Kernel().ExecCount())
+	}
+}

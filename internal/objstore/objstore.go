@@ -1,0 +1,231 @@
+// Package objstore simulates Ray's shared-memory object store
+// ("plasma"). Drivers put large objects — datasets, models — into the
+// store; tasks fetch them before running. The store has a memory
+// budget; overflow evicts unpinned objects to a disk spill path whose
+// much lower throughput is the mechanism behind the script paradigm's
+// GOTTA slowdown in the reproduced paper (the 1.59 GB model is fetched
+// by every worker).
+package objstore
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// ID names an object in the store.
+type ID string
+
+// Stats aggregates store activity.
+type Stats struct {
+	Puts       int
+	Gets       int
+	Spills     int
+	Restores   int
+	PutSeconds float64
+	GetSeconds float64
+}
+
+type object struct {
+	id      ID
+	size    int64
+	pinned  bool
+	spilled bool
+	lruElem *list.Element // nil while spilled
+}
+
+// Store is a simulated object store with a memory budget and an LRU
+// spill policy.
+type Store struct {
+	model    *cost.Model
+	capacity int64
+	used     int64
+	objects  map[ID]*object
+	lru      *list.List // front = most recently used; values are *object
+	stats    Stats
+}
+
+// New creates a store with the given memory capacity in bytes. A nil
+// model uses cost.Default().
+func New(model *cost.Model, capacity int64) (*Store, error) {
+	if model == nil {
+		model = cost.Default()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("objstore: capacity must be positive, got %d", capacity)
+	}
+	return &Store{
+		model:    model,
+		capacity: capacity,
+		objects:  make(map[ID]*object),
+		lru:      list.New(),
+	}, nil
+}
+
+// Stats returns a copy of the activity counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Used returns the bytes currently resident in memory.
+func (s *Store) Used() int64 { return s.used }
+
+// Capacity returns the memory budget.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Contains reports whether the object exists (in memory or spilled).
+func (s *Store) Contains(id ID) bool {
+	_, ok := s.objects[id]
+	return ok
+}
+
+// Spilled reports whether the object is currently on the spill path.
+func (s *Store) Spilled(id ID) bool {
+	o, ok := s.objects[id]
+	return ok && o.spilled
+}
+
+// Size returns an object's size, or 0 if absent.
+func (s *Store) Size(id ID) int64 {
+	if o, ok := s.objects[id]; ok {
+		return o.size
+	}
+	return 0
+}
+
+// evictFor spills unpinned LRU objects until need bytes fit, returning
+// the simulated seconds spent spilling. It reports whether it
+// succeeded.
+func (s *Store) evictFor(need int64) (float64, bool) {
+	var secs float64
+	for s.used+need > s.capacity {
+		e := s.lru.Back()
+		var victim *object
+		for e != nil {
+			o := e.Value.(*object)
+			if !o.pinned {
+				victim = o
+				break
+			}
+			e = e.Prev()
+		}
+		if victim == nil {
+			return secs, false
+		}
+		s.lru.Remove(victim.lruElem)
+		victim.lruElem = nil
+		victim.spilled = true
+		s.used -= victim.size
+		s.stats.Spills++
+		secs += s.model.PutSeconds(victim.size, true)
+	}
+	return secs, true
+}
+
+// Put stores an object of the given size and returns the simulated
+// seconds the put took. If the object does not fit even after evicting
+// everything unpinned, it is created directly on the spill path.
+// Putting an existing ID is an error.
+func (s *Store) Put(id ID, size int64) (float64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("objstore: object %q has size %d", id, size)
+	}
+	if _, dup := s.objects[id]; dup {
+		return 0, fmt.Errorf("objstore: object %q already exists", id)
+	}
+	o := &object{id: id, size: size}
+	s.objects[id] = o
+	secs, ok := s.evictFor(size)
+	if !ok || size > s.capacity {
+		o.spilled = true
+		s.stats.Puts++
+		secs += s.model.PutSeconds(size, true)
+		s.stats.PutSeconds += secs
+		return secs, nil
+	}
+	s.used += size
+	o.lruElem = s.lru.PushFront(o)
+	s.stats.Puts++
+	secs += s.model.PutSeconds(size, false)
+	s.stats.PutSeconds += secs
+	return secs, nil
+}
+
+// Get fetches an object, restoring it from the spill path if needed,
+// and returns the simulated seconds the access took.
+func (s *Store) Get(id ID) (float64, error) {
+	o, ok := s.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("objstore: object %q not found", id)
+	}
+	if !o.spilled {
+		s.lru.MoveToFront(o.lruElem)
+		s.stats.Gets++
+		secs := s.model.GetSeconds(o.size, false)
+		s.stats.GetSeconds += secs
+		return secs, nil
+	}
+	// Restore from spill; may evict others.
+	secs, ok := s.evictFor(o.size)
+	if !ok || o.size > s.capacity {
+		// Cannot restore: serve directly from disk.
+		s.stats.Gets++
+		secs += s.model.GetSeconds(o.size, true)
+		s.stats.GetSeconds += secs
+		return secs, nil
+	}
+	o.spilled = false
+	s.used += o.size
+	o.lruElem = s.lru.PushFront(o)
+	s.stats.Restores++
+	s.stats.Gets++
+	secs += s.model.GetSeconds(o.size, true) // restore reads from disk
+	s.stats.GetSeconds += secs
+	return secs, nil
+}
+
+// AccessSeconds prices a Get without mutating store state — used by
+// the scheduler to cost many concurrent readers deterministically.
+func (s *Store) AccessSeconds(id ID) (float64, error) {
+	o, ok := s.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("objstore: object %q not found", id)
+	}
+	return s.model.GetSeconds(o.size, o.spilled), nil
+}
+
+// Pin protects an object from eviction.
+func (s *Store) Pin(id ID) error {
+	o, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("objstore: object %q not found", id)
+	}
+	o.pinned = true
+	return nil
+}
+
+// Unpin releases an object for eviction.
+func (s *Store) Unpin(id ID) error {
+	o, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("objstore: object %q not found", id)
+	}
+	o.pinned = false
+	return nil
+}
+
+// Delete removes an object entirely.
+func (s *Store) Delete(id ID) error {
+	o, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("objstore: object %q not found", id)
+	}
+	if o.lruElem != nil {
+		s.lru.Remove(o.lruElem)
+		s.used -= o.size
+	}
+	delete(s.objects, id)
+	return nil
+}

@@ -1,0 +1,240 @@
+// Package raysim simulates the Ray-style task backend that the script
+// paradigm uses to scale beyond one machine. A driver submits tasks
+// with dependencies; the scheduler runs them on a CPU pool whose size
+// is the `num_cpus` configuration — the paper's "number of workers" for
+// the script paradigm. Tasks may fetch objects from the shared object
+// store before running, and framework (PyTorch) work is throttled to
+// the model's TorchCoresRay setting, both mechanisms the paper uses to
+// explain the script paradigm's behaviour on GOTTA and KGE.
+package raysim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/cost"
+	"repro/internal/objstore"
+	"repro/internal/sim"
+)
+
+// Cluster is a Ray head plus worker CPUs and an object store.
+type Cluster struct {
+	model   *cost.Model
+	numCPUs int
+	store   *objstore.Store
+}
+
+// NewClusterOn creates a Ray cluster on an explicit machine topology,
+// rejecting configurations the hardware cannot honour: num_cpus beyond
+// the worker nodes' vCPUs, or an object store larger than Ray's 30%
+// share of cluster RAM.
+func NewClusterOn(model *cost.Model, topo *cluster.Cluster, numCPUs int, storeBytes int64) (*Cluster, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("raysim: nil cluster topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if numCPUs > topo.TotalWorkerCPUs() {
+		return nil, fmt.Errorf("raysim: num_cpus=%d exceeds the cluster's %d worker vCPUs", numCPUs, topo.TotalWorkerCPUs())
+	}
+	if maxStore := topo.TotalWorkerRAM() * 3 / 10; storeBytes > maxStore {
+		return nil, fmt.Errorf("raysim: object store of %d bytes exceeds Ray's 30%% RAM share (%d bytes)", storeBytes, maxStore)
+	}
+	return NewCluster(model, numCPUs, storeBytes)
+}
+
+// NewCluster creates a cluster with numCPUs schedulable CPUs and an
+// object store of storeBytes capacity. A nil model uses cost.Default().
+func NewCluster(model *cost.Model, numCPUs int, storeBytes int64) (*Cluster, error) {
+	if model == nil {
+		model = cost.Default()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if numCPUs < 1 {
+		return nil, fmt.Errorf("raysim: num_cpus must be at least 1, got %d", numCPUs)
+	}
+	store, err := objstore.New(model, storeBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{model: model, numCPUs: numCPUs, store: store}, nil
+}
+
+// Model returns the cluster's cost model.
+func (c *Cluster) Model() *cost.Model { return c.model }
+
+// NumCPUs returns the configured CPU count.
+func (c *Cluster) NumCPUs() int { return c.numCPUs }
+
+// Store returns the shared object store.
+func (c *Cluster) Store() *objstore.Store { return c.store }
+
+// TaskID identifies a task within one Job.
+type TaskID int
+
+// TaskSpec describes one remote task.
+type TaskSpec struct {
+	// Name labels the task in errors and traces.
+	Name string
+	// Work is interpreter-level work (runs at Python speed on one CPU).
+	Work cost.Work
+	// FrameworkSeconds is ML-framework work measured at one core; it is
+	// scaled by the Torch parallelism Ray permits (num_cpus=1 pins it
+	// to a single core, per the paper's worker-configuration note).
+	FrameworkSeconds float64
+	// Gets lists objects fetched from the object store before the task
+	// body runs.
+	Gets []objstore.ID
+	// Deps lists tasks that must finish first.
+	Deps []TaskID
+}
+
+// Job is a DAG of tasks under construction for one driver submission.
+type Job struct {
+	cluster *Cluster
+	tasks   []TaskSpec
+	err     error
+}
+
+// NewJob starts an empty task graph.
+func (c *Cluster) NewJob() *Job {
+	return &Job{cluster: c}
+}
+
+// Submit adds a task and returns its ID.
+func (j *Job) Submit(spec TaskSpec) TaskID {
+	id := TaskID(len(j.tasks))
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("task-%d", id)
+	}
+	for _, d := range spec.Deps {
+		if int(d) < 0 || int(d) >= len(j.tasks) {
+			if j.err == nil {
+				j.err = fmt.Errorf("raysim: task %q depends on unknown task %d", spec.Name, d)
+			}
+		}
+	}
+	if spec.FrameworkSeconds < 0 && j.err == nil {
+		j.err = fmt.Errorf("raysim: task %q has negative framework seconds", spec.Name)
+	}
+	j.tasks = append(j.tasks, spec)
+	return id
+}
+
+// Len returns the number of submitted tasks.
+func (j *Job) Len() int { return len(j.tasks) }
+
+// Result reports a completed job.
+type Result struct {
+	// Makespan is the simulated seconds from submission to the last
+	// task finishing.
+	Makespan float64
+	// Schedule is the underlying simulator timeline.
+	Schedule *sim.Result
+	// ParallelTasks is the peak number of concurrently running tasks —
+	// the paper's "number of parallel processes" metric.
+	ParallelTasks int
+}
+
+// Run schedules the job on the cluster and returns its simulated
+// timeline. Object fetches are priced against the store's current
+// state; torch work is scaled by the Ray core limit.
+func (j *Job) Run() (*Result, error) {
+	if j.err != nil {
+		return nil, j.err
+	}
+	if len(j.tasks) == 0 {
+		return nil, fmt.Errorf("raysim: empty job")
+	}
+	m := j.cluster.model
+	torch := cost.TorchSpeedup(m.TorchCoresRay)
+
+	const pool = "ray-cpus"
+	jobs := make([]sim.Job, 0, len(j.tasks))
+	for i, t := range j.tasks {
+		var getSecs float64
+		for _, id := range t.Gets {
+			s, err := j.cluster.store.AccessSeconds(id)
+			if err != nil {
+				return nil, fmt.Errorf("raysim: task %q: %w", t.Name, err)
+			}
+			getSecs += s
+		}
+		deps := make([]sim.JobID, len(t.Deps))
+		for k, d := range t.Deps {
+			deps[k] = sim.JobID(d)
+		}
+		jobs = append(jobs, sim.Job{
+			ID:   sim.JobID(i),
+			Name: t.Name,
+			Pool: pool,
+			// The object-store fetch happens inside the task body (it
+			// holds the CPU while deserializing), so it is cost, not
+			// latency; the fixed task overhead covers scheduling.
+			Cost:    m.TaskOverhead + t.Work.Seconds(cost.Python) + t.FrameworkSeconds/torch + getSecs,
+			Deps:    deps,
+			Latency: 0,
+		})
+	}
+	sched, err := sim.Schedule(jobs, []sim.Pool{{Name: pool, Slots: j.cluster.numCPUs}})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Makespan:      sched.Makespan,
+		Schedule:      sched,
+		ParallelTasks: peakConcurrency(sched),
+	}, nil
+}
+
+// peakConcurrency computes the maximum number of overlapping spans.
+func peakConcurrency(s *sim.Result) int {
+	type ev struct {
+		at    float64
+		delta int
+	}
+	var evs []ev
+	for _, sp := range s.Spans {
+		if sp.Finish > sp.Start {
+			evs = append(evs, ev{sp.Start, 1}, ev{sp.Finish, -1})
+		}
+	}
+	// Sort by time; ends before starts at the same instant.
+	for i := 1; i < len(evs); i++ {
+		for k := i; k > 0; k-- {
+			if evs[k].at < evs[k-1].at || (evs[k].at == evs[k-1].at && evs[k].delta < evs[k-1].delta) {
+				evs[k], evs[k-1] = evs[k-1], evs[k]
+			} else {
+				break
+			}
+		}
+	}
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// MapReduce is a convenience for the common fan-out/fan-in shape: n
+// parallel map tasks (each optionally fetching shared objects) followed
+// by one reduce task.
+func (j *Job) MapReduce(name string, n int, mapSpec TaskSpec, reduceWork cost.Work) TaskID {
+	deps := make([]TaskID, 0, n)
+	for i := 0; i < n; i++ {
+		spec := mapSpec
+		spec.Name = fmt.Sprintf("%s-map-%d", name, i)
+		deps = append(deps, j.Submit(spec))
+	}
+	return j.Submit(TaskSpec{
+		Name: name + "-reduce",
+		Work: reduceWork,
+		Deps: deps,
+	})
+}

@@ -1,0 +1,92 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTables(n int) (*Table, *Table) {
+	ls := MustSchema(Field{"k", Int}, Field{"payload", String})
+	rs := MustSchema(Field{"k", Int}, Field{"weight", Float})
+	left, right := NewTable(ls), NewTable(rs)
+	for i := 0; i < n; i++ {
+		left.AppendUnchecked(Tuple{int64(i % (n / 4)), fmt.Sprintf("row-%d", i)})
+		right.AppendUnchecked(Tuple{int64(i % (n / 2)), float64(i)})
+	}
+	return left, right
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	left, right := benchTables(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HashJoin(left, right, "k", "k", Inner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	left, _ := benchTables(10000)
+	aggs := []Aggregate{{Func: Count, As: "n"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GroupBy(left, []string{"k"}, aggs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeTuple(b *testing.B) {
+	t := Tuple{int64(42), "a reasonably sized string payload", 3.14159, true}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = EncodeTuple(buf[:0], t)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeTuple(b *testing.B) {
+	t := Tuple{int64(42), "a reasonably sized string payload", 3.14159, true}
+	enc, err := EncodeTuple(nil, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeTuple(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodedSize(b *testing.B) {
+	t := Tuple{int64(42), "a reasonably sized string payload", 3.14159, true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if EncodedSize(t) == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}
+
+func BenchmarkSortBy(b *testing.B) {
+	left, _ := benchTables(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := left.Clone()
+		b.StartTimer()
+		if err := c.SortBy("payload", "k"); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+	}
+}

@@ -1,0 +1,40 @@
+package relation
+
+import "testing"
+
+// FuzzDecodeTuple checks the binary decoder never panics on arbitrary
+// bytes and that whatever it accepts re-encodes to the same bytes it
+// consumed.
+func FuzzDecodeTuple(f *testing.F) {
+	seedTuples := []Tuple{
+		{int64(1), "hello", 3.14, true},
+		{},
+		{""},
+		{int64(-1)},
+	}
+	for _, t := range seedTuples {
+		enc, err := EncodeTuple(nil, t)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{0x01, 0x7f})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tup, n, err := DecodeTuple(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeTuple(nil, tup)
+		if err != nil {
+			t.Fatalf("decoded tuple failed to re-encode: %v", err)
+		}
+		if string(re) != string(data[:n]) {
+			t.Fatalf("re-encoding differs from consumed bytes")
+		}
+	})
+}

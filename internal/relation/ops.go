@@ -1,0 +1,396 @@
+package relation
+
+import "fmt"
+
+// Predicate decides whether a row is kept by Filter.
+type Predicate func(Tuple) bool
+
+// Filter returns a new table containing the rows of t that satisfy
+// keep.
+func Filter(t *Table, keep Predicate) *Table {
+	out := NewTable(t.Schema())
+	for _, r := range t.Rows() {
+		if keep(r) {
+			out.AppendUnchecked(r)
+		}
+	}
+	return out
+}
+
+// Project returns a new table with only the named columns, in order.
+func Project(t *Table, names ...string) (*Table, error) {
+	s, err := t.Schema().Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(names))
+	for i, n := range names {
+		pos[i] = t.Schema().IndexOf(n)
+	}
+	out := NewTable(s)
+	for _, r := range t.Rows() {
+		row := make(Tuple, len(pos))
+		for i, p := range pos {
+			row[i] = r[p]
+		}
+		out.AppendUnchecked(row)
+	}
+	return out, nil
+}
+
+// Map applies fn to every row, producing rows of the given output
+// schema. Output rows are validated.
+func Map(t *Table, out *Schema, fn func(Tuple) (Tuple, error)) (*Table, error) {
+	res := NewTable(out)
+	for i, r := range t.Rows() {
+		row, err := fn(r)
+		if err != nil {
+			return nil, fmt.Errorf("relation: map row %d: %w", i, err)
+		}
+		if err := row.Validate(out); err != nil {
+			return nil, fmt.Errorf("relation: map row %d: %w", i, err)
+		}
+		res.AppendUnchecked(row)
+	}
+	return res, nil
+}
+
+// FlatMap applies fn to every row; fn may emit zero or more rows.
+func FlatMap(t *Table, out *Schema, fn func(Tuple) ([]Tuple, error)) (*Table, error) {
+	res := NewTable(out)
+	for i, r := range t.Rows() {
+		rows, err := fn(r)
+		if err != nil {
+			return nil, fmt.Errorf("relation: flatmap row %d: %w", i, err)
+		}
+		for _, row := range rows {
+			if err := row.Validate(out); err != nil {
+				return nil, fmt.Errorf("relation: flatmap row %d: %w", i, err)
+			}
+			res.AppendUnchecked(row)
+		}
+	}
+	return res, nil
+}
+
+// JoinType selects inner or left-outer semantics for HashJoin.
+type JoinType int
+
+const (
+	// Inner keeps only matching pairs.
+	Inner JoinType = iota
+	// LeftOuter keeps unmatched left rows, padding right columns with
+	// zero values.
+	LeftOuter
+)
+
+// HashJoin joins left and right on equality of leftKey and rightKey.
+// The output schema is left's fields followed by right's fields with
+// the join key column from the right side dropped; right-side name
+// collisions are prefixed with "r_". Probe order follows the left
+// table, so output order is deterministic.
+func HashJoin(left, right *Table, leftKey, rightKey string, kind JoinType) (*Table, error) {
+	lk := left.Schema().IndexOf(leftKey)
+	if lk < 0 {
+		return nil, fmt.Errorf("relation: join: left key %q not found", leftKey)
+	}
+	rk := right.Schema().IndexOf(rightKey)
+	if rk < 0 {
+		return nil, fmt.Errorf("relation: join: right key %q not found", rightKey)
+	}
+	if lt, rt := left.Schema().Field(lk).Type, right.Schema().Field(rk).Type; lt != rt {
+		return nil, fmt.Errorf("relation: join: key type mismatch %s vs %s", lt, rt)
+	}
+
+	// Output schema: left ++ (right minus its key column).
+	rightNames := make([]string, 0, right.Schema().Len()-1)
+	rightPos := make([]int, 0, right.Schema().Len()-1)
+	for i := 0; i < right.Schema().Len(); i++ {
+		if i == rk {
+			continue
+		}
+		rightNames = append(rightNames, right.Schema().Field(i).Name)
+		rightPos = append(rightPos, i)
+	}
+	rightProj, err := right.Schema().Project(rightNames...)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := left.Schema().Concat(rightProj, "r_")
+	if err != nil {
+		return nil, err
+	}
+
+	// Build side: right table.
+	build := make(map[string][]Tuple, right.Len())
+	for _, r := range right.Rows() {
+		k := r.Key(rk)
+		build[k] = append(build[k], r)
+	}
+
+	out := NewTable(outSchema)
+	padding := make(Tuple, len(rightPos))
+	for i, p := range rightPos {
+		switch right.Schema().Field(p).Type {
+		case Int:
+			padding[i] = int64(0)
+		case Float:
+			padding[i] = float64(0)
+		case String:
+			padding[i] = ""
+		case Bool:
+			padding[i] = false
+		}
+	}
+
+	emit := func(l Tuple, r Tuple) {
+		row := make(Tuple, 0, outSchema.Len())
+		row = append(row, l...)
+		if r == nil {
+			row = append(row, padding...)
+		} else {
+			for _, p := range rightPos {
+				row = append(row, r[p])
+			}
+		}
+		out.AppendUnchecked(row)
+	}
+
+	for _, l := range left.Rows() {
+		matches := build[l.Key(lk)]
+		if len(matches) == 0 {
+			if kind == LeftOuter {
+				emit(l, nil)
+			}
+			continue
+		}
+		for _, r := range matches {
+			emit(l, r)
+		}
+	}
+	return out, nil
+}
+
+// NestedLoopJoin is the O(n·m) reference implementation used as a
+// testing oracle for HashJoin.
+func NestedLoopJoin(left, right *Table, leftKey, rightKey string, kind JoinType) (*Table, error) {
+	lk := left.Schema().IndexOf(leftKey)
+	rk := right.Schema().IndexOf(rightKey)
+	if lk < 0 || rk < 0 {
+		return nil, fmt.Errorf("relation: nested loop join: key not found")
+	}
+	// Reuse HashJoin's schema computation by joining empty tables.
+	proto, err := HashJoin(NewTable(left.Schema()), NewTable(right.Schema()), leftKey, rightKey, kind)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(proto.Schema())
+	rightPos := make([]int, 0, right.Schema().Len()-1)
+	for i := 0; i < right.Schema().Len(); i++ {
+		if i != rk {
+			rightPos = append(rightPos, i)
+		}
+	}
+	for _, l := range left.Rows() {
+		matched := false
+		for _, r := range right.Rows() {
+			if l.Key(lk) == r.Key(rk) {
+				matched = true
+				row := make(Tuple, 0, out.Schema().Len())
+				row = append(row, l...)
+				for _, p := range rightPos {
+					row = append(row, r[p])
+				}
+				out.AppendUnchecked(row)
+			}
+		}
+		if !matched && kind == LeftOuter {
+			row := make(Tuple, 0, out.Schema().Len())
+			row = append(row, l...)
+			for _, p := range rightPos {
+				switch right.Schema().Field(p).Type {
+				case Int:
+					row = append(row, int64(0))
+				case Float:
+					row = append(row, float64(0))
+				case String:
+					row = append(row, "")
+				case Bool:
+					row = append(row, false)
+				}
+			}
+			out.AppendUnchecked(row)
+		}
+	}
+	return out, nil
+}
+
+// Distinct returns the table with duplicate rows removed, keeping the
+// first occurrence of each.
+func Distinct(t *Table) *Table {
+	all := make([]int, t.Schema().Len())
+	for i := range all {
+		all[i] = i
+	}
+	seen := make(map[string]bool, t.Len())
+	out := NewTable(t.Schema())
+	for _, r := range t.Rows() {
+		k := r.Key(all...)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.AppendUnchecked(r)
+	}
+	return out
+}
+
+// Limit returns the first n rows (or all rows if n exceeds the size).
+func Limit(t *Table, n int) *Table {
+	if n < 0 {
+		n = 0
+	}
+	if n > t.Len() {
+		n = t.Len()
+	}
+	out := NewTable(t.Schema())
+	out.rows = append(out.rows, t.rows[:n]...)
+	return out
+}
+
+// AggFunc identifies a group-by aggregate.
+type AggFunc int
+
+const (
+	// Count counts rows per group.
+	Count AggFunc = iota
+	// Sum sums a numeric column per group.
+	Sum
+	// Avg averages a numeric column per group.
+	Avg
+	// Min takes the minimum of a numeric column per group.
+	Min
+	// Max takes the maximum of a numeric column per group.
+	Max
+)
+
+// Aggregate describes one aggregation in a GroupBy.
+type Aggregate struct {
+	Func  AggFunc
+	Field string // input column; ignored for Count
+	As    string // output column name
+}
+
+// GroupBy groups rows by the named key columns and computes the given
+// aggregates. Output columns are the key columns followed by the
+// aggregates (Count as Int, others as Float). Group order follows
+// first appearance.
+func GroupBy(t *Table, keys []string, aggs []Aggregate) (*Table, error) {
+	keyPos := make([]int, len(keys))
+	for i, k := range keys {
+		p := t.Schema().IndexOf(k)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: groupby: unknown key %q", k)
+		}
+		keyPos[i] = p
+	}
+	aggPos := make([]int, len(aggs))
+	fields := make([]Field, 0, len(keys)+len(aggs))
+	for _, p := range keyPos {
+		fields = append(fields, t.Schema().Field(p))
+	}
+	for i, a := range aggs {
+		if a.As == "" {
+			return nil, fmt.Errorf("relation: groupby: aggregate %d has empty output name", i)
+		}
+		if a.Func == Count {
+			aggPos[i] = -1
+			fields = append(fields, Field{Name: a.As, Type: Int})
+			continue
+		}
+		p := t.Schema().IndexOf(a.Field)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: groupby: unknown field %q", a.Field)
+		}
+		ft := t.Schema().Field(p).Type
+		if ft != Int && ft != Float {
+			return nil, fmt.Errorf("relation: groupby: field %q is %s, need numeric", a.Field, ft)
+		}
+		aggPos[i] = p
+		fields = append(fields, Field{Name: a.As, Type: Float})
+	}
+	outSchema, err := NewSchema(fields...)
+	if err != nil {
+		return nil, err
+	}
+
+	type acc struct {
+		key   Tuple
+		count int64
+		sums  []float64
+		mins  []float64
+		maxs  []float64
+	}
+	groups := make(map[string]*acc)
+	var order []string
+	numeric := func(v any) float64 {
+		switch v := v.(type) {
+		case int64:
+			return float64(v)
+		case float64:
+			return v
+		}
+		return 0
+	}
+	for _, r := range t.Rows() {
+		k := r.Key(keyPos...)
+		g, ok := groups[k]
+		if !ok {
+			key := make(Tuple, len(keyPos))
+			for i, p := range keyPos {
+				key[i] = r[p]
+			}
+			g = &acc{key: key, sums: make([]float64, len(aggs)), mins: make([]float64, len(aggs)), maxs: make([]float64, len(aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		first := g.count == 0
+		g.count++
+		for i, p := range aggPos {
+			if p < 0 {
+				continue
+			}
+			v := numeric(r[p])
+			g.sums[i] += v
+			if first || v < g.mins[i] {
+				g.mins[i] = v
+			}
+			if first || v > g.maxs[i] {
+				g.maxs[i] = v
+			}
+		}
+	}
+
+	out := NewTable(outSchema)
+	for _, k := range order {
+		g := groups[k]
+		row := make(Tuple, 0, outSchema.Len())
+		row = append(row, g.key...)
+		for i, a := range aggs {
+			switch a.Func {
+			case Count:
+				row = append(row, g.count)
+			case Sum:
+				row = append(row, g.sums[i])
+			case Avg:
+				row = append(row, g.sums[i]/float64(g.count))
+			case Min:
+				row = append(row, g.mins[i])
+			case Max:
+				row = append(row, g.maxs[i])
+			}
+		}
+		out.AppendUnchecked(row)
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func usersTable(t *testing.T) *Table {
+	t.Helper()
+	s := MustSchema(Field{"uid", Int}, Field{"name", String})
+	tbl, err := FromRows(s, []Tuple{
+		{int64(1), "ann"},
+		{int64(2), "bob"},
+		{int64(3), "cat"},
+		{int64(4), "dan"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func ordersTable(t *testing.T) *Table {
+	t.Helper()
+	s := MustSchema(Field{"oid", Int}, Field{"uid", Int}, Field{"amt", Float})
+	tbl, err := FromRows(s, []Tuple{
+		{int64(10), int64(1), 5.0},
+		{int64(11), int64(1), 7.0},
+		{int64(12), int64(3), 2.0},
+		{int64(13), int64(9), 1.0}, // dangling uid
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestFilter(t *testing.T) {
+	u := usersTable(t)
+	out := Filter(u, func(r Tuple) bool { return r.MustInt(0)%2 == 0 })
+	if out.Len() != 2 {
+		t.Fatalf("filtered len = %d", out.Len())
+	}
+	for _, r := range out.Rows() {
+		if r.MustInt(0)%2 != 0 {
+			t.Fatalf("row %v escaped filter", r)
+		}
+	}
+}
+
+func TestProjectOp(t *testing.T) {
+	u := usersTable(t)
+	out, err := Project(u, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Len() != 1 || out.Len() != 4 {
+		t.Fatalf("project shape wrong: %s, %d rows", out.Schema(), out.Len())
+	}
+	if out.Row(0).MustStr(0) != "ann" {
+		t.Fatal("project values wrong")
+	}
+	if _, err := Project(u, "missing"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMapOp(t *testing.T) {
+	u := usersTable(t)
+	out, err := Map(u, MustSchema(Field{"upper", String}), func(r Tuple) (Tuple, error) {
+		return Tuple{r.MustStr(1) + "!"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Row(0).MustStr(0) != "ann!" {
+		t.Fatal("map wrong")
+	}
+	// Output validation catches bad rows.
+	_, err = Map(u, MustSchema(Field{"x", Int}), func(r Tuple) (Tuple, error) {
+		return Tuple{"not an int"}, nil
+	})
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestFlatMapOp(t *testing.T) {
+	u := usersTable(t)
+	out, err := FlatMap(u, MustSchema(Field{"uid", Int}), func(r Tuple) ([]Tuple, error) {
+		id := r.MustInt(0)
+		if id%2 == 0 {
+			return nil, nil
+		}
+		return []Tuple{{id}, {id * 10}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 { // ids 1,3 emit two rows each
+		t.Fatalf("flatmap len = %d", out.Len())
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	u := usersTable(t)
+	o := ordersTable(t)
+	out, err := HashJoin(o, u, "uid", "uid", Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("inner join len = %d, want 3", out.Len())
+	}
+	// Schema: oid, uid, amt, name.
+	if out.Schema().String() != "oid:int, uid:int, amt:float, name:string" {
+		t.Fatalf("schema = %s", out.Schema())
+	}
+	if out.Row(0).MustStr(3) != "ann" {
+		t.Fatalf("first joined row = %v", out.Row(0))
+	}
+}
+
+func TestHashJoinLeftOuter(t *testing.T) {
+	u := usersTable(t)
+	o := ordersTable(t)
+	out, err := HashJoin(o, u, "uid", "uid", LeftOuter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Fatalf("left outer join len = %d, want 4", out.Len())
+	}
+	last := out.Row(3)
+	if last.MustInt(1) != 9 || last.MustStr(3) != "" {
+		t.Fatalf("unmatched row = %v", last)
+	}
+}
+
+func TestHashJoinErrors(t *testing.T) {
+	u := usersTable(t)
+	o := ordersTable(t)
+	if _, err := HashJoin(o, u, "nope", "uid", Inner); err == nil {
+		t.Fatal("expected unknown left key error")
+	}
+	if _, err := HashJoin(o, u, "uid", "nope", Inner); err == nil {
+		t.Fatal("expected unknown right key error")
+	}
+	if _, err := HashJoin(o, u, "amt", "uid", Inner); err == nil {
+		t.Fatal("expected key type mismatch error")
+	}
+}
+
+func randomJoinTables(seed uint64) (*Table, *Table) {
+	r := xrand.New(seed)
+	ls := MustSchema(Field{"k", Int}, Field{"lv", String})
+	rs := MustSchema(Field{"k", Int}, Field{"rv", Float})
+	left := NewTable(ls)
+	right := NewTable(rs)
+	nl, nr := r.Intn(30), r.Intn(30)
+	for i := 0; i < nl; i++ {
+		left.AppendUnchecked(Tuple{int64(r.Intn(10)), "l"})
+	}
+	for i := 0; i < nr; i++ {
+		right.AppendUnchecked(Tuple{int64(r.Intn(10)), r.Float64()})
+	}
+	return left, right
+}
+
+func TestPropertyHashJoinMatchesNestedLoop(t *testing.T) {
+	f := func(seed uint64) bool {
+		left, right := randomJoinTables(seed)
+		for _, kind := range []JoinType{Inner, LeftOuter} {
+			h, err := HashJoin(left, right, "k", "k", kind)
+			if err != nil {
+				return false
+			}
+			n, err := NestedLoopJoin(left, right, "k", "k", kind)
+			if err != nil {
+				return false
+			}
+			if !h.EqualUnordered(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	s := MustSchema(Field{"x", Int})
+	tbl, _ := FromRows(s, []Tuple{{int64(1)}, {int64(2)}, {int64(1)}, {int64(3)}, {int64(2)}})
+	out := Distinct(tbl)
+	if out.Len() != 3 {
+		t.Fatalf("distinct len = %d", out.Len())
+	}
+	if out.Row(0).MustInt(0) != 1 || out.Row(1).MustInt(0) != 2 || out.Row(2).MustInt(0) != 3 {
+		t.Fatal("distinct should keep first occurrences in order")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	u := usersTable(t)
+	if Limit(u, 2).Len() != 2 {
+		t.Fatal("limit 2 wrong")
+	}
+	if Limit(u, 100).Len() != 4 {
+		t.Fatal("limit beyond size wrong")
+	}
+	if Limit(u, -5).Len() != 0 {
+		t.Fatal("negative limit wrong")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	o := ordersTable(t)
+	out, err := GroupBy(o, []string{"uid"}, []Aggregate{
+		{Func: Count, As: "n"},
+		{Func: Sum, Field: "amt", As: "total"},
+		{Func: Avg, Field: "amt", As: "mean"},
+		{Func: Min, Field: "amt", As: "lo"},
+		{Func: Max, Field: "amt", As: "hi"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", out.Len())
+	}
+	// First group is uid=1 with two orders of 5 and 7.
+	g := out.Row(0)
+	if g.MustInt(0) != 1 || g.MustInt(1) != 2 || g.MustFloat(2) != 12 || g.MustFloat(3) != 6 || g.MustFloat(4) != 5 || g.MustFloat(5) != 7 {
+		t.Fatalf("group row = %v", g)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	o := ordersTable(t)
+	if _, err := GroupBy(o, []string{"zzz"}, nil); err == nil {
+		t.Fatal("expected unknown key error")
+	}
+	if _, err := GroupBy(o, []string{"uid"}, []Aggregate{{Func: Sum, Field: "zzz", As: "s"}}); err == nil {
+		t.Fatal("expected unknown field error")
+	}
+	if _, err := GroupBy(o, []string{"uid"}, []Aggregate{{Func: Sum, Field: "amt", As: ""}}); err == nil {
+		t.Fatal("expected empty output name error")
+	}
+	withStr := usersTable(t)
+	if _, err := GroupBy(withStr, []string{"uid"}, []Aggregate{{Func: Sum, Field: "name", As: "s"}}); err == nil {
+		t.Fatal("expected non-numeric field error")
+	}
+}
+
+func TestPropertyGroupByCountsSumToTotal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := MustSchema(Field{"g", Int}, Field{"v", Float})
+		tbl := NewTable(s)
+		n := r.Intn(100)
+		for i := 0; i < n; i++ {
+			tbl.AppendUnchecked(Tuple{int64(r.Intn(7)), r.Float64()})
+		}
+		out, err := GroupBy(tbl, []string{"g"}, []Aggregate{{Func: Count, As: "n"}})
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, row := range out.Rows() {
+			total += row.MustInt(1)
+		}
+		return total == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package relation is the relational substrate shared by both
+// execution paradigms: typed tuples, schemas, tables, a compact binary
+// encoding (used to account serialization bytes at operator
+// boundaries), and the core relational operations — filter, project,
+// hash join, sort, group-by — that the data-science tasks are composed
+// from.
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type enumerates the value types a field may hold.
+type Type int
+
+const (
+	// Int is a 64-bit signed integer (Go int64).
+	Int Type = iota
+	// Float is a 64-bit float (Go float64).
+	Float
+	// String is a UTF-8 string.
+	String
+	// Bool is a boolean.
+	Bool
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// valid reports whether t is a known type.
+func (t Type) valid() bool { return t >= Int && t <= Bool }
+
+// Field is one named, typed column.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of fields. Schemas are immutable once
+// built; all "modifying" methods return new schemas.
+type Schema struct {
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema from fields. It returns an error on empty
+// or duplicate names and on unknown types.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{
+		fields: make([]Field, len(fields)),
+		index:  make(map[string]int, len(fields)),
+	}
+	copy(s.fields, fields)
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("relation: field %d has empty name", i)
+		}
+		if !f.Type.valid() {
+			return nil, fmt.Errorf("relation: field %q has unknown type %d", f.Name, int(f.Type))
+		}
+		if _, dup := s.index[f.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate field %q", f.Name)
+		}
+		s.index[f.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for statically known
+// schemas in task definitions and tests.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// Len returns the number of fields.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// IndexOf returns the position of the named field, or -1.
+func (s *Schema) IndexOf(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named field.
+func (s *Schema) Has(name string) bool { return s.IndexOf(name) >= 0 }
+
+// Equal reports whether two schemas have identical fields in order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i := range s.fields {
+		if s.fields[i] != o.fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new schema containing only the named fields, in
+// the given order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	fields := make([]Field, 0, len(names))
+	for _, n := range names {
+		i := s.IndexOf(n)
+		if i < 0 {
+			return nil, fmt.Errorf("relation: project: unknown field %q", n)
+		}
+		fields = append(fields, s.fields[i])
+	}
+	return NewSchema(fields...)
+}
+
+// Concat returns the concatenation of s and o. When a name collides,
+// the field from o is renamed with the given prefix (for join outputs).
+func (s *Schema) Concat(o *Schema, collisionPrefix string) (*Schema, error) {
+	fields := s.Fields()
+	for _, f := range o.fields {
+		name := f.Name
+		if s.Has(name) {
+			name = collisionPrefix + name
+		}
+		fields = append(fields, Field{Name: name, Type: f.Type})
+	}
+	return NewSchema(fields...)
+}
+
+// String renders the schema as "name:type, ...".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		parts[i] = f.Name + ":" + f.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,110 @@
+package relation
+
+import "testing"
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema(Field{"id", Int}, Field{"name", String}, Field{"score", Float}, Field{"ok", Bool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.IndexOf("name") != 1 {
+		t.Fatalf("IndexOf(name) = %d", s.IndexOf("name"))
+	}
+	if s.IndexOf("missing") != -1 {
+		t.Fatal("IndexOf(missing) should be -1")
+	}
+	if !s.Has("ok") || s.Has("nope") {
+		t.Fatal("Has misbehaves")
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(Field{"", Int}); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+	if _, err := NewSchema(Field{"a", Int}, Field{"a", String}); err == nil {
+		t.Fatal("expected error for duplicate name")
+	}
+	if _, err := NewSchema(Field{"a", Type(42)}); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Field{"x", Int}, Field{"y", String})
+	b := MustSchema(Field{"x", Int}, Field{"y", String})
+	c := MustSchema(Field{"x", Int}, Field{"y", Float})
+	d := MustSchema(Field{"x", Int})
+	if !a.Equal(b) {
+		t.Fatal("equal schemas reported unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Fatal("unequal schemas reported equal")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := MustSchema(Field{"a", Int}, Field{"b", String}, Field{"c", Float})
+	p, err := s.Project("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Field(0).Name != "c" || p.Field(1).Name != "a" {
+		t.Fatalf("project = %s", p)
+	}
+	if _, err := s.Project("zzz"); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+}
+
+func TestSchemaConcatRenamesCollisions(t *testing.T) {
+	a := MustSchema(Field{"id", Int}, Field{"v", String})
+	b := MustSchema(Field{"id", Int}, Field{"w", Float})
+	c, err := a.Concat(b, "r_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"id", "v", "r_id", "w"}
+	for i, n := range want {
+		if c.Field(i).Name != n {
+			t.Fatalf("field %d = %q, want %q", i, c.Field(i).Name, n)
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Field{"a", Int}, Field{"b", Bool})
+	if s.String() != "a:int, b:bool" {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Int.String() != "int" || Float.String() != "float" || String.String() != "string" || Bool.String() != "bool" {
+		t.Fatal("type names wrong")
+	}
+	if Type(9).String() != "Type(9)" {
+		t.Fatal("unknown type name wrong")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustSchema(Field{"", Int})
+}
+
+func TestFieldsReturnsCopy(t *testing.T) {
+	s := MustSchema(Field{"a", Int})
+	f := s.Fields()
+	f[0].Name = "mutated"
+	if s.Field(0).Name != "a" {
+		t.Fatal("Fields() exposed internal state")
+	}
+}

@@ -1,0 +1,194 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an in-memory relation: a schema plus rows.
+type Table struct {
+	schema *Schema
+	rows   []Tuple
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(s *Schema) *Table {
+	return &Table{schema: s}
+}
+
+// FromRows builds a table and validates every row against the schema.
+func FromRows(s *Schema, rows []Tuple) (*Table, error) {
+	t := NewTable(s)
+	for i, r := range rows {
+		if err := r.Validate(s); err != nil {
+			return nil, fmt.Errorf("relation: row %d: %w", i, err)
+		}
+		t.rows = append(t.rows, r)
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns the i-th row (not a copy).
+func (t *Table) Row(i int) Tuple { return t.rows[i] }
+
+// Rows returns the backing row slice (not a copy); callers must not
+// mutate it unless they own the table.
+func (t *Table) Rows() []Tuple { return t.rows }
+
+// Append adds a row after validating it.
+func (t *Table) Append(row Tuple) error {
+	if err := row.Validate(t.schema); err != nil {
+		return err
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustAppend is Append that panics; for rows of statically known shape.
+func (t *Table) MustAppend(row Tuple) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// AppendUnchecked adds a row without validation; for hot paths where
+// the producer guarantees the shape.
+func (t *Table) AppendUnchecked(row Tuple) {
+	t.rows = append(t.rows, row)
+}
+
+// Clone deep-copies the table (rows are cloned; values are immutable).
+func (t *Table) Clone() *Table {
+	c := NewTable(t.schema)
+	c.rows = make([]Tuple, len(t.rows))
+	for i, r := range t.rows {
+		c.rows[i] = r.Clone()
+	}
+	return c
+}
+
+// Equal reports whether two tables have equal schemas and identical
+// rows in order.
+func (t *Table) Equal(o *Table) bool {
+	if !t.schema.Equal(o.schema) || len(t.rows) != len(o.rows) {
+		return false
+	}
+	for i := range t.rows {
+		if !t.rows[i].Equal(o.rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUnordered reports whether two tables contain the same multiset
+// of rows regardless of order.
+func (t *Table) EqualUnordered(o *Table) bool {
+	if !t.schema.Equal(o.schema) || len(t.rows) != len(o.rows) {
+		return false
+	}
+	all := make([]int, t.schema.Len())
+	for i := range all {
+		all[i] = i
+	}
+	counts := make(map[string]int, len(t.rows))
+	for _, r := range t.rows {
+		counts[r.Key(all...)]++
+	}
+	for _, r := range o.rows {
+		counts[r.Key(all...)]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Batch is a contiguous chunk of rows flowing between operators.
+type Batch struct {
+	Schema *Schema
+	Rows   []Tuple
+}
+
+// Batches splits the table into batches of at most size rows. A
+// non-positive size yields a single batch. An empty table yields no
+// batches.
+func (t *Table) Batches(size int) []Batch {
+	if len(t.rows) == 0 {
+		return nil
+	}
+	if size <= 0 || size >= len(t.rows) {
+		return []Batch{{Schema: t.schema, Rows: t.rows}}
+	}
+	var out []Batch
+	for i := 0; i < len(t.rows); i += size {
+		end := i + size
+		if end > len(t.rows) {
+			end = len(t.rows)
+		}
+		out = append(out, Batch{Schema: t.schema, Rows: t.rows[i:end]})
+	}
+	return out
+}
+
+// Concat appends all rows of o (which must share the schema).
+func (t *Table) Concat(o *Table) error {
+	if !t.schema.Equal(o.schema) {
+		return fmt.Errorf("relation: concat schema mismatch: [%s] vs [%s]", t.schema, o.schema)
+	}
+	t.rows = append(t.rows, o.rows...)
+	return nil
+}
+
+// SortBy sorts rows in place by the named fields ascending. Fields of
+// different types compare by their canonical key encoding.
+func (t *Table) SortBy(names ...string) error {
+	pos := make([]int, len(names))
+	for i, n := range names {
+		p := t.schema.IndexOf(n)
+		if p < 0 {
+			return fmt.Errorf("relation: sort: unknown field %q", n)
+		}
+		pos[i] = p
+	}
+	sort.SliceStable(t.rows, func(a, b int) bool {
+		return lessTuples(t.rows[a], t.rows[b], pos)
+	})
+	return nil
+}
+
+func lessTuples(a, b Tuple, pos []int) bool {
+	for _, p := range pos {
+		switch av := a[p].(type) {
+		case int64:
+			bv := b[p].(int64)
+			if av != bv {
+				return av < bv
+			}
+		case float64:
+			bv := b[p].(float64)
+			if av != bv {
+				return av < bv
+			}
+		case string:
+			bv := b[p].(string)
+			if av != bv {
+				return av < bv
+			}
+		case bool:
+			bv := b[p].(bool)
+			if av != bv {
+				return !av
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+// Package report renders experiment results as ASCII tables and
+// simple line charts for the harness output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table renders rows with aligned columns. The first row is the
+// header.
+func Table(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, r := range rows {
+		for i, cell := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(r []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, "| "+strings.Join(parts, " | ")+" |")
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(rows[0])
+	fmt.Fprintln(w, "|-"+strings.Join(sep, "-|-")+"-|")
+	for _, r := range rows[1:] {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Secs formats a simulated-seconds value compactly.
+func Secs(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Delta formats the relative difference of measured vs. reference as a
+// signed percentage, or "-" when there is no reference.
+func Delta(measured, reference float64) string {
+	if reference == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.0f%%", 100*(measured-reference)/reference)
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) chart value.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Chart renders series as an ASCII line chart of the given size.
+// Each series is drawn with its own glyph; overlapping points show the
+// later series.
+func Chart(w io.Writer, title string, series []Series, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	count := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+			count++
+		}
+	}
+	if count == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			cx := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((p.Y - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-cy][cx] = g
+		}
+	}
+
+	fmt.Fprintln(w, title)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", minY)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "         %-10.4g%s%10.4g\n", minX, strings.Repeat(" ", maxInt(0, width-20)), maxX)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(w, "         %s\n", strings.Join(legend, "  "))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Bar renders a horizontal bar chart of labeled values.
+func Bar(w io.Writer, title string, labels []string, values []float64, width int) {
+	if width < 10 {
+		width = 10
+	}
+	fmt.Fprintln(w, title)
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(math.Round(v / maxV * float64(width)))
+		fmt.Fprintf(w, "  %s %s %.5g\n", pad(labels[i], maxL), strings.Repeat("#", n), v)
+	}
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	Table(&b, [][]string{
+		{"task", "script", "workflow"},
+		{"dice", "239.54", "107.83"},
+		{"wef", "1285.82", "1264.93"},
+	})
+	out := b.String()
+	if !strings.Contains(out, "| dice") || !strings.Contains(out, "| 239.54 ") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableEmptyAndRagged(t *testing.T) {
+	var b strings.Builder
+	Table(&b, nil)
+	if b.Len() != 0 {
+		t.Fatal("empty table should render nothing")
+	}
+	Table(&b, [][]string{{"a", "b"}, {"only-one"}})
+	if !strings.Contains(b.String(), "only-one") {
+		t.Fatal("short rows should still render")
+	}
+}
+
+func TestSecsAndDelta(t *testing.T) {
+	if Secs(1.234) != "1.23" {
+		t.Fatalf("Secs = %q", Secs(1.234))
+	}
+	if Delta(110, 100) != "+10%" {
+		t.Fatalf("Delta = %q", Delta(110, 100))
+	}
+	if Delta(90, 100) != "-10%" {
+		t.Fatalf("Delta = %q", Delta(90, 100))
+	}
+	if Delta(1, 0) != "-" {
+		t.Fatalf("Delta with no reference = %q", Delta(1, 0))
+	}
+}
+
+func TestChart(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, "demo", []Series{
+		{Name: "script", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 20}, {X: 4, Y: 40}}},
+		{Name: "workflow", Points: []Point{{X: 1, Y: 5}, {X: 2, Y: 12}, {X: 4, Y: 22}}},
+	}, 40, 10)
+	out := b.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*=script") || !strings.Contains(out, "o=workflow") {
+		t.Fatalf("chart output:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("chart missing glyphs")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, "empty", nil, 40, 10)
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, "flat", []Series{{Name: "s", Points: []Point{{X: 1, Y: 5}, {X: 1, Y: 5}}}}, 20, 6)
+	if b.Len() == 0 {
+		t.Fatal("flat chart rendered nothing")
+	}
+}
+
+func TestBar(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "loc", []string{"dice", "wef"}, []float64{377, 68}, 30)
+	out := b.String()
+	if !strings.Contains(out, "dice") || !strings.Contains(out, "####") {
+		t.Fatalf("bar output:\n%s", out)
+	}
+	// dice's bar must be longer than wef's.
+	var diceLen, wefLen int
+	for _, l := range strings.Split(out, "\n") {
+		n := strings.Count(l, "#")
+		if strings.Contains(l, "dice") {
+			diceLen = n
+		}
+		if strings.Contains(l, "wef") {
+			wefLen = n
+		}
+	}
+	if diceLen <= wefLen {
+		t.Fatalf("bar lengths wrong: dice=%d wef=%d", diceLen, wefLen)
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	var b strings.Builder
+	Bar(&b, "zeros", []string{"a"}, []float64{0}, 10)
+	if b.Len() == 0 {
+		t.Fatal("zero bar rendered nothing")
+	}
+}

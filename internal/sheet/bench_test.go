@@ -1,0 +1,72 @@
+package sheet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkParseFormula(b *testing.B) {
+	const f = `=IF(B4, SQRT((C1+C2-C4)*(C1+C2-C4) + (D1+D2-D4)*(D1+D2-D4)), "")`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFormula(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecalcChain(b *testing.B) {
+	s := New(nil)
+	if err := s.Set("A1", 1); err != nil {
+		b.Fatal(err)
+	}
+	const depth = 200
+	for i := 2; i <= depth; i++ {
+		if err := s.SetFormula(fmt.Sprintf("A%d", i), fmt.Sprintf("=A%d+1", i-1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Set("A1", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankColumn(b *testing.B) {
+	const n = 500
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(nil)
+		entries := map[string]any{}
+		for r := 1; r <= n; r++ {
+			entries[fmt.Sprintf("A%d", r)] = float64((r * 37) % n)
+		}
+		if err := s.SetBulk(entries); err != nil {
+			b.Fatal(err)
+		}
+		for r := 1; r <= n; r++ {
+			if err := s.SetFormula(fmt.Sprintf("B%d", r), fmt.Sprintf("=RANK(A%d, A1:A%d)", r, n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBigSum(b *testing.B) {
+	s := New(nil)
+	entries := map[string]any{}
+	for r := 1; r <= 10000; r++ {
+		entries[fmt.Sprintf("A%d", r)] = float64(r)
+	}
+	if err := s.SetBulk(entries); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SetFormula("B1", "=SUM(A1:A10000)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

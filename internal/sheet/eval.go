@@ -1,0 +1,411 @@
+package sheet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// evalCtx supplies cell values and accounts evaluation effort.
+type evalCtx struct {
+	get   func(Ref) Value
+	cells int // cell reads performed (drives the cost model)
+	ops   int // AST nodes evaluated
+}
+
+// eval computes an expression. Spreadsheet error values propagate, Go
+// errors signal malformed formulas (wrong arity etc.) and are turned
+// into error values by the caller.
+func (ec *evalCtx) eval(e Expr) (Value, error) {
+	ec.ops++
+	switch e := e.(type) {
+	case litExpr:
+		return e.v, nil
+	case refExpr:
+		ec.cells++
+		return ec.get(e.r), nil
+	case rangeExpr:
+		return Value{}, fmt.Errorf("#VALUE! range used outside a function")
+	case negExpr:
+		v, err := ec.eval(e.e)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsErr() {
+			return v, nil
+		}
+		f, err := v.AsNumber()
+		if err != nil {
+			return Errf("%v", err), nil
+		}
+		return Num(-f), nil
+	case binExpr:
+		return ec.evalBinary(e)
+	case callExpr:
+		return ec.evalCall(e)
+	default:
+		return Value{}, fmt.Errorf("sheet: unknown expression %T", e)
+	}
+}
+
+func (ec *evalCtx) evalBinary(e binExpr) (Value, error) {
+	l, err := ec.eval(e.l)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.IsErr() {
+		return l, nil
+	}
+	r, err := ec.eval(e.r)
+	if err != nil {
+		return Value{}, err
+	}
+	if r.IsErr() {
+		return r, nil
+	}
+	switch e.op {
+	case "&":
+		return Str(l.String() + r.String()), nil
+	case "=":
+		return Bool(l.Equal(r)), nil
+	case "<>":
+		return Bool(!l.Equal(r)), nil
+	}
+	// The remaining operators are numeric (comparisons compare text
+	// lexicographically when both sides are text).
+	if (e.op == "<" || e.op == "<=" || e.op == ">" || e.op == ">=") &&
+		l.Kind == Text && r.Kind == Text {
+		switch e.op {
+		case "<":
+			return Bool(l.Str < r.Str), nil
+		case "<=":
+			return Bool(l.Str <= r.Str), nil
+		case ">":
+			return Bool(l.Str > r.Str), nil
+		default:
+			return Bool(l.Str >= r.Str), nil
+		}
+	}
+	lf, err := l.AsNumber()
+	if err != nil {
+		return Errf("%v", err), nil
+	}
+	rf, err := r.AsNumber()
+	if err != nil {
+		return Errf("%v", err), nil
+	}
+	switch e.op {
+	case "+":
+		return Num(lf + rf), nil
+	case "-":
+		return Num(lf - rf), nil
+	case "*":
+		return Num(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Errf("#DIV/0!"), nil
+		}
+		return Num(lf / rf), nil
+	case "<":
+		return Bool(lf < rf), nil
+	case "<=":
+		return Bool(lf <= rf), nil
+	case ">":
+		return Bool(lf > rf), nil
+	case ">=":
+		return Bool(lf >= rf), nil
+	default:
+		return Value{}, fmt.Errorf("sheet: unknown operator %q", e.op)
+	}
+}
+
+// argValues evaluates non-range args, flattening ranges into the value
+// list (the aggregation-function convention).
+func (ec *evalCtx) argValues(args []Expr) ([]Value, Value, error) {
+	var out []Value
+	for _, a := range args {
+		if rg, ok := a.(rangeExpr); ok {
+			for _, ref := range rg.rg.Cells() {
+				ec.cells++
+				v := ec.get(ref)
+				if v.IsErr() {
+					return nil, v, nil
+				}
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := ec.eval(a)
+		if err != nil {
+			return nil, Value{}, err
+		}
+		if v.IsErr() {
+			return nil, v, nil
+		}
+		out = append(out, v)
+	}
+	return out, Value{}, nil
+}
+
+// numbersOf filters values to numbers (skipping empties and text, as
+// SUM does).
+func numbersOf(vals []Value) []float64 {
+	var out []float64
+	for _, v := range vals {
+		if v.Kind == Number {
+			out = append(out, v.Num)
+		}
+	}
+	return out
+}
+
+func (ec *evalCtx) evalCall(e callExpr) (Value, error) {
+	switch e.name {
+	case "IF":
+		if len(e.args) != 3 {
+			return Value{}, fmt.Errorf("sheet: IF takes 3 arguments, got %d", len(e.args))
+		}
+		cond, err := ec.eval(e.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if cond.IsErr() {
+			return cond, nil
+		}
+		truthy := false
+		switch cond.Kind {
+		case Boolean:
+			truthy = cond.Bool
+		case Number:
+			truthy = cond.Num != 0
+		case Empty:
+		default:
+			return Errf("#VALUE! IF condition is %s", cond.String()), nil
+		}
+		if truthy {
+			return ec.eval(e.args[1])
+		}
+		return ec.eval(e.args[2])
+	case "AND", "OR":
+		vals, errv, err := ec.argValues(e.args)
+		if err != nil {
+			return Value{}, err
+		}
+		if errv.IsErr() {
+			return errv, nil
+		}
+		res := e.name == "AND"
+		for _, v := range vals {
+			b := v.Kind == Boolean && v.Bool || v.Kind == Number && v.Num != 0
+			if e.name == "AND" {
+				res = res && b
+			} else {
+				res = res || b
+			}
+		}
+		return Bool(res), nil
+	case "NOT":
+		if len(e.args) != 1 {
+			return Value{}, fmt.Errorf("sheet: NOT takes 1 argument")
+		}
+		v, err := ec.eval(e.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsErr() {
+			return v, nil
+		}
+		return Bool(!(v.Kind == Boolean && v.Bool || v.Kind == Number && v.Num != 0)), nil
+	case "SUM", "COUNT", "AVERAGE", "MIN", "MAX":
+		vals, errv, err := ec.argValues(e.args)
+		if err != nil {
+			return Value{}, err
+		}
+		if errv.IsErr() {
+			return errv, nil
+		}
+		nums := numbersOf(vals)
+		switch e.name {
+		case "SUM":
+			s := 0.0
+			for _, f := range nums {
+				s += f
+			}
+			return Num(s), nil
+		case "COUNT":
+			return Num(float64(len(nums))), nil
+		case "AVERAGE":
+			if len(nums) == 0 {
+				return Errf("#DIV/0!"), nil
+			}
+			s := 0.0
+			for _, f := range nums {
+				s += f
+			}
+			return Num(s / float64(len(nums))), nil
+		case "MIN", "MAX":
+			if len(nums) == 0 {
+				return Num(0), nil
+			}
+			best := nums[0]
+			for _, f := range nums[1:] {
+				if e.name == "MIN" && f < best || e.name == "MAX" && f > best {
+					best = f
+				}
+			}
+			return Num(best), nil
+		}
+	case "ABS", "SQRT", "ROUND", "LEN":
+		if len(e.args) < 1 {
+			return Value{}, fmt.Errorf("sheet: %s needs an argument", e.name)
+		}
+		v, err := ec.eval(e.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsErr() {
+			return v, nil
+		}
+		if e.name == "LEN" {
+			return Num(float64(len(v.String()))), nil
+		}
+		f, nerr := v.AsNumber()
+		if nerr != nil {
+			return Errf("%v", nerr), nil
+		}
+		switch e.name {
+		case "ABS":
+			return Num(math.Abs(f)), nil
+		case "SQRT":
+			if f < 0 {
+				return Errf("#NUM! SQRT of negative"), nil
+			}
+			return Num(math.Sqrt(f)), nil
+		case "ROUND":
+			digits := 0.0
+			if len(e.args) > 1 {
+				d, err := ec.eval(e.args[1])
+				if err != nil {
+					return Value{}, err
+				}
+				if d.IsErr() {
+					return d, nil
+				}
+				digits, nerr = d.AsNumber()
+				if nerr != nil {
+					return Errf("%v", nerr), nil
+				}
+			}
+			scale := math.Pow(10, digits)
+			return Num(math.Round(f*scale) / scale), nil
+		}
+	case "RANK":
+		// RANK(value, range): 1-based rank of value among the range's
+		// numbers, ascending (1 = smallest). Evaluating it reads the
+		// whole range — the O(n) per cell that makes spreadsheet
+		// ranking O(n^2) overall.
+		if len(e.args) != 2 {
+			return Value{}, fmt.Errorf("sheet: RANK takes 2 arguments")
+		}
+		target, err := ec.eval(e.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if target.IsErr() {
+			return target, nil
+		}
+		tf, nerr := target.AsNumber()
+		if nerr != nil {
+			return Errf("%v", nerr), nil
+		}
+		rg, ok := e.args[1].(rangeExpr)
+		if !ok {
+			return Value{}, fmt.Errorf("sheet: RANK's second argument must be a range")
+		}
+		rank := 1
+		found := false
+		for _, ref := range rg.rg.Cells() {
+			ec.cells++
+			v := ec.get(ref)
+			if v.IsErr() {
+				return v, nil
+			}
+			if v.Kind != Number {
+				continue
+			}
+			if v.Num < tf {
+				rank++
+			}
+			if v.Num == tf {
+				found = true
+			}
+		}
+		if !found {
+			return Errf("#N/A RANK value not in range"), nil
+		}
+		return Num(float64(rank)), nil
+	case "VLOOKUP":
+		// VLOOKUP(key, range, colIndex): exact-match scan down the
+		// range's first column, returning the colIndex-th column of
+		// the matching row.
+		if len(e.args) != 3 {
+			return Value{}, fmt.Errorf("sheet: VLOOKUP takes 3 arguments")
+		}
+		key, err := ec.eval(e.args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if key.IsErr() {
+			return key, nil
+		}
+		rg, ok := e.args[1].(rangeExpr)
+		if !ok {
+			return Value{}, fmt.Errorf("sheet: VLOOKUP's second argument must be a range")
+		}
+		ci, err := ec.eval(e.args[2])
+		if err != nil {
+			return Value{}, err
+		}
+		colOff, nerr := ci.AsNumber()
+		if nerr != nil {
+			return Errf("%v", nerr), nil
+		}
+		col := int(colOff)
+		from, to := rg.rg.From, rg.rg.To
+		if from.Row > to.Row {
+			from, to = to, from
+		}
+		width := to.Col - from.Col + 1
+		if col < 1 || col > width {
+			return Errf("#REF! VLOOKUP column %d outside range width %d", col, width), nil
+		}
+		for row := from.Row; row <= to.Row; row++ {
+			ec.cells++
+			v := ec.get(Ref{Col: from.Col, Row: row})
+			if v.Equal(key) {
+				ec.cells++
+				return ec.get(Ref{Col: from.Col + col - 1, Row: row}), nil
+			}
+		}
+		return Errf("#N/A VLOOKUP key %s not found", key.String()), nil
+	case "MEDIAN":
+		vals, errv, err := ec.argValues(e.args)
+		if err != nil {
+			return Value{}, err
+		}
+		if errv.IsErr() {
+			return errv, nil
+		}
+		nums := numbersOf(vals)
+		if len(nums) == 0 {
+			return Errf("#NUM! MEDIAN of nothing"), nil
+		}
+		sort.Float64s(nums)
+		mid := len(nums) / 2
+		if len(nums)%2 == 1 {
+			return Num(nums[mid]), nil
+		}
+		return Num((nums[mid-1] + nums[mid]) / 2), nil
+	}
+	return Value{}, fmt.Errorf("sheet: unknown function %s", e.name)
+}

@@ -1,0 +1,437 @@
+package sheet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a parsed formula expression.
+type Expr interface {
+	// refs appends the cell references the expression reads.
+	refs(out []Ref) []Ref
+	// deps appends the expression's point and range dependencies
+	// separately, so the sheet can index range reads without exploding
+	// them into per-cell graph edges.
+	deps(points []Ref, ranges []Range) ([]Ref, []Range)
+	// nodes counts AST nodes, the evaluator's base cost unit.
+	nodes() int
+}
+
+type litExpr struct{ v Value }
+type refExpr struct{ r Ref }
+type rangeExpr struct{ rg Range }
+type callExpr struct {
+	name string
+	args []Expr
+}
+type binExpr struct {
+	op   string
+	l, r Expr
+}
+type negExpr struct{ e Expr }
+
+func (e litExpr) refs(out []Ref) []Ref { return out }
+func (e refExpr) refs(out []Ref) []Ref { return append(out, e.r) }
+func (e rangeExpr) refs(out []Ref) []Ref {
+	return append(out, e.rg.Cells()...)
+}
+func (e callExpr) refs(out []Ref) []Ref {
+	for _, a := range e.args {
+		out = a.refs(out)
+	}
+	return out
+}
+func (e binExpr) refs(out []Ref) []Ref { return e.r.refs(e.l.refs(out)) }
+func (e negExpr) refs(out []Ref) []Ref { return e.e.refs(out) }
+
+func (e litExpr) deps(p []Ref, r []Range) ([]Ref, []Range) { return p, r }
+func (e refExpr) deps(p []Ref, r []Range) ([]Ref, []Range) { return append(p, e.r), r }
+func (e rangeExpr) deps(p []Ref, r []Range) ([]Ref, []Range) {
+	return p, append(r, e.rg)
+}
+func (e callExpr) deps(p []Ref, r []Range) ([]Ref, []Range) {
+	for _, a := range e.args {
+		p, r = a.deps(p, r)
+	}
+	return p, r
+}
+func (e binExpr) deps(p []Ref, r []Range) ([]Ref, []Range) {
+	p, r = e.l.deps(p, r)
+	return e.r.deps(p, r)
+}
+func (e negExpr) deps(p []Ref, r []Range) ([]Ref, []Range) { return e.e.deps(p, r) }
+
+// contains reports whether the range covers the reference.
+func (rg Range) contains(r Ref) bool {
+	c1, c2 := rg.From.Col, rg.To.Col
+	if c1 > c2 {
+		c1, c2 = c2, c1
+	}
+	r1, r2 := rg.From.Row, rg.To.Row
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return r.Col >= c1 && r.Col <= c2 && r.Row >= r1 && r.Row <= r2
+}
+
+func (e litExpr) nodes() int   { return 1 }
+func (e refExpr) nodes() int   { return 1 }
+func (e rangeExpr) nodes() int { return 1 }
+func (e callExpr) nodes() int {
+	n := 1
+	for _, a := range e.args {
+		n += a.nodes()
+	}
+	return n
+}
+func (e binExpr) nodes() int { return 1 + e.l.nodes() + e.r.nodes() }
+func (e negExpr) nodes() int { return 1 + e.e.nodes() }
+
+// --- tokenizer -------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString
+	tokIdent // cell ref, range, function name, TRUE/FALSE
+	tokOp    // + - * / & = <> < <= > >= ( ) , :
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	src string
+	pos int
+	tok token
+}
+
+func (lx *lexer) next() error {
+	for lx.pos < len(lx.src) && lx.src[lx.pos] == ' ' {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		lx.tok = token{kind: tokEOF}
+		return nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c >= '0' && c <= '9' || c == '.':
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '.' ||
+			lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E' ||
+			((lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') && lx.pos > start &&
+				(lx.src[lx.pos-1] == 'e' || lx.src[lx.pos-1] == 'E'))) {
+			lx.pos++
+		}
+		lx.tok = token{kind: tokNumber, text: lx.src[start:lx.pos]}
+	case c == '"':
+		lx.pos++
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			if lx.src[lx.pos] == '"' {
+				if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '"' {
+					b.WriteByte('"') // doubled quote escapes
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				lx.tok = token{kind: tokString, text: b.String()}
+				return nil
+			}
+			b.WriteByte(lx.src[lx.pos])
+			lx.pos++
+		}
+		return fmt.Errorf("sheet: unterminated string literal")
+	case isIdentByte(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentByte(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		lx.tok = token{kind: tokIdent, text: lx.src[start:lx.pos]}
+	default:
+		switch c {
+		case '<':
+			if lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == '>' || lx.src[lx.pos+1] == '=') {
+				lx.tok = token{kind: tokOp, text: lx.src[lx.pos : lx.pos+2]}
+				lx.pos += 2
+				return nil
+			}
+			lx.tok = token{kind: tokOp, text: "<"}
+			lx.pos++
+		case '>':
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+				lx.tok = token{kind: tokOp, text: ">="}
+				lx.pos += 2
+				return nil
+			}
+			lx.tok = token{kind: tokOp, text: ">"}
+			lx.pos++
+		case '+', '-', '*', '/', '&', '=', '(', ')', ',', ':':
+			lx.tok = token{kind: tokOp, text: string(c)}
+			lx.pos++
+		default:
+			return fmt.Errorf("sheet: unexpected character %q", c)
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentByte(c byte) bool {
+	return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || isDigit(c) || c == '$' || c == '_'
+}
+
+// --- parser ----------------------------------------------------------------
+
+type parser struct {
+	lx *lexer
+}
+
+// ParseFormula parses a formula string. A leading "=" is required (as
+// in the cell-entry convention); everything after it is the
+// expression.
+func ParseFormula(src string) (Expr, error) {
+	s := strings.TrimSpace(src)
+	if !strings.HasPrefix(s, "=") {
+		return nil, fmt.Errorf("sheet: formula %q must start with '='", src)
+	}
+	lx := &lexer{src: s[1:]}
+	if err := lx.next(); err != nil {
+		return nil, err
+	}
+	p := &parser{lx: lx}
+	e, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	if lx.tok.kind != tokEOF {
+		return nil, fmt.Errorf("sheet: trailing input %q in formula", lx.tok.text)
+	}
+	return e, nil
+}
+
+func (p *parser) accept(text string) (bool, error) {
+	if p.lx.tok.kind == tokOp && p.lx.tok.text == text {
+		return true, p.lx.next()
+	}
+	return false, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		ok, err := p.accept(op)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			r, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			return binExpr{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseConcat() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ok, err := p.accept("&")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "&", l: l, r: r}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if ok, err := p.accept("+"); err != nil {
+			return nil, err
+		} else if ok {
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "+", l: l, r: r}
+			continue
+		}
+		if ok, err := p.accept("-"); err != nil {
+			return nil, err
+		} else if ok {
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "-", l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if ok, err := p.accept("*"); err != nil {
+			return nil, err
+		} else if ok {
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "*", l: l, r: r}
+			continue
+		}
+		if ok, err := p.accept("/"); err != nil {
+			return nil, err
+		} else if ok {
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "/", l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if ok, err := p.accept("-"); err != nil {
+		return nil, err
+	} else if ok {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negExpr{e: e}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	tok := p.lx.tok
+	switch tok.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sheet: bad number %q", tok.text)
+		}
+		if err := p.lx.next(); err != nil {
+			return nil, err
+		}
+		return litExpr{v: Num(f)}, nil
+	case tokString:
+		if err := p.lx.next(); err != nil {
+			return nil, err
+		}
+		return litExpr{v: Str(tok.text)}, nil
+	case tokIdent:
+		if err := p.lx.next(); err != nil {
+			return nil, err
+		}
+		upper := strings.ToUpper(strings.ReplaceAll(tok.text, "$", ""))
+		switch upper {
+		case "TRUE":
+			return litExpr{v: Bool(true)}, nil
+		case "FALSE":
+			return litExpr{v: Bool(false)}, nil
+		}
+		// Function call?
+		if p.lx.tok.kind == tokOp && p.lx.tok.text == "(" {
+			if err := p.lx.next(); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			if !(p.lx.tok.kind == tokOp && p.lx.tok.text == ")") {
+				for {
+					a, err := p.parseCmp()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					ok, err := p.accept(",")
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						break
+					}
+				}
+			}
+			if ok, err := p.accept(")"); err != nil {
+				return nil, err
+			} else if !ok {
+				return nil, fmt.Errorf("sheet: missing ')' after %s(", upper)
+			}
+			return callExpr{name: upper, args: args}, nil
+		}
+		// Cell reference, possibly a range.
+		from, err := ParseRef(tok.text)
+		if err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(":"); err != nil {
+			return nil, err
+		} else if ok {
+			if p.lx.tok.kind != tokIdent {
+				return nil, fmt.Errorf("sheet: expected reference after ':'")
+			}
+			to, err := ParseRef(p.lx.tok.text)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.lx.next(); err != nil {
+				return nil, err
+			}
+			return rangeExpr{rg: Range{From: from, To: to}}, nil
+		}
+		return refExpr{r: from}, nil
+	case tokOp:
+		if tok.text == "(" {
+			if err := p.lx.next(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseCmp()
+			if err != nil {
+				return nil, err
+			}
+			if ok, err := p.accept(")"); err != nil {
+				return nil, err
+			} else if !ok {
+				return nil, fmt.Errorf("sheet: missing ')'")
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sheet: unexpected token %q", tok.text)
+}

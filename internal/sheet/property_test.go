@@ -1,0 +1,146 @@
+package sheet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// The property: a randomly generated arithmetic formula over literal
+// cells evaluates to the same number as direct Go evaluation of the
+// same expression tree.
+
+type genExpr struct {
+	text  string
+	value float64
+	ok    bool // false when the expression divides by zero somewhere
+}
+
+// genArith builds a random expression of the given depth over cells
+// A1..A9 (pre-set to known values) and literals.
+func genArith(r *xrand.Rand, depth int, cells []float64) genExpr {
+	if depth == 0 || r.Bool(0.3) {
+		if r.Bool(0.5) {
+			i := r.Intn(len(cells))
+			return genExpr{text: Ref{Col: 1, Row: i + 1}.String(), value: cells[i], ok: true}
+		}
+		v := float64(r.Intn(19) - 9)
+		return genExpr{text: fmt.Sprintf("%g", v), value: v, ok: true}
+	}
+	l := genArith(r, depth-1, cells)
+	rt := genArith(r, depth-1, cells)
+	switch r.Intn(5) {
+	case 0:
+		return genExpr{text: "(" + l.text + "+" + rt.text + ")", value: l.value + rt.value, ok: l.ok && rt.ok}
+	case 1:
+		return genExpr{text: "(" + l.text + "-" + rt.text + ")", value: l.value - rt.value, ok: l.ok && rt.ok}
+	case 2:
+		return genExpr{text: "(" + l.text + "*" + rt.text + ")", value: l.value * rt.value, ok: l.ok && rt.ok}
+	case 3:
+		ok := l.ok && rt.ok && rt.value != 0
+		var v float64
+		if ok {
+			v = l.value / rt.value
+		}
+		return genExpr{text: "(" + l.text + "/" + rt.text + ")", value: v, ok: ok}
+	default:
+		return genExpr{text: "-(" + l.text + ")", value: -l.value, ok: l.ok}
+	}
+}
+
+func TestPropertyRandomArithmetic(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := New(nil)
+		cells := make([]float64, 9)
+		entries := map[string]any{}
+		for i := range cells {
+			cells[i] = float64(r.Intn(21) - 10)
+			entries[Ref{Col: 1, Row: i + 1}.String()] = cells[i]
+		}
+		if err := s.SetBulk(entries); err != nil {
+			return false
+		}
+		e := genArith(r, 1+r.Intn(4), cells)
+		if err := s.SetFormula("Z1", "="+e.text); err != nil {
+			t.Logf("seed %d: formula %q failed to parse: %v", seed, e.text, err)
+			return false
+		}
+		v, err := s.Get("Z1")
+		if err != nil {
+			return false
+		}
+		if !e.ok {
+			return v.IsErr() // division by zero must surface as an error value
+		}
+		if v.Kind != Number {
+			t.Logf("seed %d: formula %q gave %v, want %g", seed, e.text, v, e.value)
+			return false
+		}
+		if math.Abs(v.Num-e.value) > 1e-9*math.Max(1, math.Abs(e.value)) {
+			t.Logf("seed %d: formula %q = %g, want %g", seed, e.text, v.Num, e.value)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEditPropagationConsistent(t *testing.T) {
+	// Editing inputs after building a formula chain must give the same
+	// values as building the chain on the final inputs directly.
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		build := func(a, b float64) (*Sheet, error) {
+			s := New(nil)
+			if err := s.Set("A1", a); err != nil {
+				return nil, err
+			}
+			if err := s.Set("A2", b); err != nil {
+				return nil, err
+			}
+			if err := s.SetFormula("B1", "=A1*2+A2"); err != nil {
+				return nil, err
+			}
+			if err := s.SetFormula("B2", "=B1-A1"); err != nil {
+				return nil, err
+			}
+			if err := s.SetFormula("B3", "=SUM(B1:B2)"); err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		a0, b0 := r.Range(-50, 50), r.Range(-50, 50)
+		a1, b1 := r.Range(-50, 50), r.Range(-50, 50)
+		edited, err := build(a0, b0)
+		if err != nil {
+			return false
+		}
+		if err := edited.Set("A1", a1); err != nil {
+			return false
+		}
+		if err := edited.Set("A2", b1); err != nil {
+			return false
+		}
+		fresh, err := build(a1, b1)
+		if err != nil {
+			return false
+		}
+		for _, ref := range []string{"B1", "B2", "B3"} {
+			ev, _ := edited.Get(ref)
+			fv, _ := fresh.Get(ref)
+			if ev.Kind != Number || fv.Kind != Number || ev.Num != fv.Num {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

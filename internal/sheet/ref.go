@@ -1,0 +1,101 @@
+// Package sheet implements the third platform paradigm the paper's
+// introduction names alongside scripts and GUI workflows: spreadsheets.
+// It is a formula-evaluating spreadsheet engine — A1-style references,
+// an expression language with ranges and built-in functions, a
+// dependency graph with cycle detection, and eager recalculation —
+// plus the same virtual-clock cost accounting as the other two
+// engines, so the paradigm can join the comparison as an extension
+// experiment (the paper's stated future work).
+package sheet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ref addresses one cell: 1-based column and row ("A1" is {1,1}).
+type Ref struct {
+	Col int
+	Row int
+}
+
+// ParseRef parses an A1-style reference such as "B12" or "$C$4"
+// (dollar anchors are accepted and ignored — the engine has no
+// fill/copy semantics).
+func ParseRef(s string) (Ref, error) {
+	orig := s
+	s = strings.ReplaceAll(strings.ToUpper(strings.TrimSpace(s)), "$", "")
+	i := 0
+	col := 0
+	for i < len(s) && s[i] >= 'A' && s[i] <= 'Z' {
+		col = col*26 + int(s[i]-'A'+1)
+		i++
+	}
+	if i == 0 {
+		return Ref{}, fmt.Errorf("sheet: reference %q has no column letters", orig)
+	}
+	row := 0
+	if i == len(s) {
+		return Ref{}, fmt.Errorf("sheet: reference %q has no row number", orig)
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return Ref{}, fmt.Errorf("sheet: bad reference %q", orig)
+		}
+		row = row*10 + int(s[i]-'0')
+	}
+	if row == 0 {
+		return Ref{}, fmt.Errorf("sheet: row numbers start at 1 in %q", orig)
+	}
+	return Ref{Col: col, Row: row}, nil
+}
+
+// MustRef is ParseRef that panics; for statically known references.
+func MustRef(s string) Ref {
+	r, err := ParseRef(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// String renders the reference in A1 style.
+func (r Ref) String() string {
+	col := ""
+	c := r.Col
+	for c > 0 {
+		c--
+		col = string(rune('A'+c%26)) + col
+		c /= 26
+	}
+	return fmt.Sprintf("%s%d", col, r.Row)
+}
+
+// Range is a rectangular block of cells, inclusive on both corners.
+type Range struct {
+	From, To Ref
+}
+
+// Cells enumerates the range's references in row-major order.
+func (rg Range) Cells() []Ref {
+	c1, c2 := rg.From.Col, rg.To.Col
+	if c1 > c2 {
+		c1, c2 = c2, c1
+	}
+	r1, r2 := rg.From.Row, rg.To.Row
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	out := make([]Ref, 0, (c2-c1+1)*(r2-r1+1))
+	for r := r1; r <= r2; r++ {
+		for c := c1; c <= c2; c++ {
+			out = append(out, Ref{Col: c, Row: r})
+		}
+	}
+	return out
+}
+
+// Size returns the number of cells covered.
+func (rg Range) Size() int {
+	return len(rg.Cells())
+}

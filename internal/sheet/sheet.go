@@ -1,0 +1,363 @@
+package sheet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+)
+
+// Calibrated evaluation costs: a spreadsheet engine's recalculation is
+// native code, but each formula node still pays interpretation and
+// each cell read a dependency-tracking overhead. Per-cell-read cost is
+// what makes O(n)-per-formula constructs (RANK, VLOOKUP) quadratic
+// over a column of them — the paradigm's scaling wall.
+var (
+	workPerNode     = cost.Work{Interp: 1.6e-6, Mem: 0.4e-6}
+	workPerCellRead = cost.Work{Interp: 0.8e-6, Mem: 0.4e-6}
+	workPerEntry    = cost.Work{Interp: 4e-6, Mem: 1e-6} // setting one cell
+)
+
+type cellState struct {
+	formula Expr
+	src     string
+	value   Value
+}
+
+// rangeDep records that dep's formula reads the whole range. Keeping
+// ranges intact (rather than exploding them into per-cell edges) keeps
+// the dependency graph linear in the number of formulas even when a
+// column of RANK formulas each reads the whole column.
+type rangeDep struct {
+	rg  Range
+	dep Ref
+}
+
+// Sheet is one spreadsheet: cells, their formulas, a dependency graph
+// and a virtual clock. The zero value is not usable; call New.
+type Sheet struct {
+	model *cost.Model
+	cells map[Ref]*cellState
+	// dependents maps a cell to the cells whose formulas read it via a
+	// point reference.
+	dependents map[Ref]map[Ref]bool
+	// rangeDeps holds range reads (aggregations, lookups, ranks).
+	rangeDeps []rangeDep
+	elapsed   float64
+	evals     int64
+}
+
+// New creates an empty sheet. A nil model uses cost.Default(). The
+// application startup cost is charged immediately.
+func New(model *cost.Model) *Sheet {
+	if model == nil {
+		model = cost.Default()
+	}
+	return &Sheet{
+		model:      model,
+		cells:      make(map[Ref]*cellState),
+		dependents: make(map[Ref]map[Ref]bool),
+		elapsed:    model.ControlOverhead,
+	}
+}
+
+// Elapsed returns the simulated seconds spent so far.
+func (s *Sheet) Elapsed() float64 { return s.elapsed }
+
+// Evals returns the number of formula evaluations performed.
+func (s *Sheet) Evals() int64 { return s.evals }
+
+// charge adds work to the clock.
+func (s *Sheet) charge(w cost.Work) {
+	s.elapsed += w.Seconds(cost.Python) // formulas cost like interpreted code
+}
+
+// Set stores a literal value (number, string or bool) and eagerly
+// recalculates everything downstream, as interactive spreadsheets do.
+func (s *Sheet) Set(ref string, v any) error {
+	r, err := ParseRef(ref)
+	if err != nil {
+		return err
+	}
+	var val Value
+	switch v := v.(type) {
+	case float64:
+		val = Num(v)
+	case int:
+		val = Num(float64(v))
+	case int64:
+		val = Num(float64(v))
+	case string:
+		val = Str(v)
+	case bool:
+		val = Bool(v)
+	default:
+		return fmt.Errorf("sheet: unsupported literal type %T", v)
+	}
+	s.detach(r)
+	s.cells[r] = &cellState{value: val}
+	s.charge(workPerEntry)
+	return s.recalcFrom(r)
+}
+
+// SetFormula parses and stores a formula ("=SUM(A1:A9)") and eagerly
+// recalculates the cell and everything downstream.
+func (s *Sheet) SetFormula(ref, formula string) error {
+	r, err := ParseRef(ref)
+	if err != nil {
+		return err
+	}
+	e, err := ParseFormula(formula)
+	if err != nil {
+		return err
+	}
+	s.detach(r)
+	s.cells[r] = &cellState{formula: e, src: formula}
+	points, ranges := e.deps(nil, nil)
+	for _, dep := range points {
+		m := s.dependents[dep]
+		if m == nil {
+			m = make(map[Ref]bool)
+			s.dependents[dep] = m
+		}
+		m[r] = true
+	}
+	for _, rg := range ranges {
+		s.rangeDeps = append(s.rangeDeps, rangeDep{rg: rg, dep: r})
+	}
+	s.charge(workPerEntry)
+	return s.recalcFrom(r)
+}
+
+// detach removes r's outgoing dependency edges before a rewrite.
+func (s *Sheet) detach(r Ref) {
+	old, ok := s.cells[r]
+	if !ok || old.formula == nil {
+		return
+	}
+	points, _ := old.formula.deps(nil, nil)
+	for _, dep := range points {
+		delete(s.dependents[dep], r)
+	}
+	kept := s.rangeDeps[:0]
+	for _, rd := range s.rangeDeps {
+		if rd.dep != r {
+			kept = append(kept, rd)
+		}
+	}
+	s.rangeDeps = kept
+}
+
+// dependentsOf returns the distinct cells whose formulas read r,
+// through point references or covering ranges.
+func (s *Sheet) dependentsOf(r Ref) []Ref {
+	seen := map[Ref]bool{}
+	var out []Ref
+	for d := range s.dependents[r] {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, rd := range s.rangeDeps {
+		if rd.rg.contains(r) && !seen[rd.dep] {
+			seen[rd.dep] = true
+			out = append(out, rd.dep)
+		}
+	}
+	return out
+}
+
+// Get returns a cell's current value (Empty for unset cells).
+func (s *Sheet) Get(ref string) (Value, error) {
+	r, err := ParseRef(ref)
+	if err != nil {
+		return Value{}, err
+	}
+	return s.valueOf(r), nil
+}
+
+func (s *Sheet) valueOf(r Ref) Value {
+	if c, ok := s.cells[r]; ok {
+		return c.value
+	}
+	return Value{}
+}
+
+// Formula returns the source of a cell's formula, or "" for literals
+// and unset cells.
+func (s *Sheet) Formula(ref string) (string, error) {
+	r, err := ParseRef(ref)
+	if err != nil {
+		return "", err
+	}
+	if c, ok := s.cells[r]; ok {
+		return c.src, nil
+	}
+	return "", nil
+}
+
+// affected returns r plus everything transitively downstream of it, in
+// dependency order; cyclic cells are returned in the second list.
+func (s *Sheet) affected(start Ref) (order []Ref, cyclic []Ref) {
+	// Collect the downstream subgraph.
+	sub := map[Ref]bool{start: true}
+	queue := []Ref{start}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, d := range s.dependentsOf(r) {
+			if !sub[d] {
+				sub[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	// Kahn's algorithm restricted to the subgraph; in-degree counts
+	// only edges inside it.
+	indeg := map[Ref]int{}
+	for r := range sub {
+		indeg[r] = 0
+	}
+	for r := range sub {
+		for _, d := range s.dependentsOf(r) {
+			if sub[d] {
+				indeg[d]++
+			}
+		}
+	}
+	var ready []Ref
+	for r, n := range indeg {
+		if n == 0 {
+			ready = append(ready, r)
+		}
+	}
+	sortRefs(ready)
+	for len(ready) > 0 {
+		r := ready[0]
+		ready = ready[1:]
+		order = append(order, r)
+		var next []Ref
+		for _, d := range s.dependentsOf(r) {
+			if !sub[d] {
+				continue
+			}
+			indeg[d]--
+			if indeg[d] == 0 {
+				next = append(next, d)
+			}
+		}
+		sortRefs(next)
+		ready = append(ready, next...)
+	}
+	if len(order) < len(sub) {
+		for r := range sub {
+			if indeg[r] > 0 {
+				cyclic = append(cyclic, r)
+			}
+		}
+		sortRefs(cyclic)
+	}
+	return order, cyclic
+}
+
+func sortRefs(rs []Ref) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Row != rs[j].Row {
+			return rs[i].Row < rs[j].Row
+		}
+		return rs[i].Col < rs[j].Col
+	})
+}
+
+// recalcFrom re-evaluates start and its downstream cells. Cells on a
+// dependency cycle get #CYCLE! error values instead of looping.
+func (s *Sheet) recalcFrom(start Ref) error {
+	order, cyclic := s.affected(start)
+	for _, r := range cyclic {
+		if c, ok := s.cells[r]; ok {
+			c.value = Errf("#CYCLE!")
+		}
+	}
+	for _, r := range order {
+		c, ok := s.cells[r]
+		if !ok || c.formula == nil {
+			continue
+		}
+		ec := &evalCtx{get: s.valueOf}
+		v, err := ec.eval(c.formula)
+		if err != nil {
+			// Malformed usage (bad arity, range misuse) becomes an
+			// error value, like real spreadsheets.
+			v = Errf("#ERROR! %v", err)
+		}
+		c.value = v
+		s.evals++
+		s.charge(workPerNode.Scale(float64(ec.ops)))
+		s.charge(workPerCellRead.Scale(float64(ec.cells)))
+	}
+	return nil
+}
+
+// RecalcAll re-evaluates every formula on the sheet (the F9 key),
+// useful after bulk loading with SetBulk.
+func (s *Sheet) RecalcAll() {
+	var roots []Ref
+	for r, c := range s.cells {
+		if c.formula != nil {
+			roots = append(roots, r)
+		}
+	}
+	sortRefs(roots)
+	// A full pass: evaluate in dependency order by running affected()
+	// from a virtual root — simply topo-order all formula cells.
+	visited := map[Ref]bool{}
+	for _, r := range roots {
+		if visited[r] {
+			continue
+		}
+		order, cyclic := s.affected(r)
+		for _, c := range cyclic {
+			if cs, ok := s.cells[c]; ok {
+				cs.value = Errf("#CYCLE!")
+				visited[c] = true
+			}
+		}
+		for _, o := range order {
+			visited[o] = true
+		}
+		if err := s.recalcFrom(r); err != nil {
+			return
+		}
+	}
+}
+
+// SetBulk loads many literals without intermediate recalculation — the
+// paste path. One RecalcAll afterwards brings formulas up to date.
+func (s *Sheet) SetBulk(entries map[string]any) error {
+	for ref, v := range entries {
+		r, err := ParseRef(ref)
+		if err != nil {
+			return err
+		}
+		var val Value
+		switch v := v.(type) {
+		case float64:
+			val = Num(v)
+		case int:
+			val = Num(float64(v))
+		case int64:
+			val = Num(float64(v))
+		case string:
+			val = Str(v)
+		case bool:
+			val = Bool(v)
+		default:
+			return fmt.Errorf("sheet: unsupported literal type %T", v)
+		}
+		s.detach(r)
+		s.cells[r] = &cellState{value: val}
+		s.charge(workPerEntry)
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+package sheet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func newSheet(t *testing.T) *Sheet {
+	t.Helper()
+	return New(nil)
+}
+
+func mustSet(t *testing.T, s *Sheet, ref string, v any) {
+	t.Helper()
+	if err := s.Set(ref, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustFormula(t *testing.T, s *Sheet, ref, f string) {
+	t.Helper()
+	if err := s.SetFormula(ref, f); err != nil {
+		t.Fatalf("%s %s: %v", ref, f, err)
+	}
+}
+
+func num(t *testing.T, s *Sheet, ref string) float64 {
+	t.Helper()
+	v, err := s.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != Number {
+		t.Fatalf("%s = %v (%v), want a number", ref, v, v.Kind)
+	}
+	return v.Num
+}
+
+func TestRefParsing(t *testing.T) {
+	cases := map[string]Ref{
+		"A1":    {1, 1},
+		"B12":   {2, 12},
+		"Z9":    {26, 9},
+		"AA1":   {27, 1},
+		"AB3":   {28, 3},
+		"$C$4":  {3, 4},
+		" d7 ":  {4, 7},
+		"BA100": {53, 100},
+	}
+	for in, want := range cases {
+		got, err := ParseRef(in)
+		if err != nil {
+			t.Fatalf("ParseRef(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseRef(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "1A", "A0", "A", "7", "A1B", "A-1"} {
+		if _, err := ParseRef(bad); err == nil {
+			t.Fatalf("ParseRef(%q): expected error", bad)
+		}
+	}
+}
+
+func TestRefStringRoundTrip(t *testing.T) {
+	f := func(c, r uint8) bool {
+		ref := Ref{Col: 1 + int(c)%100, Row: 1 + int(r)%1000}
+		parsed, err := ParseRef(ref.String())
+		return err == nil && parsed == ref
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeCells(t *testing.T) {
+	rg := Range{From: MustRef("A1"), To: MustRef("B2")}
+	cells := rg.Cells()
+	if len(cells) != 4 || rg.Size() != 4 {
+		t.Fatalf("cells = %v", cells)
+	}
+	// Reversed corners normalize.
+	rev := Range{From: MustRef("B2"), To: MustRef("A1")}
+	if rev.Size() != 4 {
+		t.Fatal("reversed range wrong")
+	}
+}
+
+func TestLiteralsAndArithmetic(t *testing.T) {
+	s := newSheet(t)
+	mustSet(t, s, "A1", 2)
+	mustSet(t, s, "A2", 3.5)
+	mustFormula(t, s, "A3", "=A1+A2*2")
+	if got := num(t, s, "A3"); got != 9 {
+		t.Fatalf("A3 = %v", got)
+	}
+	mustFormula(t, s, "A4", "=(A1+A2)*2")
+	if got := num(t, s, "A4"); got != 11 {
+		t.Fatalf("A4 = %v", got)
+	}
+	mustFormula(t, s, "A5", "=-A1")
+	if got := num(t, s, "A5"); got != -2 {
+		t.Fatalf("A5 = %v", got)
+	}
+}
+
+func TestRecalcPropagates(t *testing.T) {
+	s := newSheet(t)
+	mustSet(t, s, "A1", 1)
+	mustFormula(t, s, "B1", "=A1*10")
+	mustFormula(t, s, "C1", "=B1+5")
+	if got := num(t, s, "C1"); got != 15 {
+		t.Fatalf("C1 = %v", got)
+	}
+	mustSet(t, s, "A1", 7)
+	if got := num(t, s, "C1"); got != 75 {
+		t.Fatalf("C1 after edit = %v", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := newSheet(t)
+	for i := 1; i <= 10; i++ {
+		mustSet(t, s, Ref{Col: 1, Row: i}.String(), i)
+	}
+	mustFormula(t, s, "B1", "=SUM(A1:A10)")
+	mustFormula(t, s, "B2", "=COUNT(A1:A10)")
+	mustFormula(t, s, "B3", "=AVERAGE(A1:A10)")
+	mustFormula(t, s, "B4", "=MIN(A1:A10)")
+	mustFormula(t, s, "B5", "=MAX(A1:A10)")
+	mustFormula(t, s, "B6", "=MEDIAN(A1:A10)")
+	want := map[string]float64{"B1": 55, "B2": 10, "B3": 5.5, "B4": 1, "B5": 10, "B6": 5.5}
+	for ref, w := range want {
+		if got := num(t, s, ref); got != w {
+			t.Fatalf("%s = %v, want %v", ref, got, w)
+		}
+	}
+}
+
+func TestIfAndLogic(t *testing.T) {
+	s := newSheet(t)
+	mustSet(t, s, "A1", 5)
+	mustFormula(t, s, "B1", `=IF(A1>3, "big", "small")`)
+	v, _ := s.Get("B1")
+	if v.Str != "big" {
+		t.Fatalf("B1 = %v", v)
+	}
+	mustFormula(t, s, "B2", "=AND(A1>3, A1<10)")
+	mustFormula(t, s, "B3", "=OR(A1>100, FALSE)")
+	mustFormula(t, s, "B4", "=NOT(B3)")
+	for ref, want := range map[string]bool{"B2": true, "B3": false, "B4": true} {
+		v, _ := s.Get(ref)
+		if v.Kind != Boolean || v.Bool != want {
+			t.Fatalf("%s = %v", ref, v)
+		}
+	}
+}
+
+func TestStringsAndConcat(t *testing.T) {
+	s := newSheet(t)
+	mustSet(t, s, "A1", "fire")
+	mustFormula(t, s, "B1", `=A1 & "-" & 2024`)
+	v, _ := s.Get("B1")
+	if v.Str != "fire-2024" {
+		t.Fatalf("B1 = %v", v)
+	}
+	mustFormula(t, s, "B2", `=LEN(B1)`)
+	if got := num(t, s, "B2"); got != 9 {
+		t.Fatalf("LEN = %v", got)
+	}
+	mustFormula(t, s, "B3", `="a ""quoted"" word"`)
+	v, _ = s.Get("B3")
+	if v.Str != `a "quoted" word` {
+		t.Fatalf("B3 = %q", v.Str)
+	}
+}
+
+func TestComparisonsAndErrors(t *testing.T) {
+	s := newSheet(t)
+	mustSet(t, s, "A1", 4)
+	mustFormula(t, s, "B1", "=A1/0")
+	v, _ := s.Get("B1")
+	if !v.IsErr() || !strings.Contains(v.Err, "#DIV/0!") {
+		t.Fatalf("B1 = %v", v)
+	}
+	// Errors propagate.
+	mustFormula(t, s, "B2", "=B1+1")
+	v, _ = s.Get("B2")
+	if !v.IsErr() {
+		t.Fatalf("B2 = %v", v)
+	}
+	mustFormula(t, s, "B3", "=SQRT(-1)")
+	v, _ = s.Get("B3")
+	if !v.IsErr() || !strings.Contains(v.Err, "#NUM!") {
+		t.Fatalf("B3 = %v", v)
+	}
+	mustFormula(t, s, "B4", `="text"+1`)
+	v, _ = s.Get("B4")
+	if !v.IsErr() {
+		t.Fatalf("B4 = %v", v)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	s := newSheet(t)
+	mustFormula(t, s, "A1", "=B1+1")
+	mustFormula(t, s, "B1", "=A1+1")
+	for _, ref := range []string{"A1", "B1"} {
+		v, _ := s.Get(ref)
+		if !v.IsErr() || !strings.Contains(v.Err, "#CYCLE!") {
+			t.Fatalf("%s = %v", ref, v)
+		}
+	}
+	// Breaking the cycle heals both cells.
+	mustSet(t, s, "B1", 10)
+	if got := num(t, s, "A1"); got != 11 {
+		t.Fatalf("A1 after healing = %v", got)
+	}
+}
+
+func TestSelfReferenceCycle(t *testing.T) {
+	s := newSheet(t)
+	mustFormula(t, s, "A1", "=A1+1")
+	v, _ := s.Get("A1")
+	if !v.IsErr() || !strings.Contains(v.Err, "#CYCLE!") {
+		t.Fatalf("A1 = %v", v)
+	}
+}
+
+func TestVlookup(t *testing.T) {
+	s := newSheet(t)
+	// A small two-column table: key in A, value in B.
+	rows := map[string]any{
+		"A1": "ann", "B1": 31,
+		"A2": "bob", "B2": 42,
+		"A3": "cat", "B3": 53,
+	}
+	if err := s.SetBulk(rows); err != nil {
+		t.Fatal(err)
+	}
+	mustFormula(t, s, "D1", `=VLOOKUP("bob", A1:B3, 2)`)
+	if got := num(t, s, "D1"); got != 42 {
+		t.Fatalf("VLOOKUP = %v", got)
+	}
+	mustFormula(t, s, "D2", `=VLOOKUP("zed", A1:B3, 2)`)
+	v, _ := s.Get("D2")
+	if !v.IsErr() || !strings.Contains(v.Err, "#N/A") {
+		t.Fatalf("D2 = %v", v)
+	}
+	mustFormula(t, s, "D3", `=VLOOKUP("ann", A1:B3, 5)`)
+	v, _ = s.Get("D3")
+	if !v.IsErr() || !strings.Contains(v.Err, "#REF!") {
+		t.Fatalf("D3 = %v", v)
+	}
+}
+
+func TestRank(t *testing.T) {
+	s := newSheet(t)
+	vals := []float64{7, 3, 9, 1}
+	for i, v := range vals {
+		mustSet(t, s, Ref{Col: 1, Row: i + 1}.String(), v)
+	}
+	for i := range vals {
+		mustFormula(t, s, Ref{Col: 2, Row: i + 1}.String(),
+			"=RANK("+Ref{Col: 1, Row: i + 1}.String()+", A1:A4)")
+	}
+	wants := []float64{3, 2, 4, 1}
+	for i, w := range wants {
+		if got := num(t, s, Ref{Col: 2, Row: i + 1}.String()); got != w {
+			t.Fatalf("rank %d = %v, want %v", i+1, got, w)
+		}
+	}
+	mustFormula(t, s, "C1", "=RANK(999, A1:A4)")
+	v, _ := s.Get("C1")
+	if !v.IsErr() {
+		t.Fatalf("C1 = %v", v)
+	}
+}
+
+func TestFormulaParseErrors(t *testing.T) {
+	s := newSheet(t)
+	bad := []string{
+		"SUM(A1)",      // missing '='
+		"=SUM(A1",      // missing ')'
+		"=A1 +",        // dangling operator
+		"=FOO(1)",      // unknown function evaluates to error value...
+		`="unclosed`,   // unterminated string
+		"=1 2",         // trailing token
+		"=RANK(1, A1)", // non-range second arg
+		"=#",           // bad character
+	}
+	for _, f := range bad {
+		err := s.SetFormula("Z9", f)
+		if err == nil {
+			// Unknown functions and arity errors surface as error
+			// values instead.
+			v, _ := s.Get("Z9")
+			if !v.IsErr() {
+				t.Fatalf("formula %q neither failed nor produced an error value (got %v)", f, v)
+			}
+		}
+	}
+}
+
+func TestClockAdvancesWithWork(t *testing.T) {
+	s := newSheet(t)
+	before := s.Elapsed()
+	mustSet(t, s, "A1", 1)
+	afterSet := s.Elapsed()
+	if afterSet <= before {
+		t.Fatal("Set charged nothing")
+	}
+	mustFormula(t, s, "B1", "=SUM(A1:A1000)")
+	afterBig := s.Elapsed()
+	mustFormula(t, s, "C1", "=A1+1")
+	afterSmall := s.Elapsed()
+	if (afterBig - afterSet) <= (afterSmall - afterBig) {
+		t.Fatal("a 1000-cell SUM should cost more than a single addition")
+	}
+	if s.Evals() == 0 {
+		t.Fatal("no evaluations counted")
+	}
+}
+
+func TestSetBulkThenRecalcAll(t *testing.T) {
+	s := newSheet(t)
+	mustFormula(t, s, "B1", "=SUM(A1:A5)")
+	entries := map[string]any{}
+	for i := 1; i <= 5; i++ {
+		entries[Ref{Col: 1, Row: i}.String()] = i
+	}
+	if err := s.SetBulk(entries); err != nil {
+		t.Fatal(err)
+	}
+	// Bulk load does not recalc; the formula is stale until F9.
+	s.RecalcAll()
+	if got := num(t, s, "B1"); got != 15 {
+		t.Fatalf("B1 after RecalcAll = %v", got)
+	}
+}
+
+func TestFormulaSourcePreserved(t *testing.T) {
+	s := newSheet(t)
+	mustFormula(t, s, "A1", "=1+2")
+	src, err := s.Formula("A1")
+	if err != nil || src != "=1+2" {
+		t.Fatalf("Formula = %q, %v", src, err)
+	}
+	if src, _ := s.Formula("Z99"); src != "" {
+		t.Fatal("unset cell should have no formula")
+	}
+}
+
+func TestPropertySumMatchesDirect(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		s := New(nil)
+		n := 1 + r.Intn(50)
+		var want float64
+		entries := map[string]any{}
+		for i := 1; i <= n; i++ {
+			v := r.Range(-100, 100)
+			entries[Ref{Col: 1, Row: i}.String()] = v
+			want += v
+		}
+		if err := s.SetBulk(entries); err != nil {
+			return false
+		}
+		if err := s.SetFormula("B1", "=SUM(A1:A"+Ref{Col: 1, Row: n}.String()[1:]+")"); err != nil {
+			return false
+		}
+		v, err := s.Get("B1")
+		if err != nil || v.Kind != Number {
+			return false
+		}
+		diff := v.Num - want
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

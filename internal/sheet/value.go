@@ -1,0 +1,132 @@
+package sheet
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates value types a cell may hold.
+type Kind int
+
+const (
+	// Empty is an unset cell; it behaves as 0 in arithmetic.
+	Empty Kind = iota
+	// Number is a float64.
+	Number
+	// Text is a string.
+	Text
+	// Boolean is a bool.
+	Boolean
+	// ErrorVal is a spreadsheet error such as #DIV/0! or #CYCLE!.
+	ErrorVal
+)
+
+// Value is the result of evaluating a cell.
+type Value struct {
+	Kind Kind
+	Num  float64
+	Str  string
+	Bool bool
+	Err  string
+}
+
+// Num returns a numeric value.
+func Num(f float64) Value { return Value{Kind: Number, Num: f} }
+
+// Str returns a text value.
+func Str(s string) Value { return Value{Kind: Text, Str: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{Kind: Boolean, Bool: b} }
+
+// Errf returns a spreadsheet error value.
+func Errf(format string, args ...any) Value {
+	return Value{Kind: ErrorVal, Err: fmt.Sprintf(format, args...)}
+}
+
+// IsErr reports whether the value is an error.
+func (v Value) IsErr() bool { return v.Kind == ErrorVal }
+
+// AsNumber coerces the value to a number the way spreadsheets do:
+// empty is 0, booleans are 0/1, numeric text parses, other text fails.
+func (v Value) AsNumber() (float64, error) {
+	switch v.Kind {
+	case Empty:
+		return 0, nil
+	case Number:
+		return v.Num, nil
+	case Boolean:
+		if v.Bool {
+			return 1, nil
+		}
+		return 0, nil
+	case Text:
+		f, err := strconv.ParseFloat(v.Str, 64)
+		if err != nil {
+			return 0, fmt.Errorf("#VALUE! %q is not a number", v.Str)
+		}
+		return f, nil
+	default:
+		return 0, fmt.Errorf("%s", v.Err)
+	}
+}
+
+// String renders the value the way a cell displays it.
+func (v Value) String() string {
+	switch v.Kind {
+	case Empty:
+		return ""
+	case Number:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case Text:
+		return v.Str
+	case Boolean:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return v.Err
+	}
+}
+
+// Equal compares two values for the = operator's semantics: numbers
+// numerically, text case-sensitively, booleans directly; mixed kinds
+// are unequal (except Empty = 0 and Empty = "").
+func (v Value) Equal(o Value) bool {
+	a, b := v, o
+	if a.Kind == Empty {
+		a = normalizeEmptyFor(b)
+	}
+	if b.Kind == Empty {
+		b = normalizeEmptyFor(a)
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Number:
+		return a.Num == b.Num
+	case Text:
+		return a.Str == b.Str
+	case Boolean:
+		return a.Bool == b.Bool
+	case Empty:
+		return true
+	default:
+		return false
+	}
+}
+
+// normalizeEmptyFor maps Empty to the zero value of the other
+// operand's kind.
+func normalizeEmptyFor(other Value) Value {
+	switch other.Kind {
+	case Text:
+		return Str("")
+	case Boolean:
+		return Bool(false)
+	default:
+		return Num(0)
+	}
+}

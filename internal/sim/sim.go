@@ -1,0 +1,360 @@
+// Package sim is a deterministic discrete-event simulator for job
+// graphs executing on bounded resource pools.
+//
+// Both execution paradigms in this repository lower their work to the
+// same representation: a directed acyclic graph of Jobs, each demanding
+// one slot of a named Pool for a known amount of simulated time. The
+// workflow engine lowers (operator, batch) pairs — which is what makes
+// pipelining emerge naturally — and the Ray-style scheduler lowers
+// tasks. Keeping one simulator for both paradigms confines their
+// differences to the lowering, so measured contrasts between paradigms
+// cannot be artifacts of two divergent clocks.
+//
+// Scheduling is non-preemptive greedy list scheduling: a job becomes
+// ready when all of its dependencies have finished plus its extra
+// latency, ready jobs queue per pool in (ready time, ID) order, and a
+// freed slot immediately starts the head of its pool's queue. The
+// simulation is fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// JobID identifies a job within one Schedule call.
+type JobID int
+
+// Job is one unit of simulated work.
+type Job struct {
+	ID   JobID   // unique within the job set
+	Name string  // optional label for traces and error messages
+	Cost float64 // simulated seconds of exclusive work on one slot
+	Pool string  // resource pool the job runs on
+
+	// Deps lists jobs that must finish before this job may start.
+	Deps []JobID
+
+	// Latency is extra delay (for example network transfer or
+	// deserialization) between the last dependency finishing and the
+	// job becoming ready. It does not occupy a slot.
+	Latency float64
+}
+
+// Pool is a named resource with a fixed number of identical slots.
+type Pool struct {
+	Name  string
+	Slots int
+}
+
+// Span records when one job ran.
+type Span struct {
+	Start  float64
+	Finish float64
+}
+
+// Result reports the outcome of a Schedule call.
+type Result struct {
+	// Makespan is the finish time of the last job.
+	Makespan float64
+	// Spans maps each job to its execution interval.
+	Spans map[JobID]Span
+	// BusyTime is the total slot-seconds consumed per pool.
+	BusyTime map[string]float64
+}
+
+// Utilization returns the fraction of pool slot-time spent busy over
+// the makespan, or 0 if the makespan is zero.
+func (r *Result) Utilization(pool string, slots int) float64 {
+	if r.Makespan <= 0 || slots <= 0 {
+		return 0
+	}
+	return r.BusyTime[pool] / (r.Makespan * float64(slots))
+}
+
+// event is either a job completion or (job == wakeupEvent) a
+// dispatch wakeup at the moment a queued job's latency elapses.
+type event struct {
+	at  float64
+	job JobID
+}
+
+// wakeupEvent marks events that exist only to trigger a dispatch at a
+// job's ready time. Without them, a job whose latency-delayed ready
+// time falls while other jobs are still running would not start until
+// the next completion, even with free slots.
+const wakeupEvent = JobID(-1)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].job < h[j].job
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// readyEntry is a job waiting for a slot in its pool.
+type readyEntry struct {
+	at  float64 // time the job became ready
+	job JobID
+}
+
+type readyQueue []readyEntry
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].job < q[j].job
+}
+func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)   { *q = append(*q, x.(readyEntry)) }
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Schedule simulates the execution of jobs on pools and returns the
+// resulting timeline. It returns an error for duplicate job IDs,
+// references to unknown pools or jobs, non-positive pool sizes,
+// negative costs, or dependency cycles.
+func Schedule(jobs []Job, pools []Pool) (*Result, error) {
+	byID := make(map[JobID]*Job, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if _, dup := byID[j.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate job id %d", j.ID)
+		}
+		if j.Cost < 0 {
+			return nil, fmt.Errorf("sim: job %d (%s) has negative cost %g", j.ID, j.Name, j.Cost)
+		}
+		if j.Latency < 0 {
+			return nil, fmt.Errorf("sim: job %d (%s) has negative latency %g", j.ID, j.Name, j.Latency)
+		}
+		byID[j.ID] = j
+	}
+	slots := make(map[string]int, len(pools))
+	free := make(map[string]int, len(pools))
+	for _, p := range pools {
+		if p.Slots <= 0 {
+			return nil, fmt.Errorf("sim: pool %q has %d slots", p.Name, p.Slots)
+		}
+		if _, dup := slots[p.Name]; dup {
+			return nil, fmt.Errorf("sim: duplicate pool %q", p.Name)
+		}
+		slots[p.Name] = p.Slots
+		free[p.Name] = p.Slots
+	}
+
+	// Validate references and build dependent lists.
+	pending := make(map[JobID]int, len(jobs)) // unfinished dep count
+	dependents := make(map[JobID][]JobID, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if _, ok := slots[j.Pool]; !ok {
+			return nil, fmt.Errorf("sim: job %d (%s) references unknown pool %q", j.ID, j.Name, j.Pool)
+		}
+		for _, d := range j.Deps {
+			if _, ok := byID[d]; !ok {
+				return nil, fmt.Errorf("sim: job %d (%s) depends on unknown job %d", j.ID, j.Name, d)
+			}
+			dependents[d] = append(dependents[d], j.ID)
+		}
+		pending[j.ID] = len(j.Deps)
+	}
+
+	res := &Result{
+		Spans:    make(map[JobID]Span, len(jobs)),
+		BusyTime: make(map[string]float64, len(pools)),
+	}
+
+	ready := make(map[string]*readyQueue, len(pools))
+	for name := range slots {
+		q := &readyQueue{}
+		heap.Init(q)
+		ready[name] = q
+	}
+	depFinish := make(map[JobID]float64, len(jobs)) // max finish among deps
+
+	running := &eventHeap{}
+	heap.Init(running)
+	var now float64
+	enqueue := func(id JobID, at float64) {
+		j := byID[id]
+		readyAt := at + j.Latency
+		heap.Push(ready[j.Pool], readyEntry{at: readyAt, job: id})
+		if readyAt > now {
+			heap.Push(running, event{at: readyAt, job: wakeupEvent})
+		}
+	}
+
+	// Jobs with no dependencies are ready at time 0 (plus latency).
+	ids := make([]JobID, 0, len(jobs))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	for _, id := range ids {
+		if pending[id] == 0 {
+			enqueue(id, 0)
+		}
+	}
+
+	finished := 0
+
+	start := func(id JobID, at float64) {
+		j := byID[id]
+		free[j.Pool]--
+		fin := at + j.Cost
+		res.Spans[id] = Span{Start: at, Finish: fin}
+		res.BusyTime[j.Pool] += j.Cost
+		heap.Push(running, event{at: fin, job: id})
+	}
+
+	// dispatch starts every startable job at the current time. A job is
+	// startable when it is ready (ready time <= now) and its pool has a
+	// free slot.
+	dispatch := func() {
+		for name, q := range ready {
+			for free[name] > 0 && q.Len() > 0 {
+				head := (*q)[0]
+				if head.at > now {
+					break
+				}
+				heap.Pop(q)
+				start(head.job, now)
+			}
+		}
+	}
+
+	dispatch()
+	for finished < len(jobs) {
+		// If no events are pending, advance time to the earliest ready
+		// job.
+		if running.Len() == 0 {
+			next := math.Inf(1)
+			for _, q := range ready {
+				if q.Len() > 0 && (*q)[0].at < next {
+					next = (*q)[0].at
+				}
+			}
+			if math.IsInf(next, 1) {
+				return nil, fmt.Errorf("sim: dependency cycle detected (%d of %d jobs stuck)", len(jobs)-finished, len(jobs))
+			}
+			now = next
+			dispatch()
+			continue
+		}
+		ev := heap.Pop(running).(event)
+		now = ev.at
+		if ev.job == wakeupEvent {
+			dispatch()
+			continue
+		}
+		j := byID[ev.job]
+		free[j.Pool]++
+		finished++
+		for _, dep := range dependents[ev.job] {
+			if now > depFinish[dep] {
+				depFinish[dep] = now
+			}
+			pending[dep]--
+			if pending[dep] == 0 {
+				enqueue(dep, depFinish[dep])
+			}
+		}
+		dispatch()
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+// CriticalPath returns the length of the longest dependency chain
+// (sum of costs and latencies), a lower bound on any schedule's
+// makespan. It returns an error on cycles or unknown dependencies.
+func CriticalPath(jobs []Job) (float64, error) {
+	byID := make(map[JobID]*Job, len(jobs))
+	for i := range jobs {
+		byID[jobs[i].ID] = &jobs[i]
+	}
+	memo := make(map[JobID]float64, len(jobs))
+	state := make(map[JobID]int, len(jobs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(id JobID) (float64, error)
+	visit = func(id JobID) (float64, error) {
+		if state[id] == 2 {
+			return memo[id], nil
+		}
+		if state[id] == 1 {
+			return 0, fmt.Errorf("sim: dependency cycle through job %d", id)
+		}
+		state[id] = 1
+		j, ok := byID[id]
+		if !ok {
+			return 0, fmt.Errorf("sim: unknown job %d", id)
+		}
+		longest := 0.0
+		for _, d := range j.Deps {
+			v, err := visit(d)
+			if err != nil {
+				return 0, err
+			}
+			if v > longest {
+				longest = v
+			}
+		}
+		state[id] = 2
+		memo[id] = longest + j.Cost + j.Latency
+		return memo[id], nil
+	}
+	best := 0.0
+	for id := range byID {
+		v, err := visit(id)
+		if err != nil {
+			return 0, err
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// TotalWork returns the sum of job costs grouped by pool.
+func TotalWork(jobs []Job) map[string]float64 {
+	m := make(map[string]float64)
+	for _, j := range jobs {
+		m[j.Pool] += j.Cost
+	}
+	return m
+}
+
+// LowerBound returns max(critical path, per-pool work / slots), a valid
+// lower bound for any non-preemptive schedule of jobs on pools.
+func LowerBound(jobs []Job, pools []Pool) (float64, error) {
+	cp, err := CriticalPath(jobs)
+	if err != nil {
+		return 0, err
+	}
+	lb := cp
+	work := TotalWork(jobs)
+	for _, p := range pools {
+		if p.Slots <= 0 {
+			return 0, fmt.Errorf("sim: pool %q has %d slots", p.Name, p.Slots)
+		}
+		if v := work[p.Name] / float64(p.Slots); v > lb {
+			lb = v
+		}
+	}
+	return lb, nil
+}

@@ -1,0 +1,270 @@
+// Package dice implements Task 1 of the reproduced paper: the DICE
+// data-wrangling pipeline over MACCROBAT-style clinical case reports
+// (paper Figure 4). Annotation files are parsed into entity and event
+// streams; events are filtered by whether they carry a Theme argument;
+// the Theme subset is joined with entities, rejoined with the held-out
+// subset, resolved to trigger spans, and finally linked to the
+// sentence containing each trigger — producing MACCROBAT-EE records.
+//
+// The task is implemented twice: as a notebook script (scaled out with
+// the Ray-style backend) and as a dataflow workflow, per the paper's
+// comparison design.
+package dice
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/brat"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/relation"
+	"repro/internal/textproc"
+)
+
+// Params sizes the task.
+type Params struct {
+	// Pairs is the number of (text, annotation) file pairs; the paper
+	// scales from 10 to the full 200.
+	Pairs int
+	// Seed drives the synthetic MACCROBAT generator.
+	Seed uint64
+}
+
+// Task is the DICE workload bound to a generated dataset.
+type Task struct {
+	params Params
+	cases  []datagen.ClinicalCase
+}
+
+// New generates the dataset and returns the task.
+func New(p Params) (*Task, error) {
+	if p.Pairs <= 0 {
+		return nil, fmt.Errorf("dice: pairs must be positive, got %d", p.Pairs)
+	}
+	return &Task{params: p, cases: datagen.GenerateClinicalCases(p.Pairs, p.Seed)}, nil
+}
+
+// Name implements core.Task.
+func (t *Task) Name() string { return "dice" }
+
+// Cases exposes the generated dataset (read-only by convention).
+func (t *Task) Cases() []datagen.ClinicalCase { return t.cases }
+
+// Calibrated per-record work constants (Python-seconds). They are
+// chosen so the end-to-end simulated times land near the paper's
+// Figure 13a/14a measurements; see EXPERIMENTS.md.
+var (
+	// workParse is charged per annotation line parsed.
+	workParse = cost.Work{Interp: 15e-3, Mem: 1e-3}
+	// workFilter is charged per event classified by Theme presence.
+	workFilter = cost.Work{Interp: 4e-3, Mem: 0.5e-3}
+	// workJoin is charged per event joined against the entity table.
+	workJoin = cost.Work{Interp: 24e-3, Mem: 3e-3}
+	// workSplit is charged per sentence produced by the splitter.
+	workSplit = cost.Work{Interp: 24e-3, Mem: 2e-3}
+	// workLink is charged per (event, sentence) pair examined by the
+	// sentence-linking join.
+	workLink = cost.Work{Interp: 6e-3, Mem: 0.6e-3}
+	// workWrite is charged per output record written by the driver (a
+	// serial step, which is part of why the script paradigm's speedup
+	// flattens as workers grow in Figure 14a).
+	workWrite = cost.Work{Interp: 16e-3, Mem: 1e-3}
+	// workScan is charged per source file read from disk.
+	workScan = cost.Work{Interp: 48e-3, Mem: 8e-3}
+)
+
+// OutputSchema is the MACCROBAT-EE record layout.
+var OutputSchema = relation.MustSchema(
+	relation.Field{Name: "case", Type: relation.String},
+	relation.Field{Name: "event", Type: relation.String},
+	relation.Field{Name: "etype", Type: relation.String},
+	relation.Field{Name: "trigger", Type: relation.String},
+	relation.Field{Name: "theme", Type: relation.String},
+	relation.Field{Name: "sentence", Type: relation.String},
+)
+
+// Record is one MACCROBAT-EE output row in struct form.
+type Record struct {
+	Case     string
+	Event    string
+	Type     string
+	Trigger  string
+	Theme    string
+	Sentence string
+}
+
+// Oracle computes the expected output directly, as the testing
+// reference both paradigm implementations must reproduce.
+func Oracle(cases []datagen.ClinicalCase) ([]Record, error) {
+	var out []Record
+	for _, c := range cases {
+		ents := make(map[string]brat.Entity, len(c.Ann.Entities))
+		for _, e := range c.Ann.Entities {
+			ents[e.ID] = e
+		}
+		sents := textproc.SplitSentences(c.Text)
+		for _, ev := range c.Ann.Events {
+			trig, ok := ents[ev.Trigger]
+			if !ok {
+				return nil, fmt.Errorf("dice: case %s event %s: unresolved trigger %s", c.ID, ev.ID, ev.Trigger)
+			}
+			theme := ""
+			for _, a := range ev.Args {
+				if a.Role == "Theme" {
+					th, ok := ents[a.Ref]
+					if !ok {
+						return nil, fmt.Errorf("dice: case %s event %s: unresolved theme %s", c.ID, ev.ID, a.Ref)
+					}
+					theme = th.Text
+					break
+				}
+			}
+			sentence := ""
+			for _, s := range sents {
+				if trig.Start >= s.Start && trig.End <= s.End {
+					sentence = s.Text
+					break
+				}
+			}
+			if sentence == "" {
+				return nil, fmt.Errorf("dice: case %s event %s: trigger outside every sentence", c.ID, ev.ID)
+			}
+			out = append(out, Record{
+				Case: c.ID, Event: ev.ID, Type: ev.Type,
+				Trigger: trig.Text, Theme: theme, Sentence: sentence,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RecordsToTable converts records to the canonical output table,
+// sorted for order-independent comparison.
+func RecordsToTable(recs []Record) *relation.Table {
+	t := relation.NewTable(OutputSchema)
+	for _, r := range recs {
+		t.AppendUnchecked(relation.Tuple{r.Case, r.Event, r.Type, r.Trigger, r.Theme, r.Sentence})
+	}
+	if err := t.SortBy("case", "event"); err != nil {
+		panic(err) // schema is static; cannot fail
+	}
+	return t
+}
+
+// Run implements core.Task.
+func (t *Task) Run(p core.Paradigm, cfg core.RunConfig) (*core.Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	switch p {
+	case core.Script:
+		return t.runScript(cfg)
+	case core.Workflow:
+		return t.runWorkflow(cfg)
+	default:
+		return nil, fmt.Errorf("dice: unknown paradigm %v", p)
+	}
+}
+
+// annFileTable renders the annotation files as a relational source
+// {case, ann}.
+func (t *Task) annFileTable() *relation.Table {
+	s := relation.MustSchema(
+		relation.Field{Name: "case", Type: relation.String},
+		relation.Field{Name: "ann", Type: relation.String},
+	)
+	tbl := relation.NewTable(s)
+	for _, c := range t.cases {
+		tbl.AppendUnchecked(relation.Tuple{c.ID, brat.Render(c.Ann)})
+	}
+	return tbl
+}
+
+// textFileTable renders the text files as a relational source
+// {case, text}.
+func (t *Task) textFileTable() *relation.Table {
+	s := relation.MustSchema(
+		relation.Field{Name: "case", Type: relation.String},
+		relation.Field{Name: "text", Type: relation.String},
+	)
+	tbl := relation.NewTable(s)
+	for _, c := range t.cases {
+		tbl.AppendUnchecked(relation.Tuple{c.ID, c.Text})
+	}
+	return tbl
+}
+
+// parsedAnnotation is the flattened row produced by parsing one
+// annotation line under either paradigm.
+type parsedAnnotation struct {
+	caseID  string
+	kind    string // "T" or "E"
+	id      string
+	typ     string
+	start   int64
+	end     int64
+	text    string
+	trigger string
+	theme   string
+}
+
+// parseAnnotationFile flattens one rendered BRAT document.
+func parseAnnotationFile(caseID, ann string) ([]parsedAnnotation, error) {
+	doc, err := brat.ParseString(ann)
+	if err != nil {
+		return nil, fmt.Errorf("dice: case %s: %w", caseID, err)
+	}
+	var out []parsedAnnotation
+	for _, e := range doc.Entities {
+		out = append(out, parsedAnnotation{
+			caseID: caseID, kind: "T", id: e.ID, typ: e.Type,
+			start: int64(e.Start), end: int64(e.End), text: e.Text,
+		})
+	}
+	for _, ev := range doc.Events {
+		pa := parsedAnnotation{caseID: caseID, kind: "E", id: ev.ID, typ: ev.Type, trigger: ev.Trigger}
+		for _, a := range ev.Args {
+			if a.Role == "Theme" {
+				pa.theme = a.Ref
+				break
+			}
+		}
+		out = append(out, pa)
+	}
+	return out, nil
+}
+
+// compositeKey builds the cross-file join key "case|id".
+func compositeKey(caseID, id string) string {
+	return caseID + "|" + id
+}
+
+// splitCaseSentences splits one case text into (sentence, span) rows.
+func splitCaseSentences(text string) []textproc.Sentence {
+	return textproc.SplitSentences(text)
+}
+
+// countAnnotations tallies dataset shape numbers used by cost charges.
+func (t *Task) countAnnotations() (entities, events, sentences int) {
+	for _, c := range t.cases {
+		entities += len(c.Ann.Entities)
+		events += len(c.Ann.Events)
+		sentences += len(textproc.SplitSentences(c.Text))
+	}
+	return
+}
+
+// loc counts non-blank non-comment lines in a source string.
+func loc(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if s != "" && !strings.HasPrefix(s, "#") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package dice
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newTask(t *testing.T, pairs int) *Task {
+	t.Helper()
+	task, err := New(Params{Pairs: pairs, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Params{Pairs: 0}); err == nil {
+		t.Fatal("expected error for zero pairs")
+	}
+}
+
+func TestOracleProducesRecords(t *testing.T) {
+	task := newTask(t, 10)
+	recs, err := Oracle(task.Cases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("oracle produced no records")
+	}
+	for _, r := range recs {
+		if r.Case == "" || r.Event == "" || r.Trigger == "" || r.Sentence == "" {
+			t.Fatalf("degenerate record %+v", r)
+		}
+	}
+	// Some records must carry themes and some must not (the DICE
+	// filter split).
+	withTheme, withoutTheme := 0, 0
+	for _, r := range recs {
+		if r.Theme != "" {
+			withTheme++
+		} else {
+			withoutTheme++
+		}
+	}
+	if withTheme == 0 || withoutTheme == 0 {
+		t.Fatalf("theme split degenerate: %d/%d", withTheme, withoutTheme)
+	}
+}
+
+func TestScriptMatchesOracle(t *testing.T) {
+	task := newTask(t, 15)
+	res, err := task.Run(core.Script, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Oracle(task.Cases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(RecordsToTable(recs)) {
+		t.Fatal("script output differs from oracle")
+	}
+	if res.SimSeconds <= 0 || res.LinesOfCode <= 0 || res.Operators <= 0 {
+		t.Fatalf("metrics degenerate: %+v", res)
+	}
+}
+
+func TestWorkflowMatchesOracle(t *testing.T) {
+	task := newTask(t, 15)
+	res, err := task.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Oracle(task.Cases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(RecordsToTable(recs)) {
+		t.Fatal("workflow output differs from oracle")
+	}
+}
+
+func TestParadigmsAgree(t *testing.T) {
+	task := newTask(t, 25)
+	s, w, err := core.RunBoth(task, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Output.Equal(w.Output) {
+		t.Fatal("paradigms disagree on output")
+	}
+}
+
+func TestParallelWorkflowMatchesOracle(t *testing.T) {
+	task := newTask(t, 25)
+	res, err := task.Run(core.Workflow, core.RunConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Oracle(task.Cases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(RecordsToTable(recs)) {
+		t.Fatal("parallel workflow output differs from oracle")
+	}
+}
+
+func TestMoreWorkersFasterBothParadigms(t *testing.T) {
+	task := newTask(t, 60)
+	for _, p := range []core.Paradigm{core.Script, core.Workflow} {
+		r1, err := task.Run(p, core.RunConfig{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := task.Run(p, core.RunConfig{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r4.SimSeconds >= r1.SimSeconds {
+			t.Fatalf("%s: 4 workers (%v) not faster than 1 (%v)", p, r4.SimSeconds, r1.SimSeconds)
+		}
+	}
+}
+
+func TestTimesDeterministic(t *testing.T) {
+	task := newTask(t, 20)
+	a, err := task.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := task.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimSeconds != b.SimSeconds {
+		t.Fatalf("workflow time not deterministic: %v vs %v", a.SimSeconds, b.SimSeconds)
+	}
+}
+
+func TestScriptLoCExceedsWorkflow(t *testing.T) {
+	task := newTask(t, 5)
+	s, w, err := core.RunBoth(task, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LinesOfCode <= w.LinesOfCode {
+		t.Fatalf("paper shape violated: script LoC %d <= workflow LoC %d", s.LinesOfCode, w.LinesOfCode)
+	}
+}

@@ -1,0 +1,67 @@
+package dice
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/notebook"
+)
+
+// The paper's Aspect #1: both paradigms let the user isolate a fault,
+// but the script reports it at cell granularity with a stack trace and
+// the workflow at operator granularity. Inject the same corrupt
+// annotation into both and check each paradigm's attribution.
+
+func corruptTask(t *testing.T) *Task {
+	t.Helper()
+	task := newTask(t, 8)
+	// Invert an entity span: the annotation file no longer parses.
+	ent := &task.Cases()[3].Ann.Entities[0]
+	ent.End = ent.Start
+	return task
+}
+
+func TestScriptReportsCellLevelError(t *testing.T) {
+	task := corruptTask(t)
+	_, err := task.Run(core.Script, core.RunConfig{})
+	if err == nil {
+		t.Fatal("expected the corrupt annotation to fail the run")
+	}
+	var cellErr *notebook.CellError
+	if !errors.As(err, &cellErr) {
+		t.Fatalf("script error is %T, want *notebook.CellError: %v", err, err)
+	}
+	if cellErr.Cell != "wrangle_chunks" {
+		t.Fatalf("error attributed to cell %q", cellErr.Cell)
+	}
+	// The synthetic traceback names the failing function frame.
+	if len(cellErr.Stack) == 0 || cellErr.Stack[0] != "wrangle_chunk" {
+		t.Fatalf("stack = %v", cellErr.Stack)
+	}
+	if !strings.Contains(cellErr.Error(), "In[") {
+		t.Fatalf("cell error should carry the execution counter: %q", cellErr.Error())
+	}
+}
+
+func TestWorkflowReportsOperatorLevelError(t *testing.T) {
+	task := corruptTask(t)
+	_, err := task.Run(core.Workflow, core.RunConfig{})
+	if err == nil {
+		t.Fatal("expected the corrupt annotation to fail the run")
+	}
+	var opErr *dataflow.OpError
+	if !errors.As(err, &opErr) {
+		t.Fatalf("workflow error is %T, want *dataflow.OpError: %v", err, err)
+	}
+	// Exactly the parsing operator is blamed — operator-level
+	// attribution.
+	if opErr.Op != "parse-annotations" {
+		t.Fatalf("error attributed to operator %q", opErr.Op)
+	}
+	if opErr.Worker < 0 {
+		t.Fatalf("operator error should name the failing worker: %+v", opErr)
+	}
+}

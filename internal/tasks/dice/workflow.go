@@ -1,0 +1,360 @@
+package dice
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dataflow"
+	"repro/internal/relation"
+	"repro/internal/textproc"
+)
+
+// Texera-style Python UDF bodies for the workflow's map operators —
+// the code a user types into the operator dialogs; the rest of the
+// workflow is configuration. Together with the operator configs these
+// are what the lines-of-code experiment counts for the workflow
+// paradigm.
+
+const udfParse = `class ParseAnnotationsOp(UDFOperator):
+    def process_tuple(self, tuple_, port):
+        case_id, ann = tuple_["case"], tuple_["ann"]
+        for line in ann.split("\n"):
+            if not line:
+                continue
+            key, body = line.split("\t", 1)
+            if key.startswith("T"):
+                header, text = body.split("\t", 1)
+                etype, start, end = header.split(" ")
+                yield {"case": case_id, "kind": "T", "id": key,
+                       "etype": etype, "start": int(start), "end": int(end),
+                       "text": text, "trigkey": "", "themekey": "",
+                       "ekey": case_id + "|" + key}
+            else:
+                fields = body.split(" ")
+                etype, trigger = fields[0].split(":")
+                theme = ""
+                for arg in fields[1:]:
+                    role, ref = arg.split(":")
+                    if role == "Theme":
+                        theme = ref
+                        break
+                themekey = case_id + "|" + theme if theme else ""
+                yield {"case": case_id, "kind": "E", "id": key,
+                       "etype": etype, "start": 0, "end": 0, "text": "",
+                       "trigkey": case_id + "|" + trigger,
+                       "themekey": themekey, "ekey": ""}
+`
+
+const udfSplit = `class SplitSentencesOp(UDFOperator):
+    def process_tuple(self, tuple_, port):
+        for s in split_sentences(tuple_["text"]):
+            yield {"case": tuple_["case"], "sentence": s.text,
+                   "sstart": s.start, "send": s.end}
+`
+
+const udfShapeOutput = `class ShapeOutputOp(UDFOperator):
+    def process_tuple(self, tuple_, port):
+        yield {"case": tuple_["case"], "event": tuple_["id"],
+               "etype": tuple_["etype"], "trigger": tuple_["text"],
+               "theme": tuple_["theme_text"], "sentence": tuple_["sentence"]}
+`
+
+// schemas used between the workflow operators.
+var (
+	parsedSchema = relation.MustSchema(
+		relation.Field{Name: "case", Type: relation.String},
+		relation.Field{Name: "kind", Type: relation.String},
+		relation.Field{Name: "id", Type: relation.String},
+		relation.Field{Name: "etype", Type: relation.String},
+		relation.Field{Name: "start", Type: relation.Int},
+		relation.Field{Name: "end", Type: relation.Int},
+		relation.Field{Name: "text", Type: relation.String},
+		relation.Field{Name: "trigkey", Type: relation.String},
+		relation.Field{Name: "themekey", Type: relation.String},
+		relation.Field{Name: "ekey", Type: relation.String},
+	)
+	entitySchema = relation.MustSchema(
+		relation.Field{Name: "ekey", Type: relation.String},
+		relation.Field{Name: "start", Type: relation.Int},
+		relation.Field{Name: "end", Type: relation.Int},
+		relation.Field{Name: "text", Type: relation.String},
+	)
+	eventSchema = relation.MustSchema(
+		relation.Field{Name: "case", Type: relation.String},
+		relation.Field{Name: "id", Type: relation.String},
+		relation.Field{Name: "etype", Type: relation.String},
+		relation.Field{Name: "trigkey", Type: relation.String},
+		relation.Field{Name: "themekey", Type: relation.String},
+	)
+	mergedSchema = relation.MustSchema(
+		relation.Field{Name: "case", Type: relation.String},
+		relation.Field{Name: "id", Type: relation.String},
+		relation.Field{Name: "etype", Type: relation.String},
+		relation.Field{Name: "trigkey", Type: relation.String},
+		relation.Field{Name: "theme_text", Type: relation.String},
+	)
+	sentenceSchema = relation.MustSchema(
+		relation.Field{Name: "case", Type: relation.String},
+		relation.Field{Name: "sentence", Type: relation.String},
+		relation.Field{Name: "sstart", Type: relation.Int},
+		relation.Field{Name: "send", Type: relation.Int},
+	)
+)
+
+// buildWorkflow assembles the DICE dataflow graph (paper Figure 4).
+func (t *Task) buildWorkflow(workers int) *dataflow.Workflow {
+	w := dataflow.New("dice")
+	lang := cost.Python
+
+	annSrc := w.Source("ann-files", t.annFileTable(), dataflow.WithScanWork(workScan))
+	textSrc := w.Source("text-files", t.textFileTable(), dataflow.WithScanWork(workScan))
+
+	// Parse annotation files into flat annotation rows.
+	parse := dataflow.NewMap("parse-annotations", lang, parsedSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		parsed, err := parseAnnotationFile(r.MustStr(0), r.MustStr(1))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]relation.Tuple, 0, len(parsed))
+		for _, pa := range parsed {
+			trigkey, themekey, ekey := "", "", ""
+			if pa.kind == "T" {
+				ekey = compositeKey(pa.caseID, pa.id)
+			} else {
+				trigkey = compositeKey(pa.caseID, pa.trigger)
+				if pa.theme != "" {
+					themekey = compositeKey(pa.caseID, pa.theme)
+				}
+			}
+			out = append(out, relation.Tuple{
+				pa.caseID, pa.kind, pa.id, pa.typ, pa.start, pa.end,
+				pa.text, trigkey, themekey, ekey,
+			})
+		}
+		return out, nil
+	})
+	parse.Work = cost.Work{}
+	parse.ExtraWork = func(r relation.Tuple) cost.Work {
+		lines := strings.Count(r.MustStr(1), "\n")
+		return workParse.Scale(float64(lines))
+	}
+	parseID := w.Op(parse, dataflow.WithParallelism(workers))
+	w.Connect(annSrc, parseID, 0, dataflow.RoundRobin())
+
+	// Entity and event extraction (selective maps).
+	extractEnt := dataflow.NewMap("extract-entities", lang, entitySchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		if r.MustStr(1) != "T" {
+			return nil, nil
+		}
+		return []relation.Tuple{{r.MustStr(9), r.MustInt(4), r.MustInt(5), r.MustStr(6)}}, nil
+	})
+	extractEnt.Work = cost.Work{Interp: 1.5e-3}
+	entID := w.Op(extractEnt, dataflow.WithParallelism(workers))
+	w.Connect(parseID, entID, 0, dataflow.RoundRobin())
+
+	extractEv := dataflow.NewMap("extract-events", lang, eventSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		if r.MustStr(1) != "E" {
+			return nil, nil
+		}
+		return []relation.Tuple{{r.MustStr(0), r.MustStr(2), r.MustStr(3), r.MustStr(7), r.MustStr(8)}}, nil
+	})
+	extractEv.Work = cost.Work{Interp: 1.5e-3}
+	evID := w.Op(extractEv, dataflow.WithParallelism(workers))
+	w.Connect(parseID, evID, 0, dataflow.RoundRobin())
+
+	// Theme-based event split (the Figure 4 filter).
+	withTheme := dataflow.NewFilter("events-with-theme", lang, func(r relation.Tuple) bool {
+		return r.MustStr(4) != ""
+	})
+	withTheme.Work = workFilter
+	withThemeID := w.Op(withTheme, dataflow.WithParallelism(workers))
+	w.Connect(evID, withThemeID, 0, dataflow.RoundRobin())
+
+	noTheme := dataflow.NewFilter("events-without-theme", lang, func(r relation.Tuple) bool {
+		return r.MustStr(4) == ""
+	})
+	noTheme.Work = workFilter
+	noThemeID := w.Op(noTheme, dataflow.WithParallelism(workers))
+	w.Connect(evID, noThemeID, 0, dataflow.RoundRobin())
+
+	// Join the Theme subset with entities.
+	joinTheme := dataflow.NewHashJoin("join-theme-entities", lang, "ekey", "themekey", relation.Inner)
+	joinTheme.ProbeWork = workJoin
+	joinThemeID := w.Op(joinTheme, dataflow.WithParallelism(workers))
+	w.Connect(entID, joinThemeID, 0, dataflow.HashPartition("ekey"))
+	w.Connect(withThemeID, joinThemeID, 1, dataflow.HashPartition("themekey"))
+
+	// Reshape both branches to the merged schema.
+	shapeTheme := dataflow.NewMap("shape-theme", lang, mergedSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		// join output: case,id,etype,trigkey,themekey, start,end,text
+		return []relation.Tuple{{r.MustStr(0), r.MustStr(1), r.MustStr(2), r.MustStr(3), r.MustStr(7)}}, nil
+	})
+	shapeTheme.Work = cost.Work{Interp: 1.5e-3}
+	shapeThemeID := w.Op(shapeTheme, dataflow.WithParallelism(workers))
+	w.Connect(joinThemeID, shapeThemeID, 0, dataflow.RoundRobin())
+
+	shapeNoTheme := dataflow.NewMap("shape-heldout", lang, mergedSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		return []relation.Tuple{{r.MustStr(0), r.MustStr(1), r.MustStr(2), r.MustStr(3), ""}}, nil
+	})
+	shapeNoTheme.Work = cost.Work{Interp: 1.5e-3}
+	shapeNoThemeID := w.Op(shapeNoTheme, dataflow.WithParallelism(workers))
+	w.Connect(noThemeID, shapeNoThemeID, 0, dataflow.RoundRobin())
+
+	// Rejoin with the held-out subset.
+	union := dataflow.NewUnion("rejoin-heldout", lang)
+	unionID := w.Op(union, dataflow.WithParallelism(workers))
+	w.Connect(shapeThemeID, unionID, 0, dataflow.RoundRobin())
+	w.Connect(shapeNoThemeID, unionID, 1, dataflow.RoundRobin())
+
+	// Resolve trigger spans.
+	joinTrig := dataflow.NewHashJoin("join-trigger-entities", lang, "ekey", "trigkey", relation.Inner)
+	joinTrig.ProbeWork = workJoin
+	joinTrigID := w.Op(joinTrig, dataflow.WithParallelism(workers))
+	w.Connect(entID, joinTrigID, 0, dataflow.HashPartition("ekey"))
+	w.Connect(unionID, joinTrigID, 1, dataflow.HashPartition("trigkey"))
+
+	// Sentence splitting.
+	split := dataflow.NewMap("split-sentences", lang, sentenceSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		var out []relation.Tuple
+		for _, s := range splitCaseSentences(r.MustStr(1)) {
+			out = append(out, relation.Tuple{r.MustStr(0), s.Text, int64(s.Start), int64(s.End)})
+		}
+		return out, nil
+	})
+	split.Work = cost.Work{}
+	split.ExtraWork = func(r relation.Tuple) cost.Work {
+		n := len(textproc.SplitSentences(r.MustStr(1)))
+		return workSplit.Scale(float64(n))
+	}
+	splitID := w.Op(split, dataflow.WithParallelism(workers))
+	w.Connect(textSrc, splitID, 0, dataflow.RoundRobin())
+
+	// Link events to their sentence: join on case, then keep the
+	// containing sentence.
+	linkJoin := dataflow.NewHashJoin("join-sentences", lang, "case", "case", relation.Inner)
+	linkJoin.ProbeWork = cost.Work{Interp: 1.5e-3}
+	linkJoinID := w.Op(linkJoin, dataflow.WithParallelism(workers))
+	w.Connect(splitID, linkJoinID, 0, dataflow.HashPartition("case"))
+	w.Connect(joinTrigID, linkJoinID, 1, dataflow.HashPartition("case"))
+
+	contain := dataflow.NewFilter("filter-containing", lang, func(r relation.Tuple) bool {
+		// joined row: case,id,etype,trigkey,theme_text,start,end,text, sentence,sstart,send
+		start, end := r.MustInt(5), r.MustInt(6)
+		return start >= r.MustInt(9) && end <= r.MustInt(10)
+	})
+	contain.Work = workLink
+	containID := w.Op(contain, dataflow.WithParallelism(workers))
+	w.Connect(linkJoinID, containID, 0, dataflow.RoundRobin())
+
+	// Final shaping and the result sink.
+	shapeOut := dataflow.NewMap("shape-output", lang, OutputSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		return []relation.Tuple{{r.MustStr(0), r.MustStr(1), r.MustStr(2), r.MustStr(7), r.MustStr(4), r.MustStr(8)}}, nil
+	})
+	shapeOut.Work = workWrite
+	shapeOutID := w.Op(shapeOut, dataflow.WithParallelism(workers))
+	w.Connect(containID, shapeOutID, 0, dataflow.RoundRobin())
+
+	sink := w.Sink("maccrobat-ee")
+	w.Connect(shapeOutID, sink, 0, dataflow.RoundRobin())
+	return w
+}
+
+// runWorkflow executes DICE as a dataflow workflow.
+func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
+	return t.RunWorkflowWithBatch(cfg, 0)
+}
+
+// ProfileWorkflow runs the DICE workflow once and returns its cost
+// trace — the input the engine's auto-tuner plans worker allocations
+// from.
+func (t *Task) ProfileWorkflow(cfg core.RunConfig) (*dataflow.Trace, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	w := t.buildWorkflow(cfg.Workers)
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper()})
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+// RunWorkflowWithBatch executes the DICE workflow with an explicit
+// source batch size (0 = engine auto-tuning) — the knob the batching
+// ablation sweeps.
+func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	w := t.buildWorkflow(cfg.Workers)
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, BatchSize: batchSize, Cluster: cluster.Paper()})
+	if err != nil {
+		return nil, err
+	}
+	out := res.Tables["maccrobat-ee"]
+	recs := make([]Record, 0, out.Len())
+	for _, r := range out.Rows() {
+		recs = append(recs, Record{
+			Case: r.MustStr(0), Event: r.MustStr(1), Type: r.MustStr(2),
+			Trigger: r.MustStr(3), Theme: r.MustStr(4), Sentence: r.MustStr(5),
+		})
+	}
+	return &core.Result{
+		Task:          t.Name(),
+		Paradigm:      core.Workflow,
+		SimSeconds:    res.SimSeconds,
+		LinesOfCode:   t.workflowLoC(),
+		Operators:     w.NumOperators(),
+		ParallelProcs: cfg.Workers,
+		Output:        RecordsToTable(recs),
+	}, nil
+}
+
+// workflowLoC counts the workflow implementation size: each operator's
+// configuration lines plus the UDF bodies typed into map operators.
+func (t *Task) workflowLoC() int {
+	total := 0
+	for _, udf := range []string{udfParse, udfSplit, udfShapeOutput} {
+		total += loc(udf)
+	}
+	total += len(workflowConfig())
+	return total
+}
+
+// workflowConfig renders the operator configuration the user fills in
+// through the GUI — the non-UDF part of the workflow implementation.
+func workflowConfig() []string {
+	ops := []struct {
+		typ, params string
+	}{
+		{"FileScan", `path=maccrobat/*.ann, format=text, output=[case, ann]`},
+		{"FileScan", `path=maccrobat/*.txt, format=text, output=[case, text]`},
+		{"PythonUDF", `class=ParseAnnotationsOp, workers=N`},
+		{"PythonUDF", `class=ExtractEntitiesOp, keep=kind==T, output=[ekey, start, end, text]`},
+		{"PythonUDF", `class=ExtractEventsOp, keep=kind==E, output=[case, id, etype, trigkey, themekey]`},
+		{"Filter", `condition=themekey != ""`},
+		{"Filter", `condition=themekey == ""`},
+		{"HashJoin", `build=entities.ekey, probe=events.themekey, type=inner`},
+		{"Projection", `output=[case, id, etype, trigkey, theme_text]`},
+		{"Projection", `output=[case, id, etype, trigkey, theme_text=""]`},
+		{"Union", `inputs=2`},
+		{"HashJoin", `build=entities.ekey, probe=merged.trigkey, type=inner`},
+		{"PythonUDF", `class=SplitSentencesOp, workers=N`},
+		{"HashJoin", `build=sentences.case, probe=resolved.case, type=inner`},
+		{"Filter", `condition=start >= sstart and end <= send`},
+		{"PythonUDF", `class=ShapeOutputOp`},
+		{"ViewResults", `name=maccrobat-ee`},
+	}
+	lines := make([]string, 0, len(ops)*2)
+	for i, o := range ops {
+		lines = append(lines, fmt.Sprintf("operator %d: type=%s", i+1, o.typ))
+		lines = append(lines, "  "+o.params)
+	}
+	return lines
+}

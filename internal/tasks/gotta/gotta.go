@@ -1,0 +1,183 @@
+// Package gotta implements Task 3 of the reproduced paper: GOTTA
+// one-step inference — generative prompt-based cloze question
+// answering with a fine-tuned BART model (paper Figure 6). Prompts are
+// built from passages, batched, pushed through a forward pass of the
+// model, and the generated answers are evaluated against the gold
+// spans.
+//
+// The stand-in generator is internal/ml/genqa; the 1.59 GB checkpoint
+// footprint and BART-scale forward-pass cost are carried by the cost
+// model. The paper's script-paradigm slowdown comes from Ray's object
+// store (every task fetches the model) and its num_cpus=1 PyTorch
+// pinning; both mechanisms are reproduced here.
+package gotta
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/ml/genqa"
+	"repro/internal/relation"
+)
+
+// Params sizes the task.
+type Params struct {
+	// Paragraphs is the passage count; the paper uses 1, 4 and 16.
+	Paragraphs int
+	// SentencesPer controls passage length (default 5; each sentence
+	// yields one cloze question).
+	SentencesPer int
+	// Seed drives the passage generator.
+	Seed uint64
+}
+
+// Task is the GOTTA workload bound to a generated dataset.
+type Task struct {
+	params   Params
+	passages []datagen.Passage
+	model    *genqa.Model
+}
+
+// New generates the dataset and returns the task.
+func New(p Params) (*Task, error) {
+	if p.Paragraphs <= 0 {
+		return nil, fmt.Errorf("gotta: paragraphs must be positive, got %d", p.Paragraphs)
+	}
+	if p.SentencesPer == 0 {
+		p.SentencesPer = 5
+	}
+	if p.SentencesPer < 0 {
+		return nil, fmt.Errorf("gotta: negative sentences per paragraph %d", p.SentencesPer)
+	}
+	return &Task{
+		params:   p,
+		passages: datagen.GeneratePassages(p.Paragraphs, p.SentencesPer, p.Seed),
+		model:    genqa.NewModel(),
+	}, nil
+}
+
+// Name implements core.Task.
+func (t *Task) Name() string { return "gotta" }
+
+// Passages exposes the dataset.
+func (t *Task) Passages() []datagen.Passage { return t.passages }
+
+// Calibrated cost constants.
+var (
+	// workImports is the torch+transformers import cost.
+	workImports = cost.Work{Interp: 2.4, Mem: 0.6}
+	// workModelInit is loading and initializing the 1.59 GB BART
+	// checkpoint in one Python process.
+	workModelInit = cost.Work{Interp: 38, Mem: 24}
+	// workWorkerInit is a workflow UDF worker initializing its model
+	// copy (the checkpoint arrives over the network, not the object
+	// store, and initialization overlaps across workers).
+	workWorkerInit = cost.Work{Interp: 20, Mem: 13}
+	// workPrompt is building one (question, masked answer, paragraph)
+	// prompt.
+	workPrompt = cost.Work{Interp: 0.55, Mem: 0.05}
+	// forwardSecondsPerQA is one cloze through the generator at a
+	// single CPU core; paradigms divide it by their permitted torch
+	// parallelism.
+	forwardSecondsPerQA = 18.0
+	// workEval scores one generated answer.
+	workEval = cost.Work{Interp: 0.18, Mem: 0.02}
+)
+
+// OutputSchema is the answer table layout.
+var OutputSchema = relation.MustSchema(
+	relation.Field{Name: "passage", Type: relation.String},
+	relation.Field{Name: "qa", Type: relation.Int},
+	relation.Field{Name: "cloze", Type: relation.String},
+	relation.Field{Name: "answer", Type: relation.String},
+	relation.Field{Name: "generated", Type: relation.String},
+	relation.Field{Name: "em", Type: relation.Bool},
+)
+
+// Answer is one generated result.
+type Answer struct {
+	Passage   string
+	QA        int
+	Cloze     string
+	Gold      string
+	Generated string
+	EM        bool
+}
+
+// Generate answers one cloze — the shared inference kernel both
+// paradigms call.
+func (t *Task) generate(ctx, cloze, gold string) (string, bool) {
+	pred := t.model.Generate(ctx, cloze)
+	return pred, genqa.ExactMatch(pred, gold)
+}
+
+// AnswersToTable converts answers to the canonical output table,
+// sorted for comparison.
+func AnswersToTable(as []Answer) *relation.Table {
+	tbl := relation.NewTable(OutputSchema)
+	for _, a := range as {
+		tbl.AppendUnchecked(relation.Tuple{a.Passage, int64(a.QA), a.Cloze, a.Gold, a.Generated, a.EM})
+	}
+	if err := tbl.SortBy("passage", "qa"); err != nil {
+		panic(err) // static schema
+	}
+	return tbl
+}
+
+// quality aggregates EM and F1 over answers.
+func quality(as []Answer) map[string]float64 {
+	if len(as) == 0 {
+		return map[string]float64{}
+	}
+	em, f1 := 0.0, 0.0
+	for _, a := range as {
+		if a.EM {
+			em++
+		}
+		f1 += genqa.F1(a.Generated, a.Gold)
+	}
+	return map[string]float64{
+		"exact_match": em / float64(len(as)),
+		"f1":          f1 / float64(len(as)),
+	}
+}
+
+// numQAs counts the cloze questions in the dataset.
+func (t *Task) numQAs() int {
+	n := 0
+	for _, p := range t.passages {
+		n += len(p.QAs)
+	}
+	return n
+}
+
+// Run implements core.Task.
+func (t *Task) Run(p core.Paradigm, cfg core.RunConfig) (*core.Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	switch p {
+	case core.Script:
+		return t.runScript(cfg)
+	case core.Workflow:
+		return t.runWorkflow(cfg)
+	default:
+		return nil, fmt.Errorf("gotta: unknown paradigm %v", p)
+	}
+}
+
+// loc counts non-blank non-comment lines.
+func loc(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if s != "" && !strings.HasPrefix(s, "#") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package gotta
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/notebook"
+	"repro/internal/objstore"
+	"repro/internal/raysim"
+)
+
+// Notebook cell sources (pseudo-Python).
+
+const srcImports = `import ray
+import torch
+from transformers import BartForConditionalGeneration, BartTokenizer
+from gotta.evaluation import exact_match, token_f1
+
+ray.init(address="auto")
+`
+
+const srcLoadModel = `tokenizer = BartTokenizer.from_pretrained("gotta-bart-large")
+model = BartForConditionalGeneration.from_pretrained("gotta-bart-large")
+model.eval()
+model_ref = ray.put(model)
+`
+
+const srcBuildPrompts = `passages = load_passages("passages.jsonl")
+prompt_batches = []
+for passage in passages:
+    batch = []
+    for qa in passage.qas:
+        question = qa["cloze"]
+        answers = qa["answer"]
+        prompt = f"Question: {question} Context: {passage.text}"
+        batch.append({"passage": passage.id, "qa": qa["idx"],
+                      "prompt": prompt, "answer": answers})
+    prompt_batches.append(batch)
+`
+
+const srcInference = `@ray.remote
+def run_batch(model_ref, batch):
+    model = ray.get(model_ref)
+    outputs = []
+    for item in batch:
+        ids = tokenizer(item["prompt"], return_tensors="pt")
+        with torch.no_grad():
+            gen = model.generate(**ids, max_new_tokens=16)
+        text = tokenizer.decode(gen[0], skip_special_tokens=True)
+        outputs.append({**item, "generated": text})
+    return outputs
+
+futures = [run_batch.remote(model_ref, b) for b in prompt_batches]
+results = ray.get(futures)
+`
+
+const srcEvaluate = `answers = [a for batch in results for a in batch]
+em = sum(exact_match(a["generated"], a["answer"]) for a in answers)
+f1 = sum(token_f1(a["generated"], a["answer"]) for a in answers)
+print(f"EM = {em / len(answers):.3f}  F1 = {f1 / len(answers):.3f}")
+save_jsonl("gotta_answers.jsonl", answers)
+`
+
+// runScript executes GOTTA as a Ray-scaled notebook: the model is put
+// into the shared object store once, then one task per paragraph
+// fetches it and runs the forward pass pinned to a single CPU.
+func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
+	nb := notebook.New("gotta", cfg.Model)
+	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
+	if err != nil {
+		return nil, err
+	}
+	const modelID = objstore.ID("gotta-bart")
+
+	var answers []Answer
+	parallel := 1
+
+	nb.Add(&notebook.Cell{Name: "imports", Source: srcImports, Run: func(k *notebook.Kernel) error {
+		k.Charge(workImports)
+		return nil
+	}})
+	nb.Add(&notebook.Cell{Name: "load_model", Source: srcLoadModel, Run: func(k *notebook.Kernel) error {
+		k.Charge(workModelInit)
+		secs, err := ray.Store().Put(modelID, t.model.ModelBytes)
+		if err != nil {
+			return err
+		}
+		k.ChargeSeconds(secs)
+		return nil
+	}})
+	nb.Add(&notebook.Cell{Name: "build_prompts", Source: srcBuildPrompts, Run: func(k *notebook.Kernel) error {
+		k.Charge(workPrompt.Scale(float64(t.numQAs())))
+		return nil
+	}})
+	nb.Add(&notebook.Cell{Name: "inference", Source: srcInference, Run: func(k *notebook.Kernel) error {
+		return k.Call("run_batch", func() error {
+			job := ray.NewJob()
+			for _, p := range t.passages {
+				job.Submit(raysim.TaskSpec{
+					Name:             "batch-" + p.ID,
+					Gets:             []objstore.ID{modelID},
+					FrameworkSeconds: forwardSecondsPerQA * float64(len(p.QAs)),
+				})
+				for qi, qa := range p.QAs {
+					pred, em := t.generate(qa.Context, qa.Cloze, qa.Answer)
+					answers = append(answers, Answer{
+						Passage: p.ID, QA: qi, Cloze: qa.Cloze,
+						Gold: qa.Answer, Generated: pred, EM: em,
+					})
+				}
+			}
+			res, err := job.Run()
+			if err != nil {
+				return err
+			}
+			k.ChargeSeconds(res.Makespan)
+			parallel = res.ParallelTasks
+			return nil
+		})
+	}})
+	var out map[string]float64
+	nb.Add(&notebook.Cell{Name: "evaluate", Source: srcEvaluate, Run: func(k *notebook.Kernel) error {
+		k.Charge(workEval.Scale(float64(len(answers))))
+		out = quality(answers)
+		return nil
+	}})
+
+	if err := nb.RunAll(); err != nil {
+		return nil, err
+	}
+	if len(answers) == 0 {
+		return nil, fmt.Errorf("gotta: no answers generated")
+	}
+	return &core.Result{
+		Task:          t.Name(),
+		Paradigm:      core.Script,
+		SimSeconds:    nb.Elapsed(),
+		LinesOfCode:   nb.LinesOfCode(),
+		Operators:     nb.NumCells(),
+		ParallelProcs: parallel,
+		Output:        AnswersToTable(answers),
+		Quality:       out,
+	}, nil
+}

@@ -1,0 +1,281 @@
+package kge
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newTask(t *testing.T, products int, v Variant) *Task {
+	t.Helper()
+	task, err := New(Params{Products: products, Seed: 2, Variant: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Params{Products: 0}); err == nil {
+		t.Fatal("expected error for zero products")
+	}
+	if _, err := New(Params{Products: 10, Users: -1}); err == nil {
+		t.Fatal("expected error for negative users")
+	}
+	if _, err := New(Params{Products: 10, TopK: -1}); err == nil {
+		t.Fatal("expected error for negative top-k")
+	}
+	if _, err := New(Params{Products: 10, Variant: Variant{Ops: 7}}); err == nil {
+		t.Fatal("expected error for 7 ops")
+	}
+}
+
+func TestOracleRecommendsUserCategory(t *testing.T) {
+	task := newTask(t, 800, Variant{})
+	recs, err := task.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("recommendations = %d", len(recs))
+	}
+	q := task.quality(recs)
+	if q["hit_rate"] < 0.6 {
+		t.Fatalf("hit rate = %v, embeddings failed to rank the user's category", q["hit_rate"])
+	}
+}
+
+func TestOracleSkipsOutOfStock(t *testing.T) {
+	task := newTask(t, 500, Variant{})
+	recs, err := task.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		p := task.World().ProductByASIN(r.ASIN)
+		if p == nil || !p.InStock {
+			t.Fatalf("recommended unavailable product %s", r.ASIN)
+		}
+	}
+}
+
+func TestScriptMatchesOracle(t *testing.T) {
+	task := newTask(t, 600, Variant{})
+	res, err := task.Run(core.Script, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := task.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(RecommendationsToTable(recs)) {
+		t.Fatal("script output differs from oracle")
+	}
+}
+
+func TestAllVariantsMatchOracle(t *testing.T) {
+	for ops := 1; ops <= 6; ops++ {
+		task := newTask(t, 400, Variant{Ops: ops})
+		res, err := task.Run(core.Workflow, core.RunConfig{})
+		if err != nil {
+			t.Fatalf("ops=%d: %v", ops, err)
+		}
+		recs, err := task.Oracle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Output.Equal(RecommendationsToTable(recs)) {
+			t.Fatalf("ops=%d: workflow output differs from oracle", ops)
+		}
+	}
+}
+
+func TestScalaVariantMatchesOracle(t *testing.T) {
+	task := newTask(t, 400, Variant{Ops: 3, ScalaJoin: true})
+	res, err := task.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := task.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(RecommendationsToTable(recs)) {
+		t.Fatal("scala workflow output differs from oracle")
+	}
+	// The nine-operator decomposition must show in the operator count.
+	py := newTask(t, 400, Variant{Ops: 3})
+	pyRes, err := py.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operators <= pyRes.Operators {
+		t.Fatalf("scala variant has %d operators, python %d", res.Operators, pyRes.Operators)
+	}
+}
+
+func TestScalaJoinRequiresCompatibleLayout(t *testing.T) {
+	task := newTask(t, 100, Variant{Ops: 1, ScalaJoin: true})
+	if _, err := task.Run(core.Workflow, core.RunConfig{}); err == nil {
+		t.Fatal("expected error for Scala join inside a fully fused operator")
+	}
+}
+
+func TestScalaFasterAtSmallScaleOnly(t *testing.T) {
+	// Table I shape: a clear Scala advantage at 6.8k-scale inputs, a
+	// vanishing relative advantage at 10x the data.
+	small := 3000
+	py := newTask(t, small, Variant{Ops: 3})
+	sc := newTask(t, small, Variant{Ops: 3, ScalaJoin: true})
+	rp, err := py.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sc.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallGain := (rp.SimSeconds - rs.SimSeconds) / rp.SimSeconds
+	if smallGain < 0.1 {
+		t.Fatalf("small-scale Scala gain = %.1f%%, want > 10%%", smallGain*100)
+	}
+	big := 30000
+	pyB := newTask(t, big, Variant{Ops: 3})
+	scB := newTask(t, big, Variant{Ops: 3, ScalaJoin: true})
+	rpb, err := pyB.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsb, err := scB.Run(core.Workflow, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigGain := (rpb.SimSeconds - rsb.SimSeconds) / rpb.SimSeconds
+	if bigGain >= smallGain {
+		t.Fatalf("Scala gain should shrink with scale: small %.1f%%, big %.1f%%", smallGain*100, bigGain*100)
+	}
+	if bigGain > 0.08 {
+		t.Fatalf("large-scale Scala gain = %.1f%%, want < 8%%", bigGain*100)
+	}
+}
+
+func TestScriptBeatsWorkflow(t *testing.T) {
+	// Figure 13c shape: the notebook wins KGE at every scale.
+	task := newTask(t, 3000, Variant{})
+	s, w, err := core.RunBoth(task, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SimSeconds >= w.SimSeconds {
+		t.Fatalf("script (%v) should beat workflow (%v) on KGE", s.SimSeconds, w.SimSeconds)
+	}
+	ratio := w.SimSeconds / s.SimSeconds
+	if ratio < 1.1 || ratio > 1.9 {
+		t.Fatalf("workflow/script ratio = %v, want in the paper's 1.25-1.5 band", ratio)
+	}
+}
+
+func TestModularitySweepShape(t *testing.T) {
+	// Figure 12b shape: splitting the pipeline speeds it up with
+	// diminishing returns; 6 ops is not better than 5.
+	times := make([]float64, 7)
+	for ops := 1; ops <= 6; ops++ {
+		task := newTask(t, 3000, Variant{Ops: ops})
+		res, err := task.Run(core.Workflow, core.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[ops] = res.SimSeconds
+	}
+	if times[5] >= times[1] {
+		t.Fatalf("5 ops (%v) should beat 1 op (%v)", times[5], times[1])
+	}
+	if times[3] > times[1]+1e-9 {
+		t.Fatalf("3 ops (%v) should not be slower than 1 op (%v)", times[3], times[1])
+	}
+	// Diminishing returns: the 5->6 step is no longer an improvement.
+	if times[6] < times[5]-0.05*times[5] {
+		t.Fatalf("6 ops (%v) improved noticeably over 5 (%v)", times[6], times[5])
+	}
+}
+
+func TestWorkersSpeedUpBothParadigms(t *testing.T) {
+	task := newTask(t, 8000, Variant{})
+	for _, p := range []core.Paradigm{core.Script, core.Workflow} {
+		r1, err := task.Run(p, core.RunConfig{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := task.Run(p, core.RunConfig{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r4.SimSeconds >= r1.SimSeconds {
+			t.Fatalf("%s: 4 workers (%v) not faster than 1 (%v)", p, r4.SimSeconds, r1.SimSeconds)
+		}
+	}
+}
+
+func TestParallelWorkflowMatchesOracle(t *testing.T) {
+	task := newTask(t, 2000, Variant{})
+	res, err := task.Run(core.Workflow, core.RunConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := task.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(RecommendationsToTable(recs)) {
+		t.Fatal("parallel workflow output differs from oracle")
+	}
+}
+
+func TestWorkflowLoCExceedsScript(t *testing.T) {
+	// Figure 12a shape: KGE is the one task where the workflow needs
+	// slightly more lines than the notebook.
+	task := newTask(t, 200, Variant{})
+	s, w, err := core.RunBoth(task, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.LinesOfCode <= s.LinesOfCode {
+		t.Fatalf("paper shape violated: workflow LoC %d <= script LoC %d", w.LinesOfCode, s.LinesOfCode)
+	}
+}
+
+func TestSpreadsheetMatchesOracle(t *testing.T) {
+	task := newTask(t, 300, Variant{})
+	res, err := task.RunSpreadsheet(core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := task.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(RecommendationsToTable(recs)) {
+		t.Fatalf("spreadsheet output differs from oracle:\n%v\nvs\n%v", res.Output.Rows(), recs)
+	}
+	if res.SimSeconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestSpreadsheetQuadraticScaling(t *testing.T) {
+	// The extension finding: the spreadsheet's RANK column makes the
+	// task superlinear, unlike the other two paradigms.
+	t1, err := newTask(t, 800, Variant{}).RunSpreadsheet(core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := newTask(t, 3200, Variant{}).RunSpreadsheet(core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := t2.SimSeconds / t1.SimSeconds
+	if growth < 5 {
+		t.Fatalf("4x data grew time only %.1fx; expected superlinear (>5x)", growth)
+	}
+}

@@ -1,0 +1,109 @@
+package kge
+
+import "fmt"
+
+// The workflow's Python UDF bodies (the operator dialogs' code) and the
+// per-operator configuration, counted by the lines-of-code experiment.
+// The paper measured the KGE workflow slightly *larger* than the
+// notebook (134 vs 128 lines): the GUI saves little here because most
+// steps are custom UDFs whose configuration is itself verbose.
+
+const udfPipeline = `class FilterInStockOp(UDFOperator):
+    def process_tuple(self, tuple_, port):
+        if tuple_["instock"]:
+            yield tuple_
+
+class EmbeddingJoinOp(UDFOperator):
+    def open(self):
+        self.table = load_embedding_table("kge_embeddings.parquet")
+
+    def process_tuple(self, tuple_, port):
+        vec = self.table.get(tuple_["asin"])
+        if vec is None:
+            raise KeyError(tuple_["asin"])
+        tuple_["emb"] = vec
+        yield tuple_
+
+class ComputeDeltaOp(UDFOperator):
+    def open(self):
+        self.user_vec = load_user_vector(USER)
+        self.rel_vec = load_relation_vector(RELATION)
+
+    def process_tuple(self, tuple_, port):
+        tuple_["delta"] = self.user_vec + self.rel_vec - tuple_["emb"]
+        yield tuple_
+
+class ComputeDistanceOp(UDFOperator):
+    def process_tuple(self, tuple_, port):
+        delta = tuple_.pop("delta")
+        tuple_["dist"] = float(np.sqrt((delta * delta).sum()))
+        yield tuple_
+
+class ReverseLookupOp(UDFOperator):
+    def __init__(self):
+        self.rank = 0
+
+    def open(self):
+        self.table = load_embedding_table("kge_embeddings.parquet")
+
+    def process_tuple(self, tuple_, port):
+        self.rank += 1
+        entity = nearest_entity(self.table, tuple_["emb"])
+        yield {"rank": self.rank, "asin": entity,
+               "title": tuple_["title"], "dist": tuple_["dist"]}
+`
+
+// workflowLoC counts the workflow implementation size for the task's
+// variant.
+func (t *Task) workflowLoC() int {
+	total := loc(udfPipeline)
+	total += len(t.workflowConfig())
+	return total
+}
+
+// workflowConfig renders the operator configuration for the variant.
+func (t *Task) workflowConfig() []string {
+	type opCfg struct{ typ, params, extra string }
+	var ops []opCfg
+	ops = append(ops, opCfg{"FileScan", `path=candidates.jsonl, format=jsonl`, `schema=[asin, title, instock]`})
+	layout := variantStages(t.params.Variant.Ops)
+	for _, stages := range layout {
+		hasJoin := false
+		for _, s := range stages {
+			if s == stJoin {
+				hasJoin = true
+			}
+		}
+		if hasJoin && t.params.Variant.ScalaJoin {
+			scala := []opCfg{
+				{"Filter", `condition=instock == true`, `language=scala`},
+				{"Projection", `output=[asin, title]`, `language=scala`},
+				{"HashPartition", `key=asin, partitions=N`, `language=scala`},
+				{"BuildPrepare", `side=embeddings`, `language=scala`},
+				{"HashBuild", `table=kge_embeddings.parquet, key=entity`, `language=scala`},
+				{"HashProbe", `probe=asin, output=emb`, `language=scala`},
+				{"Validate", `non_null=[emb]`, `language=scala`},
+				{"RenameColumns", `emb=embedding_vector`, `language=scala`},
+				{"Materialize", `format=columnar`, `language=scala`},
+			}
+			ops = append(ops, scala...)
+			continue
+		}
+		classes := ""
+		for i, s := range stages {
+			if i > 0 {
+				classes += "+"
+			}
+			classes += stageNames[s]
+		}
+		ops = append(ops, opCfg{"PythonUDF", "class=" + classes, "workers=N"})
+	}
+	ops = append(ops, opCfg{"ViewResults", `name=recommendations`, `limit=10`})
+	lines := make([]string, 0, len(ops)*3)
+	for i, o := range ops {
+		lines = append(lines, fmt.Sprintf("operator %d: type=%s", i+1, o.typ))
+		lines = append(lines, "  "+o.params)
+		lines = append(lines, "  "+o.extra)
+	}
+	return lines
+}

@@ -1,0 +1,172 @@
+package kge
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sheet"
+)
+
+// This file implements KGE under the *spreadsheet* paradigm — the
+// third platform family the paper's introduction names ("scripts,
+// GUI-based workflows, and spreadsheets") and leaves to future work.
+// The layout mirrors what a spreadsheet user would build:
+//
+//	row 1:  the user's embedding, one dimension per column (C1..R1)
+//	row 2:  the "buys" relation embedding (C2..R2)
+//	row 4+: one row per candidate — ASIN (A), in-stock (B), the
+//	        embedding dimensions (C..R), a distance formula (S) and a
+//	        RANK formula (T)
+//
+// The distance formula reproduces u + r - t per dimension in the same
+// operation order as the other paradigms, so the computed floats are
+// bit-identical. The RANK column is the paradigm's scaling wall: each
+// RANK reads the whole distance column, making ranking quadratic.
+
+// spreadsheet column indexes of the layout.
+const (
+	colASIN  = 1 // A
+	colStock = 2 // B
+	colEmb0  = 3 // C..(C+dim-1)
+)
+
+// sheetLayoutRows is the first candidate row (rows 1-2 hold vectors,
+// row 3 is a header gap).
+const sheetLayoutRows = 4
+
+// distFormula builds the per-candidate distance formula for a row.
+func distFormula(row, dim int) string {
+	var b strings.Builder
+	b.WriteString("=IF(B")
+	fmt.Fprintf(&b, "%d, SQRT(", row)
+	for d := 0; d < dim; d++ {
+		col := sheet.Ref{Col: colEmb0 + d, Row: row}
+		u := sheet.Ref{Col: colEmb0 + d, Row: 1}
+		r := sheet.Ref{Col: colEmb0 + d, Row: 2}
+		if d > 0 {
+			b.WriteString(" + ")
+		}
+		term := fmt.Sprintf("(%s+%s-%s)", u, r, col)
+		b.WriteString(term + "*" + term)
+	}
+	b.WriteString(`), "")`)
+	return b.String()
+}
+
+// RunSpreadsheet executes KGE on the spreadsheet engine and returns a
+// result comparable with the other paradigms. Workers are ignored — a
+// spreadsheet is single-threaded, which is part of the comparison.
+func (t *Task) RunSpreadsheet(cfg core.RunConfig) (*core.Result, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	s := sheet.New(cfg.Model)
+	dim := t.model.Dim
+
+	// Vectors in rows 1 and 2 (pasted, like the candidates).
+	entries := map[string]any{}
+	for d := 0; d < dim; d++ {
+		entries[sheet.Ref{Col: colEmb0 + d, Row: 1}.String()] = t.userV[d]
+		entries[sheet.Ref{Col: colEmb0 + d, Row: 2}.String()] = t.relVec[d]
+	}
+	// Candidate rows: ASIN, stock flag and the embedding table pasted
+	// in bulk (the spreadsheet user's import step).
+	for i, p := range t.world.Products {
+		row := sheetLayoutRows + i
+		entries[sheet.Ref{Col: colASIN, Row: row}.String()] = p.ASIN
+		entries[sheet.Ref{Col: colStock, Row: row}.String()] = p.InStock
+		emb, err := t.stage2Embedding(p.ASIN)
+		if err != nil {
+			return nil, err
+		}
+		for d := 0; d < dim; d++ {
+			entries[sheet.Ref{Col: colEmb0 + d, Row: row}.String()] = emb[d]
+		}
+	}
+	if err := s.SetBulk(entries); err != nil {
+		return nil, err
+	}
+
+	// Distance column, then the rank column over it.
+	n := len(t.world.Products)
+	lastRow := sheetLayoutRows + n - 1
+	distCol := sheet.Ref{Col: colEmb0 + dim, Row: 0}.Col
+	rankCol := distCol + 1
+	for i := 0; i < n; i++ {
+		row := sheetLayoutRows + i
+		if err := s.SetFormula(sheet.Ref{Col: distCol, Row: row}.String(), distFormula(row, dim)); err != nil {
+			return nil, err
+		}
+	}
+	distRange := fmt.Sprintf("%s:%s",
+		sheet.Ref{Col: distCol, Row: sheetLayoutRows},
+		sheet.Ref{Col: distCol, Row: lastRow})
+	for i := 0; i < n; i++ {
+		row := sheetLayoutRows + i
+		f := fmt.Sprintf(`=IF(B%d, RANK(%s, %s), "")`,
+			row, sheet.Ref{Col: distCol, Row: row}, distRange)
+		if err := s.SetFormula(sheet.Ref{Col: rankCol, Row: row}.String(), f); err != nil {
+			return nil, err
+		}
+	}
+
+	// The user reads off the top-K rows.
+	type hit struct {
+		rank int
+		rec  Recommendation
+	}
+	var hits []hit
+	for i, p := range t.world.Products {
+		row := sheetLayoutRows + i
+		rv, err := s.Get(sheet.Ref{Col: rankCol, Row: row}.String())
+		if err != nil {
+			return nil, err
+		}
+		if rv.Kind != sheet.Number {
+			continue // out of stock
+		}
+		if int(rv.Num) > t.params.TopK {
+			continue
+		}
+		dv, err := s.Get(sheet.Ref{Col: distCol, Row: row}.String())
+		if err != nil {
+			return nil, err
+		}
+		hits = append(hits, hit{
+			rank: int(rv.Num),
+			rec: Recommendation{
+				ASIN: p.ASIN, Title: p.Title, Dist: dv.Num,
+			},
+		})
+	}
+	// RANK ties share a number; break them by ASIN like the other
+	// paradigms, then truncate to K.
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].rank != hits[j].rank {
+			return hits[i].rank < hits[j].rank
+		}
+		return hits[i].rec.ASIN < hits[j].rec.ASIN
+	})
+	if len(hits) > t.params.TopK {
+		hits = hits[:t.params.TopK]
+	}
+	recs := make([]Recommendation, len(hits))
+	for i, h := range hits {
+		recs[i] = h.rec
+		recs[i].Rank = i + 1
+	}
+
+	return &core.Result{
+		Task:          t.Name(),
+		Paradigm:      core.Paradigm(-1), // extension paradigm, see ParadigmName
+		SimSeconds:    s.Elapsed(),
+		LinesOfCode:   2, // the two formula templates the user authors
+		Operators:     0,
+		ParallelProcs: 1,
+		Output:        RecommendationsToTable(recs),
+		Quality:       t.quality(recs),
+	}, nil
+}

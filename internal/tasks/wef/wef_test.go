@@ -1,0 +1,110 @@
+package wef
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newTask(t *testing.T, tweets int) *Task {
+	t.Helper()
+	task, err := New(Params{Tweets: tweets, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Params{Tweets: 0}); err == nil {
+		t.Fatal("expected error for zero tweets")
+	}
+	if _, err := New(Params{Tweets: 10, Epochs: -1}); err == nil {
+		t.Fatal("expected error for negative epochs")
+	}
+}
+
+func TestParadigmsAgreeOnPredictions(t *testing.T) {
+	task := newTask(t, 100)
+	s, w, err := core.RunBoth(task, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Output.Equal(w.Output) {
+		t.Fatal("paradigms disagree on predictions")
+	}
+	if s.Output.Len() != 100 {
+		t.Fatalf("prediction rows = %d", s.Output.Len())
+	}
+}
+
+func TestModelsLearnFramings(t *testing.T) {
+	task := newTask(t, 300)
+	res, err := task.Run(core.Script, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := res.Quality["macro_f1"]
+	if f1 < 0.6 {
+		t.Fatalf("macro F1 = %v, models failed to learn", f1)
+	}
+}
+
+func TestParadigmsWithinFewPercent(t *testing.T) {
+	// Paper Figure 13b: WEF times nearly identical between paradigms.
+	task := newTask(t, 200)
+	s, w, err := core.RunBoth(task, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(s.SimSeconds-w.SimSeconds) / s.SimSeconds
+	if rel > 0.1 {
+		t.Fatalf("paradigm gap = %.1f%% (script %v, workflow %v)", rel*100, s.SimSeconds, w.SimSeconds)
+	}
+	if w.SimSeconds >= s.SimSeconds {
+		t.Fatalf("workflow (%v) should be slightly faster than script (%v)", w.SimSeconds, s.SimSeconds)
+	}
+}
+
+func TestTrainingTimeLinearInTweets(t *testing.T) {
+	t200, err := newTask(t, 200).Run(core.Script, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t400, err := newTask(t, 400).Run(core.Script, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t400.SimSeconds / t200.SimSeconds
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("scaling ratio 400/200 = %v, want ~2 (linear)", ratio)
+	}
+}
+
+func TestNoParallelism(t *testing.T) {
+	task := newTask(t, 50)
+	s, w, err := core.RunBoth(task, core.RunConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ParallelProcs != 1 || w.ParallelProcs != 1 {
+		t.Fatalf("WEF should not parallelize: %d/%d", s.ParallelProcs, w.ParallelProcs)
+	}
+}
+
+func TestLoCComparable(t *testing.T) {
+	task := newTask(t, 20)
+	s, w, err := core.RunBoth(task, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LinesOfCode <= 0 || w.LinesOfCode <= 0 {
+		t.Fatal("LoC must be positive")
+	}
+	// Paper Figure 12a: WEF implementations are close in size, with
+	// the workflow slightly smaller.
+	if w.LinesOfCode >= s.LinesOfCode {
+		t.Fatalf("workflow LoC %d should be below script LoC %d", w.LinesOfCode, s.LinesOfCode)
+	}
+}

@@ -1,0 +1,247 @@
+package wef
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dataflow"
+	"repro/internal/datagen"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/textclf"
+	"repro/internal/relation"
+)
+
+// The workflow's single Python UDF: a fine-tune-and-predict operator
+// instantiated once per framing. The rest of the workflow is operator
+// configuration.
+
+const udfTrain = `class FinetuneFramingOp(UDFOperator):
+    def __init__(self, framing):
+        self.framing = framing
+        self.rows = []
+
+    def process_tuple(self, tuple_, port):
+        self.rows.append(tuple_)
+
+    def on_finish(self, port):
+        model = BertForSequenceClassification.from_pretrained(
+            "bert-base-uncased", num_labels=1)
+        train = self.rows[: int(len(self.rows) * 0.8)]
+        model = finetune(model, [r["text"] for r in train],
+                         [r["g_" + self.framing] for r in train],
+                         epochs=EPOCHS)
+        for r in self.rows:
+            r["p_" + self.framing] = predict(model, r["text"]) > 0
+            yield r
+`
+
+// trainOp is the blocking fine-tune-and-predict operator for one
+// framing.
+type trainOp struct {
+	desc    dataflow.Desc
+	task    *Task
+	framing int
+	in      *relation.Schema
+	out     *relation.Schema
+}
+
+func newTrainOp(t *Task, framing int, in *relation.Schema) (*trainOp, error) {
+	out, err := in.Concat(relation.MustSchema(
+		relation.Field{Name: "p_" + datagen.FramingNames[framing], Type: relation.Bool},
+	), "dup_")
+	if err != nil {
+		return nil, err
+	}
+	return &trainOp{
+		desc: dataflow.Desc{
+			Name:          "finetune-" + datagen.FramingNames[framing],
+			Language:      cost.Python,
+			Ports:         1,
+			BlockingPorts: []bool{true},
+		},
+		task:    t,
+		framing: framing,
+		in:      in,
+		out:     out,
+	}, nil
+}
+
+func (o *trainOp) Desc() dataflow.Desc { return o.desc }
+
+func (o *trainOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	if len(in) != 1 || !in[0].Equal(o.in) {
+		return nil, fmt.Errorf("wef: %s: unexpected input schema", o.desc.Name)
+	}
+	return o.out, nil
+}
+
+func (o *trainOp) NewInstance() dataflow.Instance {
+	return &trainInstance{op: o}
+}
+
+type trainInstance struct {
+	op   *trainOp
+	rows []relation.Tuple
+}
+
+func (ti *trainInstance) Open(dataflow.ExecCtx) error { return nil }
+
+func (ti *trainInstance) Process(ec dataflow.ExecCtx, _ int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	// Buffering/auto-batching cost is negligible; the engine batches
+	// for us (no manual DataLoader, unlike the script).
+	ec.AddWork(cost.Work{Interp: 0.2e-3}.Scale(float64(len(rows))))
+	ti.rows = append(ti.rows, rows...)
+	return nil, nil
+}
+
+func (ti *trainInstance) EndPort(ec dataflow.ExecCtx, _ int) ([]relation.Tuple, error) {
+	t := ti.op.task
+	model, err := textclf.Pretrained("bert-"+datagen.FramingNames[ti.op.framing], hashDim, embDim, hidden)
+	if err != nil {
+		return nil, err
+	}
+	cut := len(ti.rows) * 4 / 5
+	if cut == 0 {
+		cut = len(ti.rows)
+	}
+	texts := make([]string, cut)
+	labels := make([]bool, cut)
+	for i := 0; i < cut; i++ {
+		texts[i] = ti.rows[i].MustStr(1)
+		labels[i] = ti.rows[i].MustBool(2 + ti.op.framing)
+	}
+	seed := t.params.Seed*31 + uint64(ti.op.framing)
+	if err := model.Finetune(texts, labels, textclf.Config{Epochs: t.params.Epochs, LR: finetuneLR, Seed: seed}); err != nil {
+		return nil, err
+	}
+	ec.AddWork(workTrainPerExample.Scale(float64(cut * t.params.Epochs)))
+	ec.AddWork(workPredict.Scale(float64(len(ti.rows))))
+	out := make([]relation.Tuple, len(ti.rows))
+	for i, r := range ti.rows {
+		row := make(relation.Tuple, 0, len(r)+1)
+		row = append(row, r...)
+		row = append(row, model.Predict(r.MustStr(1)))
+		out[i] = row
+	}
+	return out, nil
+}
+
+func (ti *trainInstance) Close(dataflow.ExecCtx) error { return nil }
+
+// tweetTable renders the labeled tweets as the workflow source.
+func (t *Task) tweetTable() *relation.Table {
+	s := relation.MustSchema(
+		relation.Field{Name: "id", Type: relation.Int},
+		relation.Field{Name: "text", Type: relation.String},
+		relation.Field{Name: "g_link", Type: relation.Bool},
+		relation.Field{Name: "g_action", Type: relation.Bool},
+		relation.Field{Name: "g_attribution", Type: relation.Bool},
+		relation.Field{Name: "g_irrelevant", Type: relation.Bool},
+	)
+	tbl := relation.NewTable(s)
+	for _, tw := range t.tweets {
+		tbl.AppendUnchecked(relation.Tuple{
+			tw.ID, tw.Text, tw.Framings[0], tw.Framings[1], tw.Framings[2], tw.Framings[3],
+		})
+	}
+	return tbl
+}
+
+// runWorkflow executes WEF as a chain of four blocking fine-tune
+// operators — sequential, like the paper's measured configuration.
+func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
+	w := dataflow.New("wef")
+	src := w.Source("tweets", t.tweetTable(), dataflow.WithScanWork(workLoad))
+	prev := src
+	schema := t.tweetTable().Schema()
+	for f := 0; f < datagen.NumFramings; f++ {
+		op, err := newTrainOp(t, f, schema)
+		if err != nil {
+			return nil, err
+		}
+		id := w.Op(op)
+		w.Connect(prev, id, 0, dataflow.RoundRobin())
+		prev = id
+		schema = op.out
+	}
+	shape := dataflow.NewMap("shape-predictions", cost.Python, OutputSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		return []relation.Tuple{{r.MustInt(0), r.MustBool(6), r.MustBool(7), r.MustBool(8), r.MustBool(9)}}, nil
+	})
+	shape.Work = cost.Work{Interp: 0.5e-3}
+	shapeID := w.Op(shape)
+	w.Connect(prev, shapeID, 0, dataflow.RoundRobin())
+	sink := w.Sink("predictions")
+	w.Connect(shapeID, sink, 0, dataflow.RoundRobin())
+
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper()})
+	if err != nil {
+		return nil, err
+	}
+
+	// Quality on the eval split, mirroring the script path.
+	out := res.Tables["predictions"]
+	_, evalIdx := t.split()
+	evalSet := make(map[int64]bool, len(evalIdx))
+	for _, ei := range evalIdx {
+		evalSet[t.tweets[ei].ID] = true
+	}
+	var pred, gold [][]bool
+	byID := make(map[int64]datagen.Tweet, len(t.tweets))
+	for _, tw := range t.tweets {
+		byID[tw.ID] = tw
+	}
+	for _, r := range out.Rows() {
+		if !evalSet[r.MustInt(0)] {
+			continue
+		}
+		pred = append(pred, []bool{r.MustBool(1), r.MustBool(2), r.MustBool(3), r.MustBool(4)})
+		tw := byID[r.MustInt(0)]
+		gold = append(gold, append([]bool(nil), tw.Framings[:]...))
+	}
+	quality := map[string]float64{}
+	if len(pred) > 0 {
+		f1, err := linear.MacroF1(pred, gold)
+		if err != nil {
+			return nil, err
+		}
+		quality["macro_f1"] = f1
+	}
+
+	return &core.Result{
+		Task:          t.Name(),
+		Paradigm:      core.Workflow,
+		SimSeconds:    res.SimSeconds,
+		LinesOfCode:   t.workflowLoC(),
+		Operators:     w.NumOperators(),
+		ParallelProcs: 1,
+		Output:        out,
+		Quality:       quality,
+	}, nil
+}
+
+// workflowLoC counts the workflow implementation size.
+func (t *Task) workflowLoC() int {
+	return loc(udfTrain) + len(workflowConfig())
+}
+
+// workflowConfig renders the operator configuration.
+func workflowConfig() []string {
+	ops := []struct{ typ, params string }{
+		{"FileScan", `path=wildfire_tweets.jsonl, format=jsonl`},
+		{"PythonUDF", `class=FinetuneFramingOp, framing=link, epochs=3`},
+		{"PythonUDF", `class=FinetuneFramingOp, framing=action, epochs=3`},
+		{"PythonUDF", `class=FinetuneFramingOp, framing=attribution, epochs=3`},
+		{"PythonUDF", `class=FinetuneFramingOp, framing=irrelevant, epochs=3`},
+		{"Projection", `output=[id, p_link, p_action, p_attribution, p_irrelevant]`},
+		{"ViewResults", `name=predictions`},
+	}
+	lines := make([]string, 0, len(ops)*2)
+	for i, o := range ops {
+		lines = append(lines, fmt.Sprintf("operator %d: type=%s", i+1, o.typ))
+		lines = append(lines, "  "+o.params)
+	}
+	return lines
+}

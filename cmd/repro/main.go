@@ -8,6 +8,7 @@
 //	repro -experiment fig13a  # one experiment
 //	repro -scale 10           # shrink datasets 10x for a quick pass
 //	repro -list               # list experiment IDs
+//	repro -bench-json F.json  # wall-clock benchmark harness, JSON to F.json
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -29,8 +31,17 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 		charts     = flag.Bool("charts", true, "render ASCII charts for figure experiments")
 		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of tables")
+		benchJSON  = flag.String("bench-json", "", "run the wall-clock benchmark harness and write its JSON report to this file")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBench(*benchJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs {
@@ -56,6 +67,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runBench executes the wall-clock harness and writes its report.
+func runBench(path string, seed uint64) error {
+	rep, err := bench.Run(seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d micro, %d macro benchmarks)\n", path, len(rep.Micro), len(rep.Macro))
+	return nil
 }
 
 func run(id string, cfg experiments.Config, charts, jsonOut bool) error {

@@ -1,0 +1,179 @@
+// Package bench is the reproduction's wall-clock benchmark harness.
+// Everything else in the repo measures simulated seconds; this package
+// measures how long the engine itself takes on the host machine, so
+// hot-path changes (queueing, work accounting, joins, serde) can be
+// compared across commits. `repro -bench-json FILE` writes its report.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/relation"
+	"repro/internal/tasks/dice"
+	"repro/internal/tasks/kge"
+)
+
+// Micro is one micro-benchmark result.
+type Micro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Macro is one end-to-end workflow run: wall-clock milliseconds next
+// to the simulated seconds the run computed. The Size sweep per task
+// is the wall-clock trajectory.
+type Macro struct {
+	Task       string  `json:"task"`
+	Experiment string  `json:"experiment"`
+	Size       int     `json:"size"`
+	WallMS     float64 `json:"wall_ms"`
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// Report is the full harness output.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Micro      []Micro `json:"micro"`
+	Macro      []Macro `json:"macro"`
+}
+
+// measure times f (which must perform inner operations per call) until
+// the total exceeds ~100ms, then reports per-operation cost. Allocs
+// are sampled separately with a single run.
+func measure(name string, inner int, f func()) Micro {
+	f() // warm up
+	allocs := testing.AllocsPerRun(1, f) / float64(inner)
+	var (
+		elapsed time.Duration
+		ops     int
+	)
+	for elapsed < 100*time.Millisecond {
+		start := time.Now()
+		f()
+		elapsed += time.Since(start)
+		ops += inner
+	}
+	return Micro{Name: name, NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops), AllocsPerOp: allocs}
+}
+
+func joinTables(n int) (*relation.Table, *relation.Table) {
+	ls := relation.MustSchema(relation.Field{Name: "k", Type: relation.Int}, relation.Field{Name: "payload", Type: relation.String})
+	rs := relation.MustSchema(relation.Field{Name: "k", Type: relation.Int}, relation.Field{Name: "weight", Type: relation.Float})
+	left, right := relation.NewTable(ls), relation.NewTable(rs)
+	for i := 0; i < n; i++ {
+		left.AppendUnchecked(relation.Tuple{int64(i % (n / 4)), fmt.Sprintf("row-%d", i)})
+		right.AppendUnchecked(relation.Tuple{int64(i % (n / 2)), float64(i)})
+	}
+	return left, right
+}
+
+// micros runs the hot-path micro-benchmarks.
+func micros() []Micro {
+	var out []Micro
+	out = append(out, measure("queue_push_pop", 4096, func() {
+		dataflow.QueuePushPopLoop(4096, 1)
+	}))
+	out = append(out, measure("queue_push_pop_burst256", 4096, func() {
+		dataflow.QueuePushPopLoop(16, 256)
+	}))
+	out = append(out, measure("add_work", 65536, func() {
+		dataflow.AddWorkLoop(65536)
+	}))
+
+	left, right := joinTables(100000)
+	out = append(out, measure("hash_join_100k", 1, func() {
+		if _, err := relation.HashJoin(left, right, "k", "k", relation.Inner); err != nil {
+			panic(err)
+		}
+	}))
+	out = append(out, measure("hash_join_par8_100k", 1, func() {
+		if _, err := relation.HashJoinPar(left, right, "k", "k", relation.Inner, 8); err != nil {
+			panic(err)
+		}
+	}))
+	joiner, err := relation.NewJoiner(left.Schema(), right, "k", "k", relation.Inner, 1)
+	if err != nil {
+		panic(err)
+	}
+	batch := left.Rows()[:2048]
+	out = append(out, measure("joiner_probe_2048", 2048, func() {
+		joiner.ProbeRows(nil, batch)
+	}))
+
+	enc10k, _ := joinTables(10000)
+	out = append(out, measure("encode_table_10k", 1, func() {
+		if _, err := relation.EncodeTable(enc10k); err != nil {
+			panic(err)
+		}
+	}))
+	tup := relation.Tuple{int64(42), "a reasonably sized string payload", 3.14159, true}
+	out = append(out, measure("encode_tuple_pooled", 4096, func() {
+		e := relation.GetEncoder()
+		for i := 0; i < 4096; i++ {
+			if _, err := e.EncodeTuple(tup); err != nil {
+				panic(err)
+			}
+		}
+		e.Release()
+	}))
+	return out
+}
+
+// macros runs small workflow configurations of the E4 (DICE) and E6
+// (KGE) experiments and records each run's wall clock.
+func macros(seed uint64) ([]Macro, error) {
+	var out []Macro
+	run := func(task core.Task, experiment string, size int) error {
+		start := time.Now()
+		res, err := task.Run(core.Workflow, core.RunConfig{})
+		if err != nil {
+			return fmt.Errorf("bench: %s size %d: %w", experiment, size, err)
+		}
+		out = append(out, Macro{
+			Task: task.Name(), Experiment: experiment, Size: size,
+			WallMS:     float64(time.Since(start).Microseconds()) / 1000,
+			SimSeconds: res.SimSeconds,
+		})
+		return nil
+	}
+	for _, pairs := range []int{10, 50, 200} {
+		t, err := dice.New(dice.Params{Pairs: pairs, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if err := run(t, "fig13a", pairs); err != nil {
+			return nil, err
+		}
+	}
+	for _, products := range []int{340, 3400} {
+		t, err := kge.New(kge.Params{Products: products, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if err := run(t, "fig13c", products); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Run executes the full harness.
+func Run(seed uint64) (*Report, error) {
+	mac, err := macros(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Micro:      micros(),
+		Macro:      mac,
+	}, nil
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+func TestMeasureReportsPerOp(t *testing.T) {
+	n := 0
+	m := measure("count", 10, func() { n += 10 })
+	if m.Name != "count" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if m.NsPerOp <= 0 {
+		t.Fatalf("ns/op = %v", m.NsPerOp)
+	}
+	if n < 30 { // warm-up + allocs sampling + at least one timed run
+		t.Fatalf("function ran %d ops, expected at least 30", n)
+	}
+}
+
+func TestMicrobenchLoopsRun(t *testing.T) {
+	dataflow.QueuePushPopLoop(64, 4)
+	dataflow.AddWorkLoop(64)
+}
+
+func TestMacrosTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro runs in -short mode")
+	}
+	mac, err := macros(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mac) == 0 {
+		t.Fatal("no macro points")
+	}
+	for _, m := range mac {
+		if m.WallMS <= 0 || m.SimSeconds <= 0 {
+			t.Fatalf("degenerate macro point %+v", m)
+		}
+	}
+}

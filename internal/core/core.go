@@ -85,6 +85,26 @@ type Result struct {
 	// Quality holds task-specific quality numbers (F1, exact match,
 	// hit rate) keyed by metric name.
 	Quality map[string]float64
+	// Trace summarizes the execution's cost record. Workflow runs
+	// populate it from the dataflow trace; script runs leave it zero
+	// (Nodes == 0 means absent).
+	Trace TraceTotals
+}
+
+// TraceTotals folds an execution trace into scalar counters. Two runs
+// of the same deterministic workflow must produce identical totals —
+// the golden-determinism tests assert exactly that, alongside
+// SimSeconds and the output digest.
+type TraceTotals struct {
+	Nodes      int
+	Edges      int
+	InTuples   int64
+	OutTuples  int64
+	Batches    int64 // batches emitted by all nodes
+	EdgeTuples int64
+	EdgeBytes  int64 // encoded bytes crossing all edges
+	WorkInterp float64
+	WorkMem    float64
 }
 
 // Task is one of the four benchmark workloads, runnable under both

@@ -1,0 +1,91 @@
+package dataflow
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+func benchBatch() batchMsg {
+	rows := make([]relation.Tuple, 16)
+	for i := range rows {
+		rows[i] = relation.Tuple{int64(i), "payload"}
+	}
+	return batchMsg{rows: rows}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := newQueue()
+	m := benchBatch()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.push(m)
+		if _, ok, err := q.pop(ctx); !ok || err != nil {
+			b.Fatalf("pop: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkQueuePushPopBurst(b *testing.B) {
+	const burst = 256
+	q := newQueue()
+	m := benchBatch()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			q.push(m)
+		}
+		for j := 0; j < burst; j++ {
+			if _, ok, err := q.pop(ctx); !ok || err != nil {
+				b.Fatalf("pop: ok=%v err=%v", ok, err)
+			}
+		}
+	}
+}
+
+func benchRuntime(workers int) *nodeRuntime {
+	rt := &nodeRuntime{n: &node{parallelism: workers}}
+	rt.shards = make([]workShard, workers)
+	for s := range rt.shards {
+		rt.shards[s].byPort = make([]cost.Work, 2)
+	}
+	return rt
+}
+
+func BenchmarkAddWork(b *testing.B) {
+	rt := benchRuntime(1)
+	ec := &execCtx{rt: rt, shard: &rt.shards[0], phase: 0}
+	w := cost.Work{Interp: 1e-6, Mem: 2e-7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ec.AddWork(w)
+	}
+}
+
+// BenchmarkAddWorkParallel drives one execCtx per goroutine against a
+// shared runtime — the pattern every multi-worker operator follows.
+// With the old shared mutex this serialized; with per-worker shards it
+// scales with core count.
+func BenchmarkAddWorkParallel(b *testing.B) {
+	const workers = 8
+	rt := benchRuntime(workers)
+	w := cost.Work{Interp: 1e-6, Mem: 2e-7}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		shard := int(next.Add(1)-1) % workers
+		ec := &execCtx{rt: rt, shard: &rt.shards[shard], phase: 0}
+		for pb.Next() {
+			ec.AddWork(w)
+		}
+	})
+}

@@ -54,11 +54,25 @@ func AutoBatchSize(rows int) int {
 	return b
 }
 
+// edgeStat counts an edge's traffic with atomics: emit is called by
+// every producer worker concurrently, and a shared mutex here was one
+// of the executor's hottest serialization points.
 type edgeStat struct {
-	mu      sync.Mutex
-	batches int64
-	tuples  int64
-	bytes   int64
+	batches atomic.Int64
+	tuples  atomic.Int64
+	bytes   atomic.Int64
+}
+
+// workShard is one worker's private work accumulators. Each worker
+// writes only its own shard with plain stores (no locks, no atomics);
+// shards are merged once after all workers have stopped, with the
+// WaitGroup providing the happens-before edge. The trailing pad keeps
+// neighbouring shards off one cache line.
+type workShard struct {
+	byPort []cost.Work
+	end    cost.Work
+	open   cost.Work
+	_      [48]byte // false-sharing pad
 }
 
 type nodeRuntime struct {
@@ -74,10 +88,7 @@ type nodeRuntime struct {
 	sinkTable    *relation.Table
 	sinkMu       sync.Mutex
 
-	workMu     sync.Mutex
-	workByPort []cost.Work
-	endWork    cost.Work
-	openWork   cost.Work
+	shards []workShard // one per worker (sources and sinks use shard 0)
 
 	wg sync.WaitGroup
 }
@@ -90,30 +101,51 @@ const (
 
 func (rt *nodeRuntime) setState(s State) { rt.state.Store(int32(s)) }
 
-// addWork charges work to a port bucket, the end bucket (phaseEnd) or
-// the open bucket (phaseOpen).
+// addWork charges work on shard 0 to a port bucket, the end bucket
+// (phaseEnd) or the open bucket (phaseOpen); single-goroutine node
+// kinds (sources) use it directly.
 func (rt *nodeRuntime) addWork(port int, w cost.Work) {
-	rt.workMu.Lock()
-	defer rt.workMu.Unlock()
+	addShardWork(&rt.shards[0], port, w)
+}
+
+func addShardWork(sh *workShard, port int, w cost.Work) {
 	switch {
 	case port == phaseOpen:
-		rt.openWork = rt.openWork.Add(w)
+		sh.open = sh.open.Add(w)
 	case port < 0:
-		rt.endWork = rt.endWork.Add(w)
+		sh.end = sh.end.Add(w)
 	default:
-		rt.workByPort[port] = rt.workByPort[port].Add(w)
+		sh.byPort[port] = sh.byPort[port].Add(w)
 	}
+}
+
+// mergedWork folds the per-worker shards into port/end/open totals in
+// shard order, so the reduction is deterministic. Call only after the
+// node's workers have finished.
+func (rt *nodeRuntime) mergedWork() (byPort []cost.Work, end, open cost.Work) {
+	byPort = make([]cost.Work, len(rt.shards[0].byPort))
+	for s := range rt.shards {
+		sh := &rt.shards[s]
+		for p := range sh.byPort {
+			byPort[p] = byPort[p].Add(sh.byPort[p])
+		}
+		end = end.Add(sh.end)
+		open = open.Add(sh.open)
+	}
+	return byPort, end, open
 }
 
 // execCtx is the per-worker ExecCtx implementation.
 type execCtx struct {
 	rt     *nodeRuntime
+	shard  *workShard
 	worker int
 	phase  int // current port, or -1 during EndPort/Close
 }
 
-func (ec *execCtx) AddWork(w cost.Work) { ec.rt.addWork(ec.phase, w) }
+func (ec *execCtx) AddWork(w cost.Work) { addShardWork(ec.shard, ec.phase, w) }
 func (ec *execCtx) Worker() int         { return ec.worker }
+func (ec *execCtx) Workers() int        { return ec.rt.n.parallelism }
 
 // Execution is a running (or finished) workflow.
 type Execution struct {
@@ -192,10 +224,17 @@ func (w *Workflow) Start(ctx context.Context, cfg Config) (*Execution, error) {
 			rt.edgeQ[i] = newQueue()
 			rt.edgeStats[i] = &edgeStat{}
 		}
-		if ports > 0 {
-			rt.workByPort = make([]cost.Work, ports)
-		} else {
-			rt.workByPort = make([]cost.Work, 1) // source generation work
+		workPorts := ports
+		if workPorts == 0 {
+			workPorts = 1 // source generation work
+		}
+		nshards := 1
+		if n.kind == kindOperator {
+			nshards = n.parallelism
+		}
+		rt.shards = make([]workShard, nshards)
+		for s := range rt.shards {
+			rt.shards[s].byPort = make([]cost.Work, workPorts)
 		}
 		rt.inputSchemas = make([]*relation.Schema, ports)
 		for _, e := range n.inEdges {
@@ -307,11 +346,9 @@ func (ex *Execution) emit(rt *nodeRuntime, rows []relation.Tuple) {
 	}
 	for i := range rt.n.outEdges {
 		st := rt.edgeStats[i]
-		st.mu.Lock()
-		st.batches++
-		st.tuples += int64(len(rows))
-		st.bytes += bytes
-		st.mu.Unlock()
+		st.batches.Add(1)
+		st.tuples.Add(int64(len(rows)))
+		st.bytes.Add(bytes)
 		rt.edgeQ[i].push(batchMsg{rows: rows})
 	}
 }
@@ -449,7 +486,7 @@ func (ex *Execution) runSink(rt *nodeRuntime) {
 func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
 	defer rt.wg.Done()
 	inst := rt.n.op.NewInstance()
-	ec := &execCtx{rt: rt, worker: worker}
+	ec := &execCtx{rt: rt, shard: &rt.shards[worker], worker: worker}
 	if sb, ok := inst.(schemaBinder); ok {
 		if err := sb.bindSchemas(rt.inputSchemas); err != nil {
 			ex.failOp(rt, worker, -1, err)
@@ -539,6 +576,7 @@ func (ex *Execution) finish() {
 func (ex *Execution) buildTrace() *Trace {
 	tr := &Trace{Workflow: ex.wf.name}
 	for _, rt := range ex.rts {
+		byPort, end, open := rt.mergedWork()
 		nt := NodeTrace{
 			ID:             rt.n.id,
 			Name:           rt.n.name,
@@ -547,9 +585,9 @@ func (ex *Execution) buildTrace() *Trace {
 			InTuples:       rt.inTuples.Load(),
 			OutTuples:      rt.outTuples.Load(),
 			EmittedBatches: rt.batches.Load(),
-			WorkByPort:     append([]cost.Work(nil), rt.workByPort...),
-			EndWork:        rt.endWork,
-			OpenWork:       rt.openWork,
+			WorkByPort:     byPort,
+			EndWork:        end,
+			OpenWork:       open,
 		}
 		if rt.n.kind == kindOperator {
 			d := rt.n.op.Desc()
@@ -570,9 +608,9 @@ func (ex *Execution) buildTrace() *Trace {
 				From:    e.from.id,
 				To:      e.to.id,
 				Port:    e.port,
-				Batches: st.batches,
-				Tuples:  st.tuples,
-				Bytes:   st.bytes,
+				Batches: st.batches.Load(),
+				Tuples:  st.tuples.Load(),
+				Bytes:   st.bytes.Load(),
 			})
 		}
 	}

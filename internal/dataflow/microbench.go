@@ -1,0 +1,49 @@
+package dataflow
+
+import (
+	"context"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// Exported micro-benchmark loops over the executor's unexported hot
+// paths (the ring-buffer queue and the sharded work accounting), so the
+// wall-clock harness in internal/bench can time them from outside the
+// package. Each runs the loop body the benchmark in bench_test.go runs;
+// the caller supplies iteration counts and does the timing.
+
+// QueuePushPopLoop performs iters bursts of burst pushes followed by
+// burst pops on one queue (burst 1 is the ping-pong case).
+func QueuePushPopLoop(iters, burst int) {
+	q := newQueue()
+	rows := make([]relation.Tuple, 16)
+	for i := range rows {
+		rows[i] = relation.Tuple{int64(i), "payload"}
+	}
+	m := batchMsg{rows: rows}
+	ctx := context.Background()
+	for i := 0; i < iters; i++ {
+		for j := 0; j < burst; j++ {
+			q.push(m)
+		}
+		for j := 0; j < burst; j++ {
+			if _, ok, err := q.pop(ctx); !ok || err != nil {
+				panic("dataflow: microbench queue underflow")
+			}
+		}
+	}
+}
+
+// AddWorkLoop charges iters work items through a worker's ExecCtx,
+// exercising the per-shard accounting path operators hit per batch.
+func AddWorkLoop(iters int) {
+	rt := &nodeRuntime{n: &node{parallelism: 1}}
+	rt.shards = make([]workShard, 1)
+	rt.shards[0].byPort = make([]cost.Work, 2)
+	ec := &execCtx{rt: rt, shard: &rt.shards[0], phase: 0}
+	w := cost.Work{Interp: 1e-6, Mem: 2e-7}
+	for i := 0; i < iters; i++ {
+		ec.AddWork(w)
+	}
+}

@@ -277,6 +277,7 @@ type joinInstance struct {
 	buildSchema *relation.Schema
 	probeSchema *relation.Schema
 	buildRows   *relation.Table
+	joiner      *relation.Joiner
 }
 
 func (ji *joinInstance) bindSchemas(in []*relation.Schema) error {
@@ -304,21 +305,42 @@ func (ji *joinInstance) Process(ec ExecCtx, port int, rows []relation.Tuple) ([]
 			w.Mem += ji.op.ProbeMemLog * math.Log2(float64(n))
 		}
 		ec.AddWork(w.Scale(float64(len(rows))))
-		probe, err := relation.FromRows(ji.probeSchema, rows)
-		if err != nil {
-			return nil, err
+		if ji.joiner == nil {
+			// Port 1 with no port 0 at all (not even EndPort) cannot
+			// happen under the executor's port-ordering guarantee, but
+			// keep direct Process calls in tests working.
+			if err := ji.buildJoiner(1); err != nil {
+				return nil, err
+			}
 		}
-		out, err := relation.HashJoin(probe, ji.buildRows, ji.op.ProbeKey, ji.op.BuildKey, ji.op.Kind)
-		if err != nil {
-			return nil, err
-		}
-		return out.Rows(), nil
+		return ji.joiner.ProbeRows(nil, rows), nil
 	default:
 		return nil, fmt.Errorf("dataflow: %s: unexpected port %d", ji.op.desc.Name, port)
 	}
 }
-func (ji *joinInstance) EndPort(ExecCtx, int) ([]relation.Tuple, error) { return nil, nil }
-func (ji *joinInstance) Close(ExecCtx) error                            { return nil }
+
+// buildJoiner constructs the reusable probe index once the build side
+// is complete. Before this change every probe batch rebuilt the whole
+// hash table; now EndPort(0) builds it a single time, partitioned
+// across the operator's workers.
+func (ji *joinInstance) buildJoiner(shards int) error {
+	j, err := relation.NewJoiner(ji.probeSchema, ji.buildRows, ji.op.ProbeKey, ji.op.BuildKey, ji.op.Kind, shards)
+	if err != nil {
+		return err
+	}
+	ji.joiner = j
+	return nil
+}
+
+func (ji *joinInstance) EndPort(ec ExecCtx, port int) ([]relation.Tuple, error) {
+	if port == 0 && ji.joiner == nil {
+		if err := ji.buildJoiner(ec.Workers()); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+func (ji *joinInstance) Close(ExecCtx) error { return nil }
 
 // ---------------------------------------------------------------------------
 // GroupBy

@@ -16,15 +16,39 @@ type batchMsg struct {
 // keeps diamond-shaped DAGs deadlock-free: a producer never blocks on a
 // slow consumer, which matters when one operator feeds both the build
 // and probe side of a downstream join.
+//
+// Storage is a ring buffer over buf: head indexes the oldest element,
+// count is the number queued. Pop is O(1), popped slots are zeroed so
+// consumed batches become collectable immediately (the earlier
+// `items = items[1:]` reslicing kept every popped batch reachable
+// through the backing array), and steady-state push/pop reuses the
+// same storage instead of perpetually appending.
 type queue struct {
 	mu     sync.Mutex
-	items  []batchMsg
+	buf    []batchMsg
+	head   int
+	count  int
 	closed bool
 	signal chan struct{} // capacity 1; a token means "state changed"
 }
 
 func newQueue() *queue {
 	return &queue{signal: make(chan struct{}, 1)}
+}
+
+// grow doubles the ring (min 8 slots), unrolling it to index 0.
+// Callers hold q.mu.
+func (q *queue) grow() {
+	capacity := 2 * len(q.buf)
+	if capacity < 8 {
+		capacity = 8
+	}
+	buf := make([]batchMsg, capacity)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 func (q *queue) notify() {
@@ -42,7 +66,11 @@ func (q *queue) push(m batchMsg) {
 		q.mu.Unlock()
 		panic("dataflow: push to closed queue")
 	}
-	q.items = append(q.items, m)
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = m
+	q.count++
 	q.mu.Unlock()
 	q.notify()
 }
@@ -60,10 +88,12 @@ func (q *queue) close() {
 func (q *queue) pop(ctx context.Context) (m batchMsg, ok bool, err error) {
 	for {
 		q.mu.Lock()
-		if len(q.items) > 0 {
-			m = q.items[0]
-			q.items = q.items[1:]
-			remaining := len(q.items) > 0
+		if q.count > 0 {
+			m = q.buf[q.head]
+			q.buf[q.head] = batchMsg{} // release the batch for GC
+			q.head = (q.head + 1) % len(q.buf)
+			q.count--
+			remaining := q.count > 0
 			q.mu.Unlock()
 			if remaining {
 				q.notify() // keep the signal alive for queued items

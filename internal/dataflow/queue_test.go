@@ -104,6 +104,60 @@ func TestQueueConcurrentProducers(t *testing.T) {
 	}
 }
 
+// TestQueueWraparound interleaves pushes and pops so head laps the
+// ring repeatedly, across several growths.
+func TestQueueWraparound(t *testing.T) {
+	q := newQueue()
+	ctx := context.Background()
+	next := int64(0) // next value to push
+	want := int64(0) // next value expected from pop
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			q.push(batchMsg{rows: []relation.Tuple{{next}}})
+			next++
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			m, ok, err := q.pop(ctx)
+			if err != nil || !ok {
+				t.Fatalf("pop: ok=%v err=%v", ok, err)
+			}
+			if got := m.rows[0][0].(int64); got != want {
+				t.Fatalf("pop got %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	// Drive head around the ring with uneven push/pop bursts, growing
+	// the buffer from 8 to 16 to 32 along the way.
+	push(6)
+	pop(4)
+	for i := 0; i < 50; i++ {
+		push(7)
+		pop(5)
+	}
+	pop(int(next - want))
+	if q.count != 0 {
+		t.Fatalf("queue should be empty, count=%d", q.count)
+	}
+}
+
+// TestQueuePopReleasesSlot pins the memory-retention fix: a popped
+// slot must be zeroed so the consumed batch is collectable while the
+// ring's backing array lives on.
+func TestQueuePopReleasesSlot(t *testing.T) {
+	q := newQueue()
+	q.push(batchMsg{rows: []relation.Tuple{{int64(1)}}})
+	head := q.head
+	if _, ok, err := q.pop(context.Background()); !ok || err != nil {
+		t.Fatalf("pop: ok=%v err=%v", ok, err)
+	}
+	if q.buf[head].rows != nil {
+		t.Fatal("popped slot still references its batch")
+	}
+}
+
 func TestQueuePushAfterClosePanics(t *testing.T) {
 	q := newQueue()
 	q.close()

@@ -1,6 +1,9 @@
 package dataflow
 
-import "repro/internal/cost"
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+)
 
 // Trace is the cost record of one workflow execution: what every node
 // really did, in data quantities and charged work. The lowering in
@@ -62,6 +65,28 @@ func (n *NodeTrace) TotalWork() cost.Work {
 		w = w.Add(p)
 	}
 	return w
+}
+
+// Totals folds the trace into the scalar summary carried on
+// core.Result. Nodes and edges are visited in trace order and work in
+// port order, so the floating-point sums are deterministic.
+func (t *Trace) Totals() core.TraceTotals {
+	tt := core.TraceTotals{Nodes: len(t.Nodes), Edges: len(t.Edges)}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		tt.InTuples += n.InTuples
+		tt.OutTuples += n.OutTuples
+		tt.Batches += n.EmittedBatches
+		w := n.TotalWork().Add(n.OpenWork)
+		tt.WorkInterp += w.Interp
+		tt.WorkMem += w.Mem
+	}
+	for i := range t.Edges {
+		e := &t.Edges[i]
+		tt.EdgeTuples += e.Tuples
+		tt.EdgeBytes += e.Bytes
+	}
+	return tt
 }
 
 // EdgeTrace records the data volume that crossed one edge.

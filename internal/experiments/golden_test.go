@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tasks/dice"
+	"repro/internal/tasks/kge"
+)
+
+// The golden-determinism tests run one small configuration of the E4
+// (Fig13aDICE) and E6 (Fig13cKGE) workloads twice and assert the runs
+// are bit-identical: same SimSeconds, same trace totals, same output
+// digest. They are the regression guard for the executor's hot-path
+// work — sharded work accounting, the partitioned join, the ring-buffer
+// queues — none of which may change what a run computes, only how fast
+// the wall clock ticks while it computes it.
+
+func assertGolden(t *testing.T, name string, mk func() (core.Task, error)) {
+	t.Helper()
+	run := func() *core.Result {
+		task, err := mk()
+		if err != nil {
+			t.Fatalf("%s: build task: %v", name, err)
+		}
+		res, err := task.Run(core.Workflow, core.RunConfig{})
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.SimSeconds != b.SimSeconds {
+		t.Errorf("%s: SimSeconds differ between runs: %v vs %v", name, a.SimSeconds, b.SimSeconds)
+	}
+	if a.Trace != b.Trace {
+		t.Errorf("%s: trace totals differ between runs:\n  %+v\n  %+v", name, a.Trace, b.Trace)
+	}
+	if a.Trace.Nodes == 0 {
+		t.Errorf("%s: workflow run has empty trace totals", name)
+	}
+	da, db := relation.Digest(a.Output), relation.Digest(b.Output)
+	if da != db {
+		t.Errorf("%s: output digests differ between runs: %#x vs %#x", name, da, db)
+	}
+}
+
+func TestGoldenDICEWorkflowDeterministic(t *testing.T) {
+	assertGolden(t, "dice", func() (core.Task, error) {
+		return dice.New(dice.Params{Pairs: 10, Seed: 1})
+	})
+}
+
+func TestGoldenKGEWorkflowDeterministic(t *testing.T) {
+	assertGolden(t, "kge", func() (core.Task, error) {
+		return kge.New(kge.Params{Products: 340, Seed: 1})
+	})
+}

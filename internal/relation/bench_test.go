@@ -17,12 +17,45 @@ func benchTables(n int) (*Table, *Table) {
 }
 
 func BenchmarkHashJoin(b *testing.B) {
-	left, right := benchTables(10000)
+	left, right := benchTables(100000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := HashJoin(left, right, "k", "k", Inner); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinPar(b *testing.B) {
+	left, right := benchTables(100000)
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := HashJoinPar(left, right, "k", "k", Inner, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinerProbe measures the steady-state cost the dataflow
+// operator now pays per probe batch: the hash table is built once and
+// reused, instead of rebuilt per batch as before.
+func BenchmarkJoinerProbe(b *testing.B) {
+	left, right := benchTables(100000)
+	j, err := NewJoiner(left.Schema(), right, "k", "k", Inner, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := left.Rows()[:2048]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := j.ProbeRows(nil, batch); len(out) == 0 {
+			b.Fatal("empty probe result")
 		}
 	}
 }
@@ -64,6 +97,41 @@ func BenchmarkDecodeTuple(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := DecodeTuple(enc); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeTuplePooled(b *testing.B) {
+	t := Tuple{int64(42), "a reasonably sized string payload", 3.14159, true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := GetEncoder()
+		if _, err := enc.EncodeTuple(t); err != nil {
+			b.Fatal(err)
+		}
+		enc.Release()
+	}
+}
+
+func BenchmarkEncodeTable(b *testing.B) {
+	left, _ := benchTables(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeTable(left); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDigest(b *testing.B) {
+	left, _ := benchTables(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Digest(left) == 0 {
+			b.Fatal("zero digest")
 		}
 	}
 }

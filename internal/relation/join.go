@@ -1,0 +1,388 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file holds the shared machinery behind the equi-join variants:
+// a joinPlan (schema work done once), a typed, optionally
+// hash-partitioned build index (no canonical-string key allocation on
+// the hot path), and the Joiner, which separates the build phase from
+// probing so streaming callers can build once and probe many batches.
+//
+// Determinism contract: every variant emits output rows in probe
+// (left) order, with the matches of each probe row in build (right)
+// order — bit-identical to the serial HashJoin regardless of shard
+// count, because the build side is hash-partitioned (equal keys never
+// split across shards, shard insertion preserves build order) and the
+// probe side is range-partitioned into contiguous chunks whose outputs
+// are concatenated in chunk order.
+
+// maxJoinShards bounds the partition fan-out; shard ids are stored in
+// a byte with 255 reserved for rows whose key needs the spill path.
+const maxJoinShards = 128
+
+// joinPlan is the schema-derived part of a join, computed once.
+type joinPlan struct {
+	lk, rk   int
+	rightPos []int
+	out      *Schema
+	padding  Tuple // zero values for unmatched LeftOuter rows
+}
+
+// planJoin resolves key positions and derives the output schema:
+// left's fields followed by right's fields with the right key column
+// dropped; right-side name collisions are prefixed with "r_".
+func planJoin(left, right *Schema, leftKey, rightKey string) (*joinPlan, error) {
+	lk := left.IndexOf(leftKey)
+	if lk < 0 {
+		return nil, fmt.Errorf("relation: join: left key %q not found", leftKey)
+	}
+	rk := right.IndexOf(rightKey)
+	if rk < 0 {
+		return nil, fmt.Errorf("relation: join: right key %q not found", rightKey)
+	}
+	if lt, rt := left.Field(lk).Type, right.Field(rk).Type; lt != rt {
+		return nil, fmt.Errorf("relation: join: key type mismatch %s vs %s", lt, rt)
+	}
+	rightNames := make([]string, 0, right.Len()-1)
+	rightPos := make([]int, 0, right.Len()-1)
+	for i := 0; i < right.Len(); i++ {
+		if i == rk {
+			continue
+		}
+		rightNames = append(rightNames, right.Field(i).Name)
+		rightPos = append(rightPos, i)
+	}
+	rightProj, err := right.Project(rightNames...)
+	if err != nil {
+		return nil, err
+	}
+	out, err := left.Concat(rightProj, "r_")
+	if err != nil {
+		return nil, err
+	}
+	padding := make(Tuple, len(rightPos))
+	for i, p := range rightPos {
+		switch right.Field(p).Type {
+		case Int:
+			padding[i] = int64(0)
+		case Float:
+			padding[i] = float64(0)
+		case String:
+			padding[i] = ""
+		case Bool:
+			padding[i] = false
+		}
+	}
+	return &joinPlan{lk: lk, rk: rk, rightPos: rightPos, out: out, padding: padding}, nil
+}
+
+// fnv32 hashes a string with FNV-1a; used to route spill keys and
+// string keys to shards.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// mix64 is a cheap multiplicative bit mixer for fixed-width keys.
+func mix64(v uint64) uint32 {
+	return uint32((v * 0x9E3779B97F4A7C15) >> 32)
+}
+
+// keyIndex maps a probe row to the build-side row indices sharing its
+// key, in build order.
+type keyIndex interface {
+	insert(rows []Tuple, pos, shards int, parallel bool)
+	matches(row Tuple, pos int) []int32
+}
+
+// typedIndex is the generic key index: one map per shard keyed by the
+// column's native Go type, plus a lazily allocated canonical-string
+// spill map for rows whose dynamic type does not match the declared
+// schema type (such rows can only ever match each other, exactly as
+// under the canonical-key encoding the serial join used before).
+type typedIndex[K comparable] struct {
+	get    func(Tuple, int) (K, bool)
+	hash   func(K) uint32
+	shards []map[K][]int32
+	spill  map[string][]int32
+}
+
+func (ix *typedIndex[K]) shardOf(k K) uint32 {
+	if len(ix.shards) == 1 {
+		return 0
+	}
+	return ix.hash(k) % uint32(len(ix.shards))
+}
+
+func (ix *typedIndex[K]) insertSpill(row Tuple, pos int, i int32) {
+	if ix.spill == nil {
+		ix.spill = make(map[string][]int32)
+	}
+	k := row.Key(pos)
+	ix.spill[k] = append(ix.spill[k], i)
+}
+
+func (ix *typedIndex[K]) insert(rows []Tuple, pos, shards int, parallel bool) {
+	ix.shards = make([]map[K][]int32, shards)
+	sizeHint := len(rows)/shards + 1
+	for s := range ix.shards {
+		ix.shards[s] = make(map[K][]int32, sizeHint)
+	}
+	if !parallel || shards == 1 || len(rows) < 2*shards {
+		for i, r := range rows {
+			k, ok := ix.get(r, pos)
+			if !ok {
+				ix.insertSpill(r, pos, int32(i))
+				continue
+			}
+			m := ix.shards[ix.shardOf(k)]
+			m[k] = append(m[k], int32(i))
+		}
+		return
+	}
+	// Two-pass parallel build: pass 1 extracts keys and shard ids over
+	// contiguous chunks, pass 2 lets each shard insert its rows in build
+	// order (disjoint maps, no locking).
+	keys := make([]K, len(rows))
+	shardOf := make([]uint8, len(rows))
+	var wg sync.WaitGroup
+	chunk := (len(rows) + shards - 1) / shards
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				k, ok := ix.get(rows[i], pos)
+				if !ok {
+					shardOf[i] = spillShard
+					continue
+				}
+				keys[i] = k
+				shardOf[i] = uint8(ix.shardOf(k))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s uint8) {
+			defer wg.Done()
+			m := ix.shards[s]
+			for i, sh := range shardOf {
+				if sh == s {
+					m[keys[i]] = append(m[keys[i]], int32(i))
+				}
+			}
+		}(uint8(s))
+	}
+	wg.Wait()
+	for i, sh := range shardOf {
+		if sh == spillShard {
+			ix.insertSpill(rows[i], pos, int32(i))
+		}
+	}
+}
+
+// spillShard marks rows routed to the canonical-string spill map.
+const spillShard = 255
+
+func (ix *typedIndex[K]) matches(row Tuple, pos int) []int32 {
+	k, ok := ix.get(row, pos)
+	if !ok {
+		if ix.spill == nil {
+			return nil
+		}
+		return ix.spill[row.Key(pos)]
+	}
+	return ix.shards[ix.shardOf(k)][k]
+}
+
+// newKeyIndex picks the typed index for the declared key type.
+func newKeyIndex(t Type) keyIndex {
+	switch t {
+	case Int:
+		return &typedIndex[int64]{
+			get:  func(r Tuple, p int) (int64, bool) { v, ok := r[p].(int64); return v, ok },
+			hash: func(v int64) uint32 { return mix64(uint64(v)) },
+		}
+	case Float:
+		return &typedIndex[float64]{
+			get:  func(r Tuple, p int) (float64, bool) { v, ok := r[p].(float64); return v, ok },
+			hash: func(v float64) uint32 { return mix64(math.Float64bits(v)) },
+		}
+	case Bool:
+		return &typedIndex[bool]{
+			get: func(r Tuple, p int) (bool, bool) { v, ok := r[p].(bool); return v, ok },
+			hash: func(v bool) uint32 {
+				if v {
+					return 1
+				}
+				return 0
+			},
+		}
+	default:
+		return &typedIndex[string]{
+			get:  func(r Tuple, p int) (string, bool) { v, ok := r[p].(string); return v, ok },
+			hash: fnv32,
+		}
+	}
+}
+
+// Joiner is a reusable equi-join with the build phase done up front:
+// construct it once over the build (right) side, then probe whole
+// tables or successive row batches. Streaming callers (the dataflow
+// hash-join operator) avoid rebuilding the hash table per batch, which
+// the per-batch HashJoin calls used to do.
+type Joiner struct {
+	plan   *joinPlan
+	kind   JoinType
+	ix     keyIndex
+	build  []Tuple
+	shards int
+}
+
+// NewJoiner builds the hash index over the right (build) table for
+// probes whose rows follow leftSchema. shards controls the hash
+// partitioning of the build side and the parallelism of Probe; values
+// below 1 (and above 128) are clamped. Output is identical for every
+// shard count.
+func NewJoiner(leftSchema *Schema, right *Table, leftKey, rightKey string, kind JoinType, shards int) (*Joiner, error) {
+	plan, err := planJoin(leftSchema, right.Schema(), leftKey, rightKey)
+	if err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxJoinShards {
+		shards = maxJoinShards
+	}
+	ix := newKeyIndex(right.Schema().Field(plan.rk).Type)
+	ix.insert(right.Rows(), plan.rk, shards, shards > 1)
+	return &Joiner{plan: plan, kind: kind, ix: ix, build: right.Rows(), shards: shards}, nil
+}
+
+// OutputSchema returns the join output schema.
+func (j *Joiner) OutputSchema() *Schema { return j.plan.out }
+
+// arenaRows is how many output rows each arena block holds. Joined
+// rows all have the same width, so blocks never fragment.
+const arenaRows = 1024
+
+// tupleArena carves fixed-width output tuples out of block
+// allocations, replacing one allocation per output row with one per
+// arenaRows rows.
+type tupleArena struct {
+	buf  []any
+	used int
+}
+
+func (a *tupleArena) alloc(width int) Tuple {
+	if a.used+width > len(a.buf) {
+		n := arenaRows * width
+		if n < width {
+			n = width
+		}
+		a.buf = make([]any, n)
+		a.used = 0
+	}
+	t := a.buf[a.used : a.used : a.used+width]
+	a.used += width
+	return Tuple(t)
+}
+
+// emit appends one joined row (or a padded row when r is nil) to dst.
+func (j *Joiner) emit(dst []Tuple, a *tupleArena, l, r Tuple) []Tuple {
+	row := a.alloc(j.plan.out.Len())
+	row = append(row, l...)
+	if r == nil {
+		row = append(row, j.plan.padding...)
+	} else {
+		for _, p := range j.plan.rightPos {
+			row = append(row, r[p])
+		}
+	}
+	return append(dst, row)
+}
+
+// ProbeRows joins a batch of probe rows against the built side,
+// appending output rows to dst in probe order.
+func (j *Joiner) ProbeRows(dst []Tuple, rows []Tuple) []Tuple {
+	var arena tupleArena
+	for _, l := range rows {
+		ms := j.ix.matches(l, j.plan.lk)
+		if len(ms) == 0 {
+			if j.kind == LeftOuter {
+				dst = j.emit(dst, &arena, l, nil)
+			}
+			continue
+		}
+		for _, ri := range ms {
+			dst = j.emit(dst, &arena, l, j.build[ri])
+		}
+	}
+	return dst
+}
+
+// Probe joins an entire probe table. With more than one shard the
+// probe side is split into contiguous chunks joined concurrently;
+// chunk outputs are concatenated in chunk order, so the result is
+// bit-identical to a serial probe.
+func (j *Joiner) Probe(left *Table) *Table {
+	out := NewTable(j.plan.out)
+	rows := left.Rows()
+	if j.shards == 1 || len(rows) < 2*j.shards {
+		out.rows = j.ProbeRows(make([]Tuple, 0, len(rows)), rows)
+		return out
+	}
+	chunk := (len(rows) + j.shards - 1) / j.shards
+	parts := make([][]Tuple, j.shards)
+	var wg sync.WaitGroup
+	slot := 0
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(slot int, batch []Tuple) {
+			defer wg.Done()
+			parts[slot] = j.ProbeRows(make([]Tuple, 0, len(batch)), batch)
+		}(slot, rows[lo:hi])
+		slot++
+	}
+	wg.Wait()
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out.rows = make([]Tuple, 0, n)
+	for _, p := range parts {
+		out.rows = append(out.rows, p...)
+	}
+	return out
+}
+
+// HashJoinPar is HashJoin with the build side hash-partitioned into
+// shards and the probe side processed by shards concurrent workers.
+// Output rows, including their order, are identical to HashJoin for
+// every shard count.
+func HashJoinPar(left, right *Table, leftKey, rightKey string, kind JoinType, shards int) (*Table, error) {
+	j, err := NewJoiner(left.Schema(), right, leftKey, rightKey, kind, shards)
+	if err != nil {
+		return nil, err
+	}
+	return j.Probe(left), nil
+}

@@ -90,85 +90,11 @@ const (
 // collisions are prefixed with "r_". Probe order follows the left
 // table, so output order is deterministic.
 func HashJoin(left, right *Table, leftKey, rightKey string, kind JoinType) (*Table, error) {
-	lk := left.Schema().IndexOf(leftKey)
-	if lk < 0 {
-		return nil, fmt.Errorf("relation: join: left key %q not found", leftKey)
-	}
-	rk := right.Schema().IndexOf(rightKey)
-	if rk < 0 {
-		return nil, fmt.Errorf("relation: join: right key %q not found", rightKey)
-	}
-	if lt, rt := left.Schema().Field(lk).Type, right.Schema().Field(rk).Type; lt != rt {
-		return nil, fmt.Errorf("relation: join: key type mismatch %s vs %s", lt, rt)
-	}
-
-	// Output schema: left ++ (right minus its key column).
-	rightNames := make([]string, 0, right.Schema().Len()-1)
-	rightPos := make([]int, 0, right.Schema().Len()-1)
-	for i := 0; i < right.Schema().Len(); i++ {
-		if i == rk {
-			continue
-		}
-		rightNames = append(rightNames, right.Schema().Field(i).Name)
-		rightPos = append(rightPos, i)
-	}
-	rightProj, err := right.Schema().Project(rightNames...)
+	j, err := NewJoiner(left.Schema(), right, leftKey, rightKey, kind, 1)
 	if err != nil {
 		return nil, err
 	}
-	outSchema, err := left.Schema().Concat(rightProj, "r_")
-	if err != nil {
-		return nil, err
-	}
-
-	// Build side: right table.
-	build := make(map[string][]Tuple, right.Len())
-	for _, r := range right.Rows() {
-		k := r.Key(rk)
-		build[k] = append(build[k], r)
-	}
-
-	out := NewTable(outSchema)
-	padding := make(Tuple, len(rightPos))
-	for i, p := range rightPos {
-		switch right.Schema().Field(p).Type {
-		case Int:
-			padding[i] = int64(0)
-		case Float:
-			padding[i] = float64(0)
-		case String:
-			padding[i] = ""
-		case Bool:
-			padding[i] = false
-		}
-	}
-
-	emit := func(l Tuple, r Tuple) {
-		row := make(Tuple, 0, outSchema.Len())
-		row = append(row, l...)
-		if r == nil {
-			row = append(row, padding...)
-		} else {
-			for _, p := range rightPos {
-				row = append(row, r[p])
-			}
-		}
-		out.AppendUnchecked(row)
-	}
-
-	for _, l := range left.Rows() {
-		matches := build[l.Key(lk)]
-		if len(matches) == 0 {
-			if kind == LeftOuter {
-				emit(l, nil)
-			}
-			continue
-		}
-		for _, r := range matches {
-			emit(l, r)
-		}
-	}
-	return out, nil
+	return j.Probe(left), nil
 }
 
 // NestedLoopJoin is the O(n·m) reference implementation used as a

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // The binary encoding is a compact, self-describing row format:
@@ -122,9 +123,43 @@ func EncodedSize(t Tuple) int64 {
 	return size
 }
 
+// Encoder reuses one grow-once buffer across encode calls. Get one
+// from GetEncoder and return it with Release; the pooling removes the
+// per-tuple buffer allocation from hot byte-accounting loops.
+type Encoder struct {
+	buf []byte
+}
+
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 1024)} },
+}
+
+// GetEncoder fetches a pooled encoder.
+func GetEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
+
+// Release returns the encoder (and its buffer) to the pool. The slices
+// returned by EncodeTuple become invalid.
+func (e *Encoder) Release() {
+	encoderPool.Put(e)
+}
+
+// EncodeTuple encodes one tuple into the encoder's buffer and returns
+// the encoding, valid until the next call or Release.
+func (e *Encoder) EncodeTuple(t Tuple) ([]byte, error) {
+	b, err := EncodeTuple(e.buf[:0], t)
+	if err != nil {
+		return nil, err
+	}
+	e.buf = b[:0]
+	return b, nil
+}
+
 // EncodeTable encodes all rows of a table, prefixed with a row count.
+// The output buffer is sized exactly up front, so the call performs a
+// single allocation however many rows the table has.
 func EncodeTable(t *Table) ([]byte, error) {
-	out := binary.AppendUvarint(nil, uint64(t.Len()))
+	out := make([]byte, 0, TableBytes(t))
+	out = binary.AppendUvarint(out, uint64(t.Len()))
 	var err error
 	for _, r := range t.Rows() {
 		out, err = EncodeTuple(out, r)
@@ -133,6 +168,38 @@ func EncodeTable(t *Table) ([]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// Digest returns a deterministic FNV-1a hash over a table's schema and
+// encoded rows — the cheap fingerprint the golden-determinism tests
+// compare across runs. It uses a pooled encoder, so digesting does not
+// allocate per row.
+func Digest(t *Table) uint64 {
+	const (
+		offset64 = 14695981039346269563
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	mix([]byte(t.Schema().String()))
+	enc := GetEncoder()
+	defer enc.Release()
+	for _, r := range t.Rows() {
+		b, err := enc.EncodeTuple(r)
+		if err != nil {
+			// Unencodable values cannot occur in schema-conformant
+			// tables; fold the error text so the digest still reflects it.
+			mix([]byte(err.Error()))
+			continue
+		}
+		mix(b)
+	}
+	return h
 }
 
 // DecodeTable decodes a table encoded by EncodeTable. The caller

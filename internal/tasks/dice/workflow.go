@@ -309,6 +309,7 @@ func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Re
 		Task:          t.Name(),
 		Paradigm:      core.Workflow,
 		SimSeconds:    res.SimSeconds,
+		Trace:         res.Trace.Totals(),
 		LinesOfCode:   t.workflowLoC(),
 		Operators:     w.NumOperators(),
 		ParallelProcs: cfg.Workers,

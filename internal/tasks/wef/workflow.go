@@ -214,6 +214,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		Task:          t.Name(),
 		Paradigm:      core.Workflow,
 		SimSeconds:    res.SimSeconds,
+		Trace:         res.Trace.Totals(),
 		LinesOfCode:   t.workflowLoC(),
 		Operators:     w.NumOperators(),
 		ParallelProcs: 1,

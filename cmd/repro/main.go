@@ -9,6 +9,10 @@
 //	repro -scale 10           # shrink datasets 10x for a quick pass
 //	repro -list               # list experiment IDs
 //	repro -bench-json F.json  # wall-clock benchmark harness, JSON to F.json
+//	repro -trace out.json     # run one task under both paradigms, write
+//	                          # a Chrome trace (chrome://tracing, Perfetto)
+//	repro -trace-task kge     # which task -trace/-metrics instrument
+//	repro -metrics            # print the telemetry summary + metrics dump
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,11 +37,24 @@ func main() {
 		charts     = flag.Bool("charts", true, "render ASCII charts for figure experiments")
 		jsonOut    = flag.Bool("json", false, "emit results as JSON instead of tables")
 		benchJSON  = flag.String("bench-json", "", "run the wall-clock benchmark harness and write its JSON report to this file")
+		traceOut   = flag.String("trace", "", "run -trace-task under both paradigms and write a Chrome trace-event JSON file")
+		metrics    = flag.Bool("metrics", false, "with -trace (or alone), print the telemetry summary and metrics dump")
+		traceTask  = flag.String("trace-task", "dice", "task to instrument for -trace/-metrics (dice, wef, gotta, kge)")
+		traceWall  = flag.Bool("trace-wall", false, "include non-deterministic wall-clock spans in the trace and metrics")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *traceOut != "" || *metrics {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		if err := runTrace(*traceTask, *traceOut, *metrics, *traceWall, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -67,6 +85,35 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runTrace runs one task under both paradigms with telemetry attached,
+// optionally writing a Chrome trace and printing the metrics report.
+func runTrace(task, traceOut string, metrics, wall bool, cfg experiments.Config) error {
+	rec, err := experiments.Trace(task, cfg)
+	if err != nil {
+		return err
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeTrace(f, telemetry.ExportOptions{IncludeWall: wall}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d spans; load in chrome://tracing or Perfetto)\n", traceOut, len(rec.Spans()))
+	}
+	rec.WriteSummary(os.Stdout)
+	report.OperatorTable(os.Stdout, rec)
+	if metrics {
+		return rec.WriteMetrics(os.Stdout, wall)
+	}
+	return nil
 }
 
 // runBench executes the wall-clock harness and writes its report.

@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/tasks/dice"
 	"repro/internal/tasks/kge"
+	"repro/internal/telemetry"
 )
 
 // Micro is one micro-benchmark result.
@@ -27,13 +29,18 @@ type Micro struct {
 
 // Macro is one end-to-end workflow run: wall-clock milliseconds next
 // to the simulated seconds the run computed. The Size sweep per task
-// is the wall-clock trajectory.
+// is the wall-clock trajectory. Each configuration is run with and
+// without a telemetry recorder attached; OverheadPct is the relative
+// wall-clock cost of instrumentation (the observability tax), which
+// the telemetry PR requires to stay within a few percent.
 type Macro struct {
-	Task       string  `json:"task"`
-	Experiment string  `json:"experiment"`
-	Size       int     `json:"size"`
-	WallMS     float64 `json:"wall_ms"`
-	SimSeconds float64 `json:"sim_seconds"`
+	Task            string  `json:"task"`
+	Experiment      string  `json:"experiment"`
+	Size            int     `json:"size"`
+	WallMS          float64 `json:"wall_ms"`
+	WallMSTelemetry float64 `json:"wall_ms_telemetry"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	SimSeconds      float64 `json:"sim_seconds"`
 }
 
 // Report is the full harness output.
@@ -123,23 +130,91 @@ func micros() []Micro {
 		}
 		e.Release()
 	}))
+
+	// Telemetry hot-path primitives: the per-batch cost an instrumented
+	// executor pays on top of the work itself.
+	reg := telemetry.NewRegistry()
+	ctr := reg.Counter("bench.counter")
+	hist := reg.Histogram("bench.hist", "ns")
+	gauge := reg.Gauge("bench.gauge")
+	out = append(out, measure("telemetry_counter_add", 65536, func() {
+		for i := 0; i < 65536; i++ {
+			ctr.Add(i, 1)
+		}
+	}))
+	out = append(out, measure("telemetry_hist_observe", 65536, func() {
+		for i := 0; i < 65536; i++ {
+			hist.Observe(i, int64(i))
+		}
+	}))
+	out = append(out, measure("telemetry_gauge_set", 65536, func() {
+		for i := 0; i < 65536; i++ {
+			gauge.Set(i, int64(i))
+		}
+	}))
 	return out
 }
 
 // macros runs small workflow configurations of the E4 (DICE) and E6
-// (KGE) experiments and records each run's wall clock.
+// (KGE) experiments, timing each with telemetry off and on. The two
+// variants run interleaved in pairs; the overhead estimate is the
+// median of the per-pair ratios, so slow drift in machine load (which
+// hits both members of a pair equally) cancels instead of biasing the
+// comparison the way independent minima would.
 func macros(seed uint64) ([]Macro, error) {
+	const reps = 7
 	var out []Macro
 	run := func(task core.Task, experiment string, size int) error {
-		start := time.Now()
-		res, err := task.Run(core.Workflow, core.RunConfig{})
-		if err != nil {
+		timeOnce := func(cfg core.RunConfig) (float64, float64, error) {
+			start := time.Now()
+			res, err := task.Run(core.Workflow, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return float64(time.Since(start).Microseconds()) / 1000, res.SimSeconds, nil
+		}
+		instrCfg := func() core.RunConfig { return core.RunConfig{Telemetry: telemetry.New()} }
+		// Warm both variants (first runs pay one-time costs: page faults,
+		// lazy init), then interleave timed reps so drift in machine load
+		// hits both variants equally; keep each variant's fastest run.
+		if _, _, err := timeOnce(core.RunConfig{}); err != nil {
 			return fmt.Errorf("bench: %s size %d: %w", experiment, size, err)
+		}
+		if _, _, err := timeOnce(instrCfg()); err != nil {
+			return fmt.Errorf("bench: %s size %d (telemetry): %w", experiment, size, err)
+		}
+		plain, instr := -1.0, -1.0
+		var sim float64
+		ratios := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			pw, s, err := timeOnce(core.RunConfig{})
+			if err != nil {
+				return fmt.Errorf("bench: %s size %d: %w", experiment, size, err)
+			}
+			if plain < 0 || pw < plain {
+				plain = pw
+			}
+			sim = s
+			iw, _, err := timeOnce(instrCfg())
+			if err != nil {
+				return fmt.Errorf("bench: %s size %d (telemetry): %w", experiment, size, err)
+			}
+			if instr < 0 || iw < instr {
+				instr = iw
+			}
+			if pw > 0 {
+				ratios = append(ratios, iw/pw)
+			}
+		}
+		overhead := 0.0
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			overhead = 100 * (ratios[len(ratios)/2] - 1)
 		}
 		out = append(out, Macro{
 			Task: task.Name(), Experiment: experiment, Size: size,
-			WallMS:     float64(time.Since(start).Microseconds()) / 1000,
-			SimSeconds: res.SimSeconds,
+			WallMS: plain, WallMSTelemetry: instr, OverheadPct: overhead,
+			SimSeconds: sim,
 		})
 		return nil
 	}

@@ -40,5 +40,36 @@ func TestMacrosTrajectory(t *testing.T) {
 		if m.WallMS <= 0 || m.SimSeconds <= 0 {
 			t.Fatalf("degenerate macro point %+v", m)
 		}
+		if m.WallMSTelemetry <= 0 {
+			t.Fatalf("telemetry run missing from macro point %+v", m)
+		}
+	}
+}
+
+// The telemetry micro-benchmarks must keep running (the overhead guard
+// depends on them); this exercises the same loops measure() times.
+func TestTelemetryMicroLoopsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro sweep in -short mode")
+	}
+	micros := micros()
+	want := map[string]bool{
+		"telemetry_counter_add": false, "telemetry_hist_observe": false, "telemetry_gauge_set": false,
+	}
+	for _, m := range micros {
+		if _, ok := want[m.Name]; ok {
+			want[m.Name] = true
+			if m.NsPerOp <= 0 {
+				t.Fatalf("%s: ns/op = %v", m.Name, m.NsPerOp)
+			}
+			if m.AllocsPerOp != 0 {
+				t.Fatalf("%s allocates %.2f per op on the hot path", m.Name, m.AllocsPerOp)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("micro %s missing", name)
+		}
 	}
 }

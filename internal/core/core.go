@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/relation"
+	"repro/internal/telemetry"
 )
 
 // Paradigm identifies one of the two platform paradigms under
@@ -45,6 +46,10 @@ type RunConfig struct {
 	// the workflow paradigm, Ray num_cpus for the script paradigm.
 	// Zero means 1.
 	Workers int
+	// Telemetry, when non-nil, collects per-operator/per-cell/per-task
+	// spans, hot-path metrics and critical-path rows from the run. Nil
+	// (the default) keeps every engine on its uninstrumented fast path.
+	Telemetry *telemetry.Recorder
 }
 
 // Normalize fills defaults and validates.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/relation"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config controls one workflow execution.
@@ -25,6 +26,10 @@ type Config struct {
 	// vCPUs (operators multiplex cores between themselves, as Texera's
 	// workers do, so the sum is not bounded).
 	Cluster *cluster.Cluster
+	// Telemetry, when set, receives per-operator spans, hot-path
+	// metrics and the critical-path breakdown of the execution. Nil
+	// (the default) keeps the executor on its uninstrumented fast path.
+	Telemetry *telemetry.Recorder
 }
 
 // Result is the outcome of a completed workflow execution.
@@ -89,6 +94,7 @@ type nodeRuntime struct {
 	sinkMu       sync.Mutex
 
 	shards []workShard // one per worker (sources and sinks use shard 0)
+	wall   []wallShard // like shards; allocated only when telemetry is on
 
 	wg sync.WaitGroup
 }
@@ -156,6 +162,7 @@ type Execution struct {
 	cancel context.CancelFunc
 	gate   *gate
 	rts    []*nodeRuntime
+	tel    *execTelemetry // nil = telemetry off
 	done   chan struct{}
 
 	errOnce sync.Once
@@ -197,6 +204,7 @@ func (w *Workflow) Start(ctx context.Context, cfg Config) (*Execution, error) {
 		ctx:    runCtx,
 		cancel: cancel,
 		gate:   newGate(),
+		tel:    newExecTelemetry(cfg.Telemetry, w.name),
 		done:   make(chan struct{}),
 	}
 
@@ -235,6 +243,9 @@ func (w *Workflow) Start(ctx context.Context, cfg Config) (*Execution, error) {
 		rt.shards = make([]workShard, nshards)
 		for s := range rt.shards {
 			rt.shards[s].byPort = make([]cost.Work, workPorts)
+		}
+		if ex.tel != nil {
+			rt.wall = make([]wallShard, nshards)
 		}
 		rt.inputSchemas = make([]*relation.Schema, ports)
 		for _, e := range n.inEdges {
@@ -446,12 +457,25 @@ func (ex *Execution) runSource(rt *nodeRuntime) {
 	if size == 0 {
 		size = AutoBatchSize(rt.n.table.Len())
 	}
+	tel := ex.tel
+	shard := shardIndex(rt.n.id, 0)
 	for _, b := range rt.n.table.Batches(size) {
 		if err := ex.gate.wait(ex.ctx); err != nil {
 			return
 		}
+		var t0 int64
+		if tel != nil {
+			t0 = tel.rec.NowNS()
+		}
 		rt.addWork(0, rt.n.scanWork.Scale(float64(len(b.Rows))))
 		ex.emit(rt, b.Rows)
+		if tel != nil {
+			t1 := tel.rec.NowNS()
+			rt.wall[0].note(t0, t1)
+			tel.batches.Add(shard, 1)
+			tel.tuples.Add(shard, int64(len(b.Rows)))
+			tel.batchNS.Observe(shard, t1-t0)
+		}
 	}
 	rt.setState(Completed)
 }
@@ -460,6 +484,8 @@ func (ex *Execution) runSource(rt *nodeRuntime) {
 func (ex *Execution) runSink(rt *nodeRuntime) {
 	rt.setState(Running)
 	q := rt.inQ[0][0]
+	tel := ex.tel
+	shard := shardIndex(rt.n.id, 0)
 	for {
 		msg, ok, err := q.pop(ex.ctx)
 		if err != nil {
@@ -472,12 +498,26 @@ func (ex *Execution) runSink(rt *nodeRuntime) {
 		if err := ex.gate.wait(ex.ctx); err != nil {
 			return
 		}
+		var t0 int64
+		if tel != nil {
+			t0 = tel.rec.NowNS()
+			depth := int64(q.Depth())
+			tel.qDepth.Set(shard, depth)
+			tel.qHist.Observe(shard, depth)
+		}
 		rt.inTuples.Add(int64(len(msg.rows)))
 		rt.sinkMu.Lock()
 		for _, r := range msg.rows {
 			rt.sinkTable.AppendUnchecked(r)
 		}
 		rt.sinkMu.Unlock()
+		if tel != nil {
+			t1 := tel.rec.NowNS()
+			rt.wall[0].note(t0, t1)
+			tel.batches.Add(shard, 1)
+			tel.tuples.Add(shard, int64(len(msg.rows)))
+			tel.batchNS.Observe(shard, t1-t0)
+		}
 	}
 }
 
@@ -500,6 +540,8 @@ func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
 	}
 	rt.setState(Running)
 	ports := rt.n.op.Desc().Ports
+	tel := ex.tel
+	shard := shardIndex(rt.n.id, worker)
 	for port := 0; port < ports; port++ {
 		q := rt.inQ[port][worker]
 		for {
@@ -513,6 +555,13 @@ func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
 			if err := ex.gate.wait(ex.ctx); err != nil {
 				return
 			}
+			var t0 int64
+			if tel != nil {
+				t0 = tel.rec.NowNS()
+				depth := int64(q.Depth())
+				tel.qDepth.Set(shard, depth)
+				tel.qHist.Observe(shard, depth)
+			}
 			rt.inTuples.Add(int64(len(msg.rows)))
 			ec.phase = port
 			out, err := inst.Process(ec, port, msg.rows)
@@ -521,6 +570,13 @@ func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
 				return
 			}
 			ex.emit(rt, out)
+			if tel != nil {
+				t1 := tel.rec.NowNS()
+				rt.wall[worker].note(t0, t1)
+				tel.batches.Add(shard, 1)
+				tel.tuples.Add(shard, int64(len(msg.rows)))
+				tel.batchNS.Observe(shard, t1-t0)
+			}
 		}
 		ec.phase = phaseEnd
 		out, err := inst.EndPort(ec, port)
@@ -558,6 +614,7 @@ func (ex *Execution) finish() {
 		ex.fail(fmt.Errorf("dataflow: scheduling failed: %w", err))
 		return
 	}
+	ex.recordTelemetry(jobs, sched)
 	tables := make(map[string]*relation.Table)
 	for _, rt := range ex.rts {
 		if rt.n.kind == kindSink {

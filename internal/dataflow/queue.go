@@ -75,6 +75,17 @@ func (q *queue) push(m batchMsg) {
 	q.notify()
 }
 
+// Depth returns the number of queued batches. It takes the queue lock,
+// so it is safe against concurrent producers — instrumentation must use
+// this instead of reading the ring-buffer indices directly, which
+// races under -race.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	n := q.count
+	q.mu.Unlock()
+	return n
+}
+
 // close marks the end of the stream.
 func (q *queue) close() {
 	q.mu.Lock()

@@ -30,6 +30,55 @@ func TestQueueFIFO(t *testing.T) {
 	}
 }
 
+func TestQueueDepth(t *testing.T) {
+	q := newQueue()
+	if q.Depth() != 0 {
+		t.Fatalf("empty queue Depth = %d, want 0", q.Depth())
+	}
+	for i := 0; i < 5; i++ {
+		q.push(batchMsg{rows: []relation.Tuple{{int64(i)}}})
+		if got := q.Depth(); got != i+1 {
+			t.Fatalf("Depth after %d pushes = %d", i+1, got)
+		}
+	}
+	ctx := context.Background()
+	if _, _, err := q.pop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Depth(); got != 4 {
+		t.Fatalf("Depth after pop = %d, want 4", got)
+	}
+	// Depth must be safe against concurrent producers (exercised with
+	// -race): readers take the queue lock rather than racing on count.
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				q.push(batchMsg{})
+				_ = q.Depth()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = q.Depth()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := q.Depth(); got != 404 {
+		t.Fatalf("Depth after concurrent pushes = %d, want 404", got)
+	}
+}
+
 func TestQueueBlocksUntilPush(t *testing.T) {
 	q := newQueue()
 	got := make(chan int64, 1)

@@ -1,0 +1,203 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// execTelemetry bundles the recorder and the pre-registered sharded
+// instruments the executor's hot path writes. It is built once at
+// Start when a recorder is attached; a nil *execTelemetry is the
+// telemetry-off fast path (one pointer nil-check per batch).
+type execTelemetry struct {
+	rec *telemetry.Recorder
+	// batches/tuples count operator Process invocations and their rows
+	// — deterministic, they appear in the metrics dump.
+	batches *telemetry.Counter
+	tuples  *telemetry.Counter
+	// batchNS is the wall-clock latency of each operator invocation;
+	// qDepth samples input-queue depth after each pop. Both are
+	// volatile profiling instruments.
+	batchNS *telemetry.Histogram
+	qDepth  *telemetry.Gauge
+	qHist   *telemetry.Histogram
+}
+
+// newExecTelemetry registers the execution's hot-path instruments.
+func newExecTelemetry(rec *telemetry.Recorder, wf string) *execTelemetry {
+	if rec == nil {
+		return nil
+	}
+	reg := rec.Metrics
+	p := "wf." + wf + "."
+	return &execTelemetry{
+		rec:     rec,
+		batches: reg.Counter(p + "exec.batches"),
+		tuples:  reg.Counter(p + "exec.tuples"),
+		batchNS: reg.Histogram(p+"exec.batch_wall", "ns"),
+		qDepth:  reg.Gauge(p + "exec.queue_depth"),
+		qHist:   reg.Histogram(p+"exec.queue_depth_dist", "batches"),
+	}
+}
+
+// wallShard is one worker's private wall-clock accumulator, padded
+// like the work shards; it is written with plain stores by its owning
+// worker and merged after the node's WaitGroup completes.
+type wallShard struct {
+	firstNS int64
+	lastNS  int64
+	busyNS  int64
+	batches int64
+	_       [32]byte
+}
+
+// note records one invocation's wall interval on a shard.
+func (sh *wallShard) note(t0, t1 int64) {
+	if sh.batches == 0 || t0 < sh.firstNS {
+		sh.firstNS = t0
+	}
+	if t1 > sh.lastNS {
+		sh.lastNS = t1
+	}
+	sh.busyNS += t1 - t0
+	sh.batches++
+}
+
+// shardIndex spreads (node, worker) pairs over the registry's shards.
+func shardIndex(node NodeID, worker int) int {
+	return int(node)*7 + worker
+}
+
+// trackCat labels a node's spans for export.
+func trackCat(kind nodeKind) string {
+	switch kind {
+	case kindSource:
+		return "source"
+	case kindSink:
+		return "sink"
+	default:
+		return "operator"
+	}
+}
+
+// recordTelemetry converts the finished execution into telemetry:
+// per-invocation spans with virtual-clock stamps from the schedule,
+// per-node wall spans from the live wall shards, deterministic
+// per-edge and per-node counters, and a critical-path breakdown.
+func (ex *Execution) recordTelemetry(jobs []sim.Job, sched *sim.Result) {
+	tel := ex.tel
+	if tel == nil {
+		return
+	}
+	proc := "workflow:" + ex.wf.name
+	reg := tel.rec.Metrics
+	prefix := "wf." + ex.wf.name + "."
+
+	// Pool name -> (track, category).
+	type trackInfo struct {
+		track string
+		cat   string
+	}
+	tracks := map[string]trackInfo{"controller": {"controller", "control"}}
+	for _, rt := range ex.rts {
+		pool := fmt.Sprintf("n%d:%s", rt.n.id, rt.n.name)
+		tracks[pool] = trackInfo{rt.n.name, trackCat(rt.n.kind)}
+	}
+
+	// Virtual spans, one per scheduled job that consumed time. Jobs are
+	// iterated in ID order, so the recording order is deterministic.
+	// Capacity covers the wall spans too, so the slice is allocated
+	// exactly once.
+	nWall := 0
+	for _, rt := range ex.rts {
+		for w := range rt.wall {
+			if rt.wall[w].batches > 0 {
+				nWall++
+			}
+		}
+	}
+	spans := make([]telemetry.Span, 0, len(jobs)+nWall)
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Cost <= 0 {
+			continue // barrier / end-of-stream bookkeeping jobs
+		}
+		sp, ok := sched.Spans[j.ID]
+		if !ok {
+			continue
+		}
+		ti := tracks[j.Pool]
+		spans = append(spans, telemetry.Span{
+			Proc: proc, Track: ti.track, Name: j.Name, Cat: ti.cat,
+			HasVirt: true,
+			Virtual: telemetry.Virt{Start: sp.Start, Dur: sp.Finish - sp.Start},
+		})
+	}
+
+	// Per-node wall spans (volatile): busy time anchored at the node's
+	// first activity, one span per active worker shard.
+	for _, rt := range ex.rts {
+		for w := range rt.wall {
+			sh := &rt.wall[w]
+			if sh.batches == 0 {
+				continue
+			}
+			spans = append(spans, telemetry.Span{
+				Proc: proc, Track: rt.n.name, Name: rt.n.name + ":wall",
+				Cat: "wall", Worker: w, Tuples: sh.batches,
+				HasWall: true,
+				Clock:   telemetry.Wall{StartNS: sh.firstNS, DurNS: sh.busyNS},
+			})
+		}
+	}
+	tel.rec.Record(spans...)
+
+	// Deterministic data-volume counters, per node and per edge.
+	for _, rt := range ex.rts {
+		node := prefix + "node." + rt.n.name + "."
+		reg.Counter(node + "in_tuples").Add(0, rt.inTuples.Load())
+		reg.Counter(node + "out_tuples").Add(0, rt.outTuples.Load())
+		reg.Counter(node + "batches").Add(0, rt.batches.Load())
+		for i, e := range rt.n.outEdges {
+			st := rt.edgeStats[i]
+			edge := fmt.Sprintf("%sedge.%s->%s.p%d.", prefix, e.from.name, e.to.name, e.port)
+			reg.Counter(edge + "batches").Add(0, st.batches.Load())
+			reg.Counter(edge + "tuples").Add(0, st.tuples.Load())
+			reg.Counter(edge + "bytes").Add(0, st.bytes.Load())
+		}
+	}
+
+	// Critical-path breakdown: walk the longest chain and attribute its
+	// time per track.
+	if chain, err := sim.CriticalChain(jobs); err == nil {
+		byID := make(map[sim.JobID]*sim.Job, len(jobs))
+		for i := range jobs {
+			byID[jobs[i].ID] = &jobs[i]
+		}
+		agg := make(map[string]*telemetry.CriticalRow)
+		var order []string
+		for _, id := range chain {
+			j := byID[id]
+			track := tracks[j.Pool].track
+			row, ok := agg[track]
+			if !ok {
+				row = &telemetry.CriticalRow{Proc: proc, Track: track}
+				agg[track] = row
+				order = append(order, track)
+			}
+			row.Jobs++
+			row.Seconds += j.Cost + j.Latency
+		}
+		rows := make([]telemetry.CriticalRow, 0, len(order))
+		for _, track := range order {
+			rows = append(rows, *agg[track])
+		}
+		tel.rec.AddCritical(rows...)
+	}
+
+	tel.rec.SetMeta(strings.TrimSuffix(prefix, ".")+".makespan", fmt.Sprintf("%.6f", sched.Makespan))
+	tel.rec.SetMeta(strings.TrimSuffix(prefix, ".")+".nodes", fmt.Sprintf("%d", len(ex.rts)))
+}

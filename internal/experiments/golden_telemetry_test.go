@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// The telemetry golden tests extend the E4/E6 determinism guard to the
+// observability layer: running the same task twice with tracing on
+// must export bit-identical Chrome traces and metrics dumps. Virtual
+// spans come from the sim schedule and counters from exact data
+// volumes; if either export drifts between runs, nondeterminism (or a
+// wall-clock value) has leaked into the deterministic path.
+
+func assertTelemetryGolden(t *testing.T, task string, cfg Config) {
+	t.Helper()
+	export := func() (trace, metrics []byte) {
+		rec, err := Trace(task, cfg)
+		if err != nil {
+			t.Fatalf("%s: trace run: %v", task, err)
+		}
+		var tb, mb bytes.Buffer
+		if err := rec.WriteChromeTrace(&tb, telemetry.ExportOptions{}); err != nil {
+			t.Fatalf("%s: chrome trace export: %v", task, err)
+		}
+		if err := rec.WriteMetrics(&mb, false); err != nil {
+			t.Fatalf("%s: metrics export: %v", task, err)
+		}
+		if tb.Len() == 0 || mb.Len() == 0 {
+			t.Fatalf("%s: empty telemetry export", task)
+		}
+		return tb.Bytes(), mb.Bytes()
+	}
+	t1, m1 := export()
+	t2, m2 := export()
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("%s: Chrome traces differ between identical runs (%d vs %d bytes)", task, len(t1), len(t2))
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("%s: metrics dumps differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", task, m1, m2)
+	}
+}
+
+func TestGoldenDICETelemetryDeterministic(t *testing.T) {
+	assertTelemetryGolden(t, "dice", Config{Scale: 20, Seed: 1})
+}
+
+func TestGoldenKGETelemetryDeterministic(t *testing.T) {
+	assertTelemetryGolden(t, "kge", Config{Scale: 20, Seed: 1})
+}

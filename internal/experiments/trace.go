@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tasks/dice"
+	"repro/internal/tasks/gotta"
+	"repro/internal/tasks/kge"
+	"repro/internal/tasks/wef"
+	"repro/internal/telemetry"
+)
+
+// TraceTasks lists the task names Trace accepts.
+var TraceTasks = []string{"dice", "wef", "gotta", "kge"}
+
+// traceTask builds the named task at the config's scale, using each
+// task's paper-scale baseline size (the largest Figure 13 point).
+func traceTask(name string, cfg Config) (core.Task, error) {
+	switch name {
+	case "dice":
+		return dice.New(dice.Params{Pairs: cfg.scaled(200), Seed: cfg.Seed})
+	case "wef":
+		return wef.New(wef.Params{Tweets: cfg.scaled(200), Seed: cfg.Seed})
+	case "gotta":
+		return gotta.New(gotta.Params{Paragraphs: cfg.scaled(16), Seed: cfg.Seed})
+	case "kge":
+		return kge.New(kge.Params{Products: cfg.scaled(6800), Seed: cfg.Seed})
+	default:
+		return nil, fmt.Errorf("experiments: unknown trace task %q (have %v)", name, TraceTasks)
+	}
+}
+
+// Trace runs one task under both paradigms with telemetry attached and
+// returns the recorder holding both runs' spans and metrics, so the
+// script and workflow executions of the same workload can be compared
+// side by side in one Chrome trace. The recorder's virtual-clock data
+// is deterministic; wall-clock data varies run to run.
+func Trace(name string, cfg Config) (*telemetry.Recorder, error) {
+	cfg = cfg.normalize()
+	task, err := traceTask(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec := telemetry.New()
+	rc := cfg.RunConfig
+	rc.Telemetry = rec
+	s, w, err := core.RunBoth(task, rc)
+	if err != nil {
+		return nil, err
+	}
+	rec.SetMeta("task", name)
+	rec.SetMeta("script.sim_seconds", fmt.Sprintf("%.6f", s.SimSeconds))
+	rec.SetMeta("workflow.sim_seconds", fmt.Sprintf("%.6f", w.SimSeconds))
+	rec.SetMeta("outputs_agree", fmt.Sprintf("%v", s.Output.Equal(w.Output)))
+	return rec, nil
+}

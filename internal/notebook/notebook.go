@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/telemetry"
 )
 
 // Kernel holds the interpreter state shared by all cells: named
@@ -168,6 +169,22 @@ type Notebook struct {
 	name   string
 	cells  []*Cell
 	kernel *Kernel
+	rec    *telemetry.Recorder
+	proc   string
+}
+
+// SetTelemetry attaches a recorder; RunCell then emits one span per
+// cell execution on the "kernel" track of process proc. Cell spans are
+// genuinely dual-stamped: the kernel's virtual clock is live while the
+// cell runs, so the span carries both the deterministic virtual
+// interval and the volatile wall interval. A nil recorder (the
+// default) keeps execution uninstrumented.
+func (n *Notebook) SetTelemetry(rec *telemetry.Recorder, proc string) {
+	n.rec = rec
+	if proc == "" {
+		proc = "script:" + n.name
+	}
+	n.proc = proc
 }
 
 // New creates a notebook with a fresh kernel. A nil model uses
@@ -206,11 +223,32 @@ func (n *Notebook) RunCell(i int) error {
 	k.errStack = nil
 	count := k.execCount
 	before := k.elapsed
+	var wall0 int64
+	if n.rec != nil {
+		wall0 = n.rec.NowNS()
+	}
 	var err error
 	if c.Run != nil {
 		err = c.Run(k)
 	}
 	rec := ExecutionRecord{Cell: c.Name, Count: count, Seconds: k.elapsed - before}
+	if n.rec != nil {
+		wall1 := n.rec.NowNS()
+		cat := "cell"
+		if err != nil {
+			cat = "cell-error"
+		}
+		n.rec.Record(telemetry.Span{
+			Proc: n.proc, Track: "kernel",
+			Name:    fmt.Sprintf("In[%d] %s", count, c.Name),
+			Cat:     cat,
+			HasVirt: true,
+			Virtual: telemetry.Virt{Start: before, Dur: k.elapsed - before},
+			HasWall: true,
+			Clock:   telemetry.Wall{StartNS: wall0, DurNS: wall1 - wall0},
+		})
+		n.rec.Metrics.Counter("nb." + n.name + ".cells_run").Add(0, 1)
+	}
 	if err != nil {
 		cellErr := &CellError{
 			Cell:      c.Name,

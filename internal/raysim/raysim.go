@@ -15,6 +15,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/objstore"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Cluster is a Ray head plus worker CPUs and an object store.
@@ -97,6 +98,17 @@ type Job struct {
 	cluster *Cluster
 	tasks   []TaskSpec
 	err     error
+	rec     *telemetry.Recorder
+	proc    string
+}
+
+// SetTelemetry attaches a recorder; Run then emits one span per task on
+// the "ray-cpus" track of process proc, stamped with the sim virtual
+// clock, plus a critical-path breakdown. A nil recorder (the default)
+// keeps Run uninstrumented.
+func (j *Job) SetTelemetry(rec *telemetry.Recorder, proc string) {
+	j.rec = rec
+	j.proc = proc
 }
 
 // NewJob starts an empty task graph.
@@ -183,11 +195,53 @@ func (j *Job) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	j.recordTelemetry(jobs, sched)
 	return &Result{
 		Makespan:      sched.Makespan,
 		Schedule:      sched,
 		ParallelTasks: peakConcurrency(sched),
 	}, nil
+}
+
+// recordTelemetry emits one virtual-clock span per scheduled task plus
+// a critical-path row and per-job counters. Spans are stamped from the
+// deterministic sim schedule, so instrumented runs export bit-equal.
+func (j *Job) recordTelemetry(jobs []sim.Job, sched *sim.Result) {
+	if j.rec == nil {
+		return
+	}
+	proc := j.proc
+	if proc == "" {
+		proc = "script:ray"
+	}
+	spans := make([]telemetry.Span, 0, len(jobs))
+	var totalCost float64
+	for i := range jobs {
+		jb := &jobs[i]
+		sp, ok := sched.Spans[jb.ID]
+		if !ok || jb.Cost <= 0 {
+			continue
+		}
+		totalCost += jb.Cost
+		spans = append(spans, telemetry.Span{
+			Proc: proc, Track: "ray-cpus", Name: jb.Name, Cat: "task",
+			HasVirt: true,
+			Virtual: telemetry.Virt{Start: sp.Start, Dur: sp.Finish - sp.Start},
+		})
+	}
+	j.rec.Record(spans...)
+	reg := j.rec.Metrics
+	reg.Counter("ray." + proc + ".tasks").Add(0, int64(len(jobs)))
+	if chain, err := sim.CriticalChain(jobs); err == nil {
+		row := telemetry.CriticalRow{Proc: proc, Track: "ray-cpus"}
+		for _, id := range chain {
+			row.Jobs++
+			row.Seconds += jobs[id].Cost + jobs[id].Latency
+		}
+		j.rec.AddCritical(row)
+	}
+	j.rec.SetMeta("ray."+proc+".makespan", fmt.Sprintf("%.6f", sched.Makespan))
+	j.rec.SetMeta("ray."+proc+".cpu_seconds", fmt.Sprintf("%.6f", totalCost))
 }
 
 // peakConcurrency computes the maximum number of overlapping spans.

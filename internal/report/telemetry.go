@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// OperatorTable renders, for each paradigm process in the recorder, the
+// top-5 tracks by self (busy) virtual time — the paper's per-operator
+// cost breakdown, comparable across the script and workflow runs of
+// the same task. Self time is summed from virtual-clock spans, so the
+// table is deterministic.
+func OperatorTable(w io.Writer, rec *telemetry.Recorder) {
+	for _, proc := range rec.Procs() {
+		totals := rec.TopSelfTime(proc, 0)
+		var busy float64
+		for _, t := range totals {
+			busy += t.SelfSeconds
+		}
+		fmt.Fprintf(w, "top operators by self time — %s\n", proc)
+		rows := [][]string{{"track", "spans", "self (s)", "share", "tuples"}}
+		top := totals
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		for _, t := range top {
+			share := "-"
+			if busy > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*t.SelfSeconds/busy)
+			}
+			rows = append(rows, []string{
+				t.Track, fmt.Sprint(t.Spans), Secs(t.SelfSeconds), share, fmt.Sprint(t.Tuples),
+			})
+		}
+		Table(w, rows)
+	}
+}

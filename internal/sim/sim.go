@@ -330,6 +330,114 @@ func CriticalPath(jobs []Job) (float64, error) {
 	return best, nil
 }
 
+// CriticalChain returns the jobs on one longest dependency chain, in
+// execution order. Ties are broken toward the smaller job ID at every
+// step, so the chain is deterministic for a given job set regardless
+// of input or dependency order. It returns an error on cycles or
+// unknown dependencies.
+//
+// The telemetry layer calls this after every instrumented run, so it
+// stays allocation-light: lowered job IDs are dense, which lets the
+// memo tables be flat slices indexed by ID instead of maps.
+func CriticalChain(jobs []Job) ([]JobID, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	maxID := JobID(-1)
+	for i := range jobs {
+		if jobs[i].ID < 0 {
+			return nil, fmt.Errorf("sim: negative job ID %d", jobs[i].ID)
+		}
+		if jobs[i].ID > maxID {
+			maxID = jobs[i].ID
+		}
+	}
+	// id -> job index, last definition winning. Dense IDs (the common
+	// case: Lower numbers jobs 0..n-1) use a flat table; sparse sets
+	// fall back to a map.
+	var lookup func(JobID) int
+	if int(maxID) < 4*len(jobs) {
+		idx := make([]int32, maxID+1)
+		for i := range idx {
+			idx[i] = -1
+		}
+		for i := range jobs {
+			idx[jobs[i].ID] = int32(i)
+		}
+		lookup = func(id JobID) int {
+			if id < 0 || id > maxID {
+				return -1
+			}
+			return int(idx[id])
+		}
+	} else {
+		byID := make(map[JobID]int, len(jobs))
+		for i := range jobs {
+			byID[jobs[i].ID] = i
+		}
+		lookup = func(id JobID) int {
+			if i, ok := byID[id]; ok {
+				return i
+			}
+			return -1
+		}
+	}
+	memo := make([]float64, len(jobs))
+	best := make([]JobID, len(jobs)) // heaviest dependency, -1 if none
+	state := make([]uint8, len(jobs))
+	var visit func(ji int) (float64, error)
+	visit = func(ji int) (float64, error) {
+		if state[ji] == 2 {
+			return memo[ji], nil
+		}
+		if state[ji] == 1 {
+			return 0, fmt.Errorf("sim: dependency cycle through job %d", jobs[ji].ID)
+		}
+		state[ji] = 1
+		j := &jobs[ji]
+		longest, heaviest := 0.0, JobID(-1)
+		for _, d := range j.Deps {
+			di := lookup(d)
+			if di < 0 {
+				return 0, fmt.Errorf("sim: job %d depends on unknown job %d", j.ID, d)
+			}
+			v, err := visit(di)
+			if err != nil {
+				return 0, err
+			}
+			// Strictly longer wins; on a tie the smaller dependency ID
+			// does, making the chain independent of Deps order.
+			if v > longest || (v == longest && heaviest >= 0 && d < heaviest) {
+				longest, heaviest = v, d
+			}
+		}
+		state[ji] = 2
+		memo[ji] = longest + j.Cost + j.Latency
+		best[ji] = heaviest
+		return memo[ji], nil
+	}
+	top, topLen := JobID(-1), -1.0
+	for i := range jobs {
+		ji := lookup(jobs[i].ID) // canonical index under duplicate IDs
+		v, err := visit(ji)
+		if err != nil {
+			return nil, err
+		}
+		if v > topLen || (v == topLen && jobs[ji].ID < top) {
+			top, topLen = jobs[ji].ID, v
+		}
+	}
+	var chain []JobID
+	for id := top; id >= 0; id = best[lookup(id)] {
+		chain = append(chain, id)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
 // TotalWork returns the sum of job costs grouped by pool.
 func TotalWork(jobs []Job) map[string]float64 {
 	m := make(map[string]float64)

@@ -165,6 +165,7 @@ print(f"wrote {len(df)} MACCROBAT-EE records")
 // and written on the driver.
 func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("dice", cfg.Model)
+	nb.SetTelemetry(cfg.Telemetry, "script:dice")
 	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
 	if err != nil {
 		return nil, err
@@ -191,6 +192,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 				nChunks = len(t.cases)
 			}
 			job := ray.NewJob()
+			job.SetTelemetry(cfg.Telemetry, "script:dice")
 			chunkRecords = make([][]Record, nChunks)
 			for ci := 0; ci < nChunks; ci++ {
 				var work cost.Work

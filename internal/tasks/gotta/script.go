@@ -67,6 +67,7 @@ save_jsonl("gotta_answers.jsonl", answers)
 // fetches it and runs the forward pass pinned to a single CPU.
 func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("gotta", cfg.Model)
+	nb.SetTelemetry(cfg.Telemetry, "script:gotta")
 	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
 	if err != nil {
 		return nil, err
@@ -96,6 +97,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb.Add(&notebook.Cell{Name: "inference", Source: srcInference, Run: func(k *notebook.Kernel) error {
 		return k.Call("run_batch", func() error {
 			job := ray.NewJob()
+			job.SetTelemetry(cfg.Telemetry, "script:gotta")
 			for _, p := range t.passages {
 				job.Submit(raysim.TaskSpec{
 					Name:             "batch-" + p.ID,

@@ -177,7 +177,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	sink := w.Sink("answers")
 	w.Connect(evalID, sink, 0, dataflow.RoundRobin())
 
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper()})
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, err
 	}

@@ -69,6 +69,7 @@ pd.DataFrame(results).to_json("recommendations.jsonl",
 // and reverse-looks-up the winners.
 func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("kge", cfg.Model)
+	nb.SetTelemetry(cfg.Telemetry, "script:kge")
 	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
 	if err != nil {
 		return nil, err
@@ -113,6 +114,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 				return fmt.Errorf("kge: no in-stock candidates")
 			}
 			job := ray.NewJob()
+			job.SetTelemetry(cfg.Telemetry, "script:kge")
 			for ci := 0; ci < nChunks; ci++ {
 				n := 0
 				for idx := ci; idx < len(inStock); idx += nChunks {

@@ -399,7 +399,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper()})
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, err
 	}

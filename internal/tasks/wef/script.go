@@ -69,6 +69,7 @@ pred_df.to_json("wef_predictions.jsonl", orient="records", lines=True)
 // four framing models in one kernel.
 func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("wef", cfg.Model)
+	nb.SetTelemetry(cfg.Telemetry, "script:wef")
 	var ens *textclf.Ensemble
 	var out *relation.Table
 	var quality map[string]float64

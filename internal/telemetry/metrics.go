@@ -1,0 +1,302 @@
+// Package telemetry is the reproduction's observability layer: a
+// zero-allocation-on-hot-path metrics registry plus a span recorder
+// that stamps execution spans with both the simulator's virtual clock
+// and the host's wall clock.
+//
+// Both paradigms — the dataflow executor and the notebook/Ray script
+// backend — report into the same Recorder, so a script run and a
+// workflow run of the same task emit directly comparable traces. The
+// deterministic half of the data (counters derived from data volumes,
+// virtual-clock spans, critical-path breakdowns) is exported bit-equal
+// across runs; wall-clock profiling data (batch latency histograms,
+// queue-depth gauges, per-node wall spans) is kept in a separate
+// volatile section that deterministic exports omit. See DESIGN.md,
+// "Telemetry" for the dual-stamping rule.
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// NumShards is the fixed shard count of every sharded metric. Hot-path
+// callers pick a shard (typically hashed from node and worker IDs) and
+// touch only that shard's cache line; readers merge all shards.
+const NumShards = 16
+
+// pad64 separates neighbouring atomics so two shards never share a
+// cache line (the same false-sharing pad the executor's work shards
+// use).
+type pad64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing sharded counter. Add is
+// wait-free and allocation-free; Value folds the shards.
+type Counter struct {
+	shards [NumShards]pad64
+}
+
+// Add increments the counter on one shard. Shard indices are taken
+// modulo NumShards so callers may pass any non-negative worker ID.
+func (c *Counter) Add(shard int, delta int64) {
+	c.shards[shard%NumShards].v.Add(delta)
+}
+
+// Value returns the summed shard values.
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge tracks a sampled level (for example queue depth). Each shard
+// remembers its last sample and its high-water mark; Last and Max fold
+// the shards.
+type Gauge struct {
+	last [NumShards]pad64
+	max  [NumShards]pad64
+}
+
+// Set records a sample on one shard, updating the shard maximum.
+func (g *Gauge) Set(shard int, v int64) {
+	s := shard % NumShards
+	g.last[s].v.Store(v)
+	for {
+		cur := g.max[s].v.Load()
+		if v <= cur || g.max[s].v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Last returns the largest of the shards' most recent samples.
+func (g *Gauge) Last() int64 {
+	var out int64
+	for i := range g.last {
+		if v := g.last[i].v.Load(); v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// Max returns the high-water mark across all shards.
+func (g *Gauge) Max() int64 {
+	var out int64
+	for i := range g.max {
+		if v := g.max[i].v.Load(); v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// HistBuckets is the fixed bucket count of every histogram: bucket i
+// holds samples v with bits.Len64(v) == i, i.e. power-of-two ranges
+// [2^(i-1), 2^i). Bucket 0 holds zero and negative samples; the last
+// bucket absorbs everything larger.
+const HistBuckets = 40
+
+// histShard is one worker's private bucket array, padded to keep
+// neighbouring shards apart.
+type histShard struct {
+	buckets [HistBuckets]atomic.Int64
+	_       [64 - (HistBuckets*8)%64]byte
+}
+
+// Histogram is a fixed-bucket power-of-two histogram. Observe is
+// wait-free and allocation-free.
+type Histogram struct {
+	shards [NumShards]histShard
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample on one shard.
+func (h *Histogram) Observe(shard int, v int64) {
+	h.shards[shard%NumShards].buckets[bucketOf(v)].Add(1)
+}
+
+// Buckets returns the merged bucket counts.
+func (h *Histogram) Buckets() [HistBuckets]int64 {
+	var out [HistBuckets]int64
+	for s := range h.shards {
+		for b := range out {
+			out[b] += h.shards[s].buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for _, c := range h.Buckets() {
+		total += c
+	}
+	return total
+}
+
+// BucketLow returns the inclusive lower bound of bucket i.
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name     string
+	unit     string
+	volatile bool // excluded from deterministic exports
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+}
+
+// Registry holds named instruments. Registration allocates; the
+// returned instruments are then written without locks or allocations.
+// Register instruments at setup time, not on the hot path.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter registers (or fetches) a deterministic counter: its value
+// depends only on the data processed, so it appears in deterministic
+// exports.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.get(name, "count", false)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge registers (or fetches) a gauge. Gauges sample scheduler-timing
+// dependent levels, so they are volatile: deterministic exports omit
+// them.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.get(name, "level", true)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// Histogram registers (or fetches) a volatile histogram with the given
+// unit label (for example "ns").
+func (r *Registry) Histogram(name, unit string) *Histogram {
+	m := r.get(name, unit, true)
+	if m.hist == nil {
+		m.hist = &Histogram{}
+	}
+	return m.hist
+}
+
+func (r *Registry) get(name, unit string, volatile bool) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := &metric{name: name, unit: unit, volatile: volatile}
+	r.metrics[name] = m
+	return m
+}
+
+// CounterValue is one counter's merged value in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge's merged state in a snapshot.
+type GaugeValue struct {
+	Name string `json:"name"`
+	Last int64  `json:"last"`
+	Max  int64  `json:"max"`
+}
+
+// HistogramValue is one histogram's merged, zero-suppressed buckets.
+type HistogramValue struct {
+	Name    string       `json:"name"`
+	Unit    string       `json:"unit"`
+	Count   int64        `json:"count"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one non-empty histogram bucket.
+type HistBucket struct {
+	Low   int64 `json:"low"` // inclusive lower bound
+	Count int64 `json:"count"`
+}
+
+// MetricsSnapshot is a point-in-time merge of every instrument, with
+// names sorted so the encoding is deterministic for a given state.
+type MetricsSnapshot struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot merges all shards. When includeVolatile is false only
+// deterministic counters are reported — the mode the golden tests and
+// deterministic exports use.
+func (r *Registry) Snapshot(includeVolatile bool) MetricsSnapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	var snap MetricsSnapshot
+	for _, m := range ms {
+		if m.volatile && !includeVolatile {
+			continue
+		}
+		switch {
+		case m.counter != nil:
+			snap.Counters = append(snap.Counters, CounterValue{Name: m.name, Value: m.counter.Value()})
+		case m.gauge != nil:
+			snap.Gauges = append(snap.Gauges, GaugeValue{Name: m.name, Last: m.gauge.Last(), Max: m.gauge.Max()})
+		case m.hist != nil:
+			hv := HistogramValue{Name: m.name, Unit: m.unit, Count: m.hist.Count()}
+			for i, c := range m.hist.Buckets() {
+				if c > 0 {
+					hv.Buckets = append(hv.Buckets, HistBucket{Low: BucketLow(i), Count: c})
+				}
+			}
+			snap.Histograms = append(snap.Histograms, hv)
+		}
+	}
+	return snap
+}

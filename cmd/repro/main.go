@@ -13,6 +13,8 @@
 //	                          # a Chrome trace (chrome://tracing, Perfetto)
 //	repro -trace-task kge     # which task -trace/-metrics instrument
 //	repro -metrics            # print the telemetry summary + metrics dump
+//	repro -faults 4           # arm deterministic fault injection (4 kills
+//	                          # per 100 sim-seconds) for every run
 package main
 
 import (
@@ -21,9 +23,12 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/report"
 	"repro/internal/telemetry"
 )
@@ -39,10 +44,29 @@ func main() {
 		benchJSON  = flag.String("bench-json", "", "run the wall-clock benchmark harness and write its JSON report to this file")
 		traceOut   = flag.String("trace", "", "run -trace-task under both paradigms and write a Chrome trace-event JSON file")
 		metrics    = flag.Bool("metrics", false, "with -trace (or alone), print the telemetry summary and metrics dump")
-		traceTask  = flag.String("trace-task", "dice", "task to instrument for -trace/-metrics (dice, wef, gotta, kge)")
+		traceTask  = flag.String("trace-task", "dice", "task to instrument for -trace/-metrics ("+strings.Join(experiments.TraceTasks(), ", ")+")")
 		traceWall  = flag.Bool("trace-wall", false, "include non-deterministic wall-clock spans in the trace and metrics")
+		faultRate  = flag.Float64("faults", 0, "fault rate in kills per 100 simulated seconds; arms deterministic fault injection (and workflow checkpointing) for every run")
 	)
 	flag.Parse()
+
+	mkCfg := func() (experiments.Config, error) {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		if *faultRate > 0 {
+			// CheckpointEvery stays zero: the workflow engine applies
+			// its default epoch length once injection is armed.
+			rc, err := core.NewRunConfig(core.WithFaults(faults.Plan{
+				Seed:         *seed,
+				Rate:         *faultRate,
+				NodeFraction: 0.25,
+			}))
+			if err != nil {
+				return cfg, err
+			}
+			cfg.RunConfig = rc
+		}
+		return cfg, nil
+	}
 
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, *seed); err != nil {
@@ -53,7 +77,11 @@ func main() {
 	}
 
 	if *traceOut != "" || *metrics {
-		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		cfg, err := mkCfg()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if err := runTrace(*traceTask, *traceOut, *metrics, *traceWall, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -69,7 +97,11 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg, err := mkCfg()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	ids := experiments.IDs
 	if *experiment != "all" {
 		if _, err := experiments.Describe(*experiment); err != nil {
@@ -280,6 +312,15 @@ func run(id string, cfg experiments.Config, charts, jsonOut bool) error {
 				{Name: "script", Points: s1}, {Name: "workflow", Points: s2},
 			}, 48, 10)
 		}
+	case "recovery":
+		pts, err := experiments.RecoveryOverhead(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(pts)
+		}
+		report.RecoveryCurve(w, pts, charts)
 	case "ablation-torch", "ablation-store", "ablation-serde", "ablation-batch":
 		fn := map[string]func(experiments.Config) ([]experiments.AblationRow, error){
 			"ablation-torch": experiments.AblationTorchPin,

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/faults"
 	"repro/internal/relation"
 	"repro/internal/tasks/dice"
 	"repro/internal/tasks/kge"
@@ -152,6 +153,38 @@ func micros() []Micro {
 			gauge.Set(i, int64(i))
 		}
 	}))
+
+	// Recovery machinery: deterministic fault-plan expansion, then a
+	// fault-injected DICE run per paradigm — the end-to-end price of
+	// re-simulating the schedule with kills, backoff, and (for the
+	// workflow) checkpoint/restore accounting folded in.
+	out = append(out, measure("fault_plan_events_512", 512, func() {
+		plan := faults.Plan{Seed: 1, Rate: 100}
+		if ev := plan.Events(512); len(ev) == 0 {
+			panic("bench: fault plan expanded to no events")
+		}
+	}))
+	faultCfg := core.MustRunConfig(core.WithFaults(faults.Plan{
+		Seed: 1, Rate: 50, NodeFraction: 0.25, CheckpointEvery: 4,
+	}))
+	for _, pc := range []struct {
+		name string
+		p    core.Paradigm
+	}{
+		{"script_run_faulty_dice10", core.Script},
+		{"workflow_run_faulty_dice10", core.Workflow},
+	} {
+		task, err := dice.New(dice.Params{Pairs: 10, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		cfg, p := faultCfg, pc.p
+		out = append(out, measure(pc.name, 1, func() {
+			if _, err := task.Run(p, cfg); err != nil {
+				panic(err)
+			}
+		}))
+	}
 	return out
 }
 
@@ -173,11 +206,11 @@ func macros(seed uint64) ([]Macro, error) {
 			}
 			return float64(time.Since(start).Microseconds()) / 1000, res.SimSeconds, nil
 		}
-		instrCfg := func() core.RunConfig { return core.RunConfig{Telemetry: telemetry.New()} }
+		instrCfg := func() core.RunConfig { return core.MustRunConfig(core.WithTelemetry(telemetry.New())) }
 		// Warm both variants (first runs pay one-time costs: page faults,
 		// lazy init), then interleave timed reps so drift in machine load
 		// hits both variants equally; keep each variant's fastest run.
-		if _, _, err := timeOnce(core.RunConfig{}); err != nil {
+		if _, _, err := timeOnce(core.MustRunConfig()); err != nil {
 			return fmt.Errorf("bench: %s size %d: %w", experiment, size, err)
 		}
 		if _, _, err := timeOnce(instrCfg()); err != nil {
@@ -187,7 +220,7 @@ func macros(seed uint64) ([]Macro, error) {
 		var sim float64
 		ratios := make([]float64, 0, reps)
 		for r := 0; r < reps; r++ {
-			pw, s, err := timeOnce(core.RunConfig{})
+			pw, s, err := timeOnce(core.MustRunConfig())
 			if err != nil {
 				return fmt.Errorf("bench: %s size %d: %w", experiment, size, err)
 			}

@@ -10,7 +10,9 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/relation"
 	"repro/internal/telemetry"
 )
@@ -50,9 +52,17 @@ type RunConfig struct {
 	// spans, hot-path metrics and critical-path rows from the run. Nil
 	// (the default) keeps every engine on its uninstrumented fast path.
 	Telemetry *telemetry.Recorder
+	// Faults arms deterministic fault injection and paradigm-faithful
+	// recovery: lineage replay with backoff for scripts, epoch
+	// checkpointing with restore for workflows. The zero plan is
+	// entirely inert. Outputs are bit-identical under any plan.
+	Faults faults.Plan
 }
 
-// Normalize fills defaults and validates.
+// Normalize fills defaults and validates. Worker counts are bounded by
+// the paper cluster's worker vCPUs: both paradigms schedule onto that
+// hardware, so asking for more would simulate machines that don't
+// exist.
 func (c RunConfig) Normalize() (RunConfig, error) {
 	if c.Model == nil {
 		c.Model = cost.Default()
@@ -65,6 +75,12 @@ func (c RunConfig) Normalize() (RunConfig, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
+	if limit := cluster.Paper().TotalWorkerCPUs(); c.Workers > limit {
+		return c, fmt.Errorf("core: worker count %d exceeds the cluster's %d worker vCPUs", c.Workers, limit)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return c, err
 	}
 	return c, nil
 }
@@ -94,6 +110,32 @@ type Result struct {
 	// populate it from the dataflow trace; script runs leave it zero
 	// (Nodes == 0 means absent).
 	Trace TraceTotals
+	// Recovery summarizes fault-recovery work; zero without a fault
+	// plan.
+	Recovery RecoveryTotals
+}
+
+// RecoveryTotals folds a run's fault-recovery work into comparable
+// scalars, so golden tests can assert bit-equality across runs. The
+// asymmetry between the paradigms shows up here: script runs report
+// backoff and reconstruction, workflow runs report checkpoints and
+// restores.
+type RecoveryTotals struct {
+	// Kills counts killed attempts; Checkpoints counts epoch snapshots
+	// (workflow paradigm only).
+	Kills       int
+	Checkpoints int
+	// LostSeconds is discarded partial work; DelaySeconds is retry wait
+	// (backoff or worker respawn); RestoreSeconds is added recovery work
+	// (object reconstruction or checkpoint read-back);
+	// CheckpointSeconds is the continuous write tax (workflow only).
+	LostSeconds       float64
+	DelaySeconds      float64
+	RestoreSeconds    float64
+	CheckpointSeconds float64
+	// ReconstructedBytes totals objects rebuilt from lineage (script
+	// only).
+	ReconstructedBytes int64
 }
 
 // TraceTotals folds an execution trace into scalar counters. Two runs

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+)
+
+// Option mutates a RunConfig under construction. RunConfig remains the
+// normalized compiled form — options are the ergonomic front door, and
+// NewRunConfig validates the combination once instead of every caller
+// re-checking fields.
+type Option func(*RunConfig)
+
+// WithModel sets the cost model; nil keeps cost.Default().
+func WithModel(m *cost.Model) Option {
+	return func(c *RunConfig) { c.Model = m }
+}
+
+// WithWorkers sets the parallelism knob (per-operator workers for the
+// workflow paradigm, Ray num_cpus for scripts).
+func WithWorkers(n int) Option {
+	return func(c *RunConfig) { c.Workers = n }
+}
+
+// WithTelemetry attaches a recorder to the run.
+func WithTelemetry(rec *telemetry.Recorder) Option {
+	return func(c *RunConfig) { c.Telemetry = rec }
+}
+
+// WithFaults arms a deterministic fault plan.
+func WithFaults(plan faults.Plan) Option {
+	return func(c *RunConfig) { c.Faults = plan }
+}
+
+// NewRunConfig builds and normalizes a RunConfig from options.
+func NewRunConfig(opts ...Option) (RunConfig, error) {
+	var c RunConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c.Normalize()
+}
+
+// MustRunConfig is NewRunConfig for statically-known option sets;
+// it panics on invalid combinations.
+func MustRunConfig(opts ...Option) RunConfig {
+	c, err := NewRunConfig(opts...)
+	if err != nil {
+		panic(fmt.Sprintf("core: invalid run config: %v", err))
+	}
+	return c
+}
+
+// With returns a copy of c with the options applied and re-normalized
+// — the idiom for deriving a variant (more workers, a fault plan) from
+// a base config.
+func (c RunConfig) With(opts ...Option) (RunConfig, error) {
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c.Normalize()
+}

@@ -125,6 +125,14 @@ type Model struct {
 	// script for execution (compile the DAG / start the kernel).
 	ControlOverhead float64
 
+	// CheckpointPutBytesPerSec and CheckpointGetBytesPerSec model the
+	// dataflow engine's epoch-checkpoint path: operator state written
+	// to replicated storage at batch-boundary epochs, and read back
+	// when a restarted worker restores. Writes are slower than the
+	// object store (replication), restores read a single copy.
+	CheckpointPutBytesPerSec float64
+	CheckpointGetBytesPerSec float64
+
 	// TorchCoresTexera and TorchCoresRay give the number of intra-op
 	// threads the ML framework may use under each paradigm. The paper's
 	// worker-configuration section explains that Ray pins PyTorch to a
@@ -145,6 +153,8 @@ func Default() *Model {
 		TaskOverhead:              0.004,
 		OperatorStartup:           0.35,
 		ControlOverhead:           1.2,
+		CheckpointPutBytesPerSec:  180e6, // replicated write path
+		CheckpointGetBytesPerSec:  420e6, // single-copy restore read
 		// Texera leaves PyTorch unconstrained, but a UDF worker shares
 		// its 8-vCPU node with the engine's JVM and data channels, so
 		// framework kernels see roughly six cores in practice.
@@ -164,6 +174,8 @@ func (m *Model) Validate() error {
 		{"ObjectStorePutBytesPerSec", m.ObjectStorePutBytesPerSec},
 		{"ObjectStoreGetBytesPerSec", m.ObjectStoreGetBytesPerSec},
 		{"SpillBytesPerSec", m.SpillBytesPerSec},
+		{"CheckpointPutBytesPerSec", m.CheckpointPutBytesPerSec},
+		{"CheckpointGetBytesPerSec", m.CheckpointGetBytesPerSec},
 	}
 	for _, c := range checks {
 		if c.v <= 0 {
@@ -219,6 +231,24 @@ func (m *Model) GetSeconds(bytes int64, spilled bool) float64 {
 		rate = m.SpillBytesPerSec
 	}
 	return float64(bytes) / rate
+}
+
+// CheckpointPutSeconds returns the time to write n bytes of operator
+// state to the checkpoint store.
+func (m *Model) CheckpointPutSeconds(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / m.CheckpointPutBytesPerSec
+}
+
+// CheckpointGetSeconds returns the time to read n bytes of checkpoint
+// state back during recovery.
+func (m *Model) CheckpointGetSeconds(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / m.CheckpointGetBytesPerSec
 }
 
 // TorchSpeedup returns the effective parallel speedup of a framework

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -30,6 +31,11 @@ type Config struct {
 	// metrics and the critical-path breakdown of the execution. Nil
 	// (the default) keeps the executor on its uninstrumented fast path.
 	Telemetry *telemetry.Recorder
+	// Faults, when enabled, arms epoch checkpointing and deterministic
+	// fault injection on the simulated schedule. The data path is
+	// unaffected: sink tables are bit-identical to a failure-free run,
+	// only SimSeconds and the Recovery accounting change.
+	Faults faults.Plan
 }
 
 // Result is the outcome of a completed workflow execution.
@@ -42,6 +48,9 @@ type Result struct {
 	SimSeconds float64
 	// Schedule is the full simulator timeline behind SimSeconds.
 	Schedule *sim.Result
+	// Recovery describes checkpoint and fault-recovery work; nil when
+	// the execution ran without a fault plan.
+	Recovery *RecoveryInfo
 }
 
 // AutoBatchSize picks the batch size a source uses when none is
@@ -183,6 +192,9 @@ func (w *Workflow) Start(ctx context.Context, cfg Config) (*Execution, error) {
 		model = cost.Default()
 	}
 	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Cluster != nil {
@@ -604,17 +616,24 @@ func (ex *Execution) finish() {
 		return
 	}
 	trace := ex.buildTrace()
-	jobs, pools, err := Lower(trace, ex.model)
+	jobs, pools, meta, err := lowerWithMeta(trace, ex.model)
 	if err != nil {
 		ex.fail(fmt.Errorf("dataflow: lowering failed: %w", err))
 		return
 	}
-	sched, err := sim.Schedule(jobs, pools)
+	var sched *sim.Result
+	var recInfo *RecoveryInfo
+	if ex.cfg.Faults.Enabled() {
+		sched, recInfo, err = scheduleWithFaults(jobs, pools, meta, trace, ex.model, ex.cfg.Faults)
+	} else {
+		sched, err = sim.Schedule(jobs, pools)
+	}
 	if err != nil {
 		ex.fail(fmt.Errorf("dataflow: scheduling failed: %w", err))
 		return
 	}
 	ex.recordTelemetry(jobs, sched)
+	ex.recordRecovery(recInfo)
 	tables := make(map[string]*relation.Table)
 	for _, rt := range ex.rts {
 		if rt.n.kind == kindSink {
@@ -626,6 +645,7 @@ func (ex *Execution) finish() {
 		Trace:      trace,
 		SimSeconds: sched.Makespan,
 		Schedule:   sched,
+		Recovery:   recInfo,
 	}
 }
 

@@ -29,11 +29,29 @@ import (
 //   - per-node startup jobs and a workflow-submission job model the
 //     fixed overheads of the controller.
 func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
+	jobs, pools, _, err := lowerWithMeta(tr, m)
+	return jobs, pools, err
+}
+
+// jobMeta tags one lowered job with its provenance, which the recovery
+// layer needs: checkpoint write taxes apply to data batch jobs, and a
+// killed batch job pays a checkpoint restore for its node.
+type jobMeta struct {
+	// Node is the trace node the job belongs to, or -1 for
+	// controller-level jobs (workflow submission).
+	Node NodeID
+	// Batch marks jobs that process (or generate) one data batch.
+	Batch bool
+}
+
+// lowerWithMeta is Lower plus a parallel per-job metadata slice
+// (meta[i] describes jobs[i]; job IDs are dense indices).
+func lowerWithMeta(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, []jobMeta, error) {
 	if tr == nil {
-		return nil, nil, fmt.Errorf("dataflow: nil trace")
+		return nil, nil, nil, fmt.Errorf("dataflow: nil trace")
 	}
 	if err := m.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	nodeByID := make(map[NodeID]*NodeTrace, len(tr.Nodes))
@@ -45,10 +63,10 @@ func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
 	for i := range tr.Edges {
 		e := &tr.Edges[i]
 		if _, ok := nodeByID[e.From]; !ok {
-			return nil, nil, fmt.Errorf("dataflow: edge from unknown node %d", e.From)
+			return nil, nil, nil, fmt.Errorf("dataflow: edge from unknown node %d", e.From)
 		}
 		if _, ok := nodeByID[e.To]; !ok {
-			return nil, nil, fmt.Errorf("dataflow: edge to unknown node %d", e.To)
+			return nil, nil, nil, fmt.Errorf("dataflow: edge to unknown node %d", e.To)
 		}
 		inEdges[e.To] = append(inEdges[e.To], e)
 		outEdges[e.From] = append(outEdges[e.From], e)
@@ -69,6 +87,8 @@ func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
 	}
 
 	var jobs []sim.Job
+	var meta []jobMeta
+	curNode := NodeID(-1) // node being lowered; -1 = controller
 	nextID := sim.JobID(0)
 	addJob := func(name, pool string, costSec, latency float64, deps []sim.JobID) sim.JobID {
 		id := nextID
@@ -77,6 +97,12 @@ func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
 			ID: id, Name: name, Pool: pool,
 			Cost: costSec, Latency: latency, Deps: deps,
 		})
+		meta = append(meta, jobMeta{Node: curNode})
+		return id
+	}
+	addBatchJob := func(name, pool string, costSec, latency float64, deps []sim.JobID) sim.JobID {
+		id := addJob(name, pool, costSec, latency, deps)
+		meta[int(id)].Batch = true
 		return id
 	}
 
@@ -89,12 +115,13 @@ func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
 	// dependencies.
 	order, err := topoNodeOrder(tr.Nodes, tr.Edges)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	emitJobsOf := make(map[NodeID][]sim.JobID, len(tr.Nodes))
 	for _, nid := range order {
 		n := nodeByID[nid]
+		curNode = nid
 		pool := poolOf[nid]
 		lang := n.Language
 
@@ -152,7 +179,7 @@ func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
 						}
 						deps = append(deps, upstream[k])
 					}
-					id := addJob(fmt.Sprintf("%s:p%d:b%d", n.Name, e.Port, j), pool, perJob, latency, deps)
+					id := addBatchJob(fmt.Sprintf("%s:p%d:b%d", n.Name, e.Port, j), pool, perJob, latency, deps)
 					portJobs = append(portJobs, id)
 				}
 			} else if up := emitJobsOf[e.From]; len(up) > 0 {
@@ -181,7 +208,7 @@ func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
 			if b > 0 {
 				perJob := (work + encodeTotal) / float64(b)
 				for j := 0; j < b; j++ {
-					id := addJob(fmt.Sprintf("%s:gen:b%d", n.Name, j), pool, perJob, 0, []sim.JobID{startup})
+					id := addBatchJob(fmt.Sprintf("%s:gen:b%d", n.Name, j), pool, perJob, 0, []sim.JobID{startup})
 					allPortJobs = append(allPortJobs, id)
 					lastPortJobs = append(lastPortJobs, id)
 				}
@@ -217,7 +244,7 @@ func Lower(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, error) {
 		}
 	}
 
-	return jobs, pools, nil
+	return jobs, pools, meta, nil
 }
 
 // topoNodeOrder sorts trace node IDs topologically.

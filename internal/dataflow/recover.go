@@ -1,0 +1,216 @@
+package dataflow
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// The dataflow engine recovers the way Texera-style workflow systems
+// do: every operator writes its state to replicated checkpoint storage
+// at epoch boundaries (every CheckpointEvery batches, aligned with the
+// executor's batch-boundary pause gate), and when a worker is killed
+// the controller respawns it, restores the last epoch's state, and
+// replays the in-flight batch. Recovery therefore costs a continuous
+// write tax even on failure-free runs — the opposite trade from the
+// script paradigm's lineage replay, which is free until a fault
+// strikes. Faults perturb only the simulated schedule; the data path
+// has already completed when the schedule is built, so sink tables and
+// their digests are bit-identical to the failure-free run.
+
+// DefaultCheckpointEvery is the epoch length in batches when the fault
+// plan arms checkpointing without choosing one.
+const DefaultCheckpointEvery = 4
+
+// sourceStateBytes approximates a source's checkpointed bookkeeping
+// (scan offsets, batch cursors) — sources re-read their table rather
+// than checkpointing it.
+const sourceStateBytes = 64 << 10
+
+// RecoveryInfo summarises the fault-tolerance work of one execution.
+type RecoveryInfo struct {
+	// CheckpointEvery is the epoch length in batches actually used.
+	CheckpointEvery int
+	// Checkpoints counts epoch snapshots across all nodes;
+	// CheckpointBytes and CheckpointWriteSeconds total their size and
+	// simulated write cost (paid even with zero faults).
+	Checkpoints            int
+	CheckpointBytes        int64
+	CheckpointWriteSeconds float64
+	// Kills counts aborted jobs; LostSeconds is discarded partial work,
+	// DelaySeconds is worker-respawn wait, RestoreSeconds is checkpoint
+	// read-back charged to retried batch jobs.
+	Kills          int
+	LostSeconds    float64
+	DelaySeconds   float64
+	RestoreSeconds float64
+}
+
+// scheduleWithFaults schedules lowered jobs under the execution's
+// fault plan. It mutates jobs in place: each node's checkpoint write
+// cost is spread as a tax over its batch jobs, so the same slice feeds
+// telemetry with taxed costs. The failure-free (but taxed) schedule
+// fixes the fault horizon; killed jobs retry after an OperatorStartup
+// respawn delay, batch jobs additionally paying one epoch's restore
+// read.
+func scheduleWithFaults(jobs []sim.Job, pools []sim.Pool, meta []jobMeta, tr *Trace, m *cost.Model, plan faults.Plan) (*sim.Result, *RecoveryInfo, error) {
+	every := plan.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	info := &RecoveryInfo{CheckpointEvery: every}
+
+	// Per-node state size: the bytes that crossed into the node (its
+	// accumulated operator state); sources checkpoint bookkeeping only.
+	stateBytes := make(map[NodeID]int64, len(tr.Nodes))
+	for i := range tr.Nodes {
+		stateBytes[tr.Nodes[i].ID] = 0
+	}
+	for i := range tr.Edges {
+		stateBytes[tr.Edges[i].To] += tr.Edges[i].Bytes
+	}
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if stateBytes[n.ID] == 0 {
+			stateBytes[n.ID] = sourceStateBytes
+		}
+	}
+
+	// Batch jobs per node, in job order.
+	batchJobs := make(map[NodeID][]sim.JobID)
+	for i := range meta {
+		if meta[i].Batch {
+			batchJobs[meta[i].Node] = append(batchJobs[meta[i].Node], sim.JobID(i))
+		}
+	}
+
+	// Tax each node's batch jobs with its checkpoint writes and price
+	// its per-retry restore (one epoch's state delta read back).
+	restoreSecs := make(map[NodeID]float64, len(batchJobs))
+	for i := range tr.Nodes {
+		nid := tr.Nodes[i].ID
+		ids := batchJobs[nid]
+		if len(ids) == 0 {
+			continue
+		}
+		epochs := (len(ids) + every - 1) / every
+		bytes := stateBytes[nid]
+		writeSecs := m.CheckpointPutSeconds(bytes)
+		tax := writeSecs / float64(len(ids))
+		for _, id := range ids {
+			jobs[int(id)].Cost += tax
+		}
+		epochBytes := bytes / int64(epochs)
+		restoreSecs[nid] = m.CheckpointGetSeconds(epochBytes)
+		info.Checkpoints += epochs
+		info.CheckpointBytes += bytes
+		info.CheckpointWriteSeconds += writeSecs
+	}
+
+	// The failure-free schedule (with the checkpoint tax folded in)
+	// fixes the fault horizon.
+	clean, err := sim.Schedule(jobs, pools)
+	if err != nil {
+		return nil, nil, err
+	}
+	evs := plan.Events(clean.Makespan)
+	if len(evs) == 0 {
+		return clean, info, nil
+	}
+
+	simFaults := make([]sim.FaultEvent, len(evs))
+	for i, e := range evs {
+		// Pool "" lets a fault strike whichever operator's worker is
+		// running; node-level faults are recorded but recover the same
+		// way (state lives in the checkpoint store, not on the node).
+		simFaults[i] = sim.FaultEvent{
+			At: e.At, Salt: e.Salt,
+			LoseObjects: e.Kind == faults.KillNode,
+		}
+	}
+	retry := sim.RetryPolicy{
+		// The controller respawns the worker before the retry runs; the
+		// engine does not back off.
+		Delay: func(sim.JobID, int) float64 { return m.OperatorStartup },
+		ExtraCost: func(id sim.JobID, _ int, _ bool) float64 {
+			if mt := meta[int(id)]; mt.Batch {
+				return restoreSecs[mt.Node]
+			}
+			return 0
+		},
+	}
+	sched, err := sim.ScheduleFaulty(jobs, pools, simFaults, retry)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.Kills = sched.Recovery.Kills
+	info.LostSeconds = sched.Recovery.LostSeconds
+	info.DelaySeconds = sched.Recovery.DelaySeconds
+	info.RestoreSeconds = sched.Recovery.ExtraCostSeconds
+	return sched, info, nil
+}
+
+// Totals folds the recovery report into the framework's comparable
+// scalars, mirroring Trace.Totals; a nil receiver (fault-free run)
+// folds to zero.
+func (ri *RecoveryInfo) Totals() core.RecoveryTotals {
+	if ri == nil {
+		return core.RecoveryTotals{}
+	}
+	return core.RecoveryTotals{
+		Kills:             ri.Kills,
+		Checkpoints:       ri.Checkpoints,
+		LostSeconds:       ri.LostSeconds,
+		DelaySeconds:      ri.DelaySeconds,
+		RestoreSeconds:    ri.RestoreSeconds,
+		CheckpointSeconds: ri.CheckpointWriteSeconds,
+	}
+}
+
+// NodeCheckpoint is one node's share of a Checkpoint.
+type NodeCheckpoint struct {
+	Name       string
+	StateBytes int64
+}
+
+// Checkpoint summarises one consistent snapshot of a running
+// execution.
+type Checkpoint struct {
+	Nodes        []NodeCheckpoint
+	TotalBytes   int64
+	WriteSeconds float64
+}
+
+// CheckpointNow takes a consistent snapshot of a running execution at
+// the next batch boundary: it pauses the execution through the same
+// gate the Pause API uses (workers quiesce between batches, so no
+// tuple is in flight), snapshots every node's accumulated state from
+// the per-edge byte counters, prices the write, and resumes. An
+// execution the caller already paused stays paused.
+func (ex *Execution) CheckpointNow() Checkpoint {
+	wasPaused := ex.gate.paused()
+	if !wasPaused {
+		ex.gate.pause()
+	}
+	inBytes := make([]int64, len(ex.rts))
+	for _, rt := range ex.rts {
+		for i, e := range rt.n.outEdges {
+			inBytes[e.to.id] += rt.edgeStats[i].bytes.Load()
+		}
+	}
+	cp := Checkpoint{Nodes: make([]NodeCheckpoint, 0, len(ex.rts))}
+	for _, rt := range ex.rts {
+		bytes := inBytes[rt.n.id]
+		if len(rt.n.inEdges) == 0 {
+			bytes = sourceStateBytes
+		}
+		cp.Nodes = append(cp.Nodes, NodeCheckpoint{Name: rt.n.name, StateBytes: bytes})
+		cp.TotalBytes += bytes
+	}
+	cp.WriteSeconds = ex.model.CheckpointPutSeconds(cp.TotalBytes)
+	if !wasPaused {
+		ex.gate.resume()
+	}
+	return cp
+}

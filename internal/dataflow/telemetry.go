@@ -137,6 +137,20 @@ func (ex *Execution) recordTelemetry(jobs []sim.Job, sched *sim.Result) {
 		})
 	}
 
+	// Aborted attempts under fault injection, tagged as recovery work:
+	// the time each killed attempt held a worker slot.
+	for _, ab := range sched.Aborts {
+		j := &jobs[int(ab.Job)]
+		ti := tracks[j.Pool]
+		spans = append(spans, telemetry.Span{
+			Proc: proc, Track: ti.track,
+			Name:    fmt.Sprintf("%s:killed#%d", j.Name, ab.Attempt),
+			Cat:     "recovery",
+			HasVirt: true,
+			Virtual: telemetry.Virt{Start: ab.Start, Dur: ab.Killed - ab.Start},
+		})
+	}
+
 	// Per-node wall spans (volatile): busy time anchored at the node's
 	// first activity, one span per active worker shard.
 	for _, rt := range ex.rts {
@@ -200,4 +214,22 @@ func (ex *Execution) recordTelemetry(jobs []sim.Job, sched *sim.Result) {
 
 	tel.rec.SetMeta(strings.TrimSuffix(prefix, ".")+".makespan", fmt.Sprintf("%.6f", sched.Makespan))
 	tel.rec.SetMeta(strings.TrimSuffix(prefix, ".")+".nodes", fmt.Sprintf("%d", len(ex.rts)))
+}
+
+// recordRecovery exports the checkpoint and fault-recovery accounting
+// of an execution that ran under a fault plan.
+func (ex *Execution) recordRecovery(info *RecoveryInfo) {
+	tel := ex.tel
+	if tel == nil || info == nil {
+		return
+	}
+	prefix := "wf." + ex.wf.name + ".recovery."
+	reg := tel.rec.Metrics
+	reg.Counter(prefix + "checkpoints").Add(0, int64(info.Checkpoints))
+	reg.Counter(prefix + "checkpoint_bytes").Add(0, info.CheckpointBytes)
+	reg.Counter(prefix + "kills").Add(0, int64(info.Kills))
+	tel.rec.SetMeta(prefix+"checkpoint_write_seconds", fmt.Sprintf("%.6f", info.CheckpointWriteSeconds))
+	tel.rec.SetMeta(prefix+"lost_seconds", fmt.Sprintf("%.6f", info.LostSeconds))
+	tel.rec.SetMeta(prefix+"respawn_seconds", fmt.Sprintf("%.6f", info.DelaySeconds))
+	tel.rec.SetMeta(prefix+"restore_seconds", fmt.Sprintf("%.6f", info.RestoreSeconds))
 }

@@ -374,6 +374,7 @@ var IDs = []string{
 	"table1", "fig12a", "fig12b",
 	"fig13a", "fig13b", "fig13c", "fig13d",
 	"fig14a", "fig14b", "fig14c",
+	"recovery",
 	"ablation-torch", "ablation-store", "ablation-serde", "ablation-batch",
 	"autotune", "ext-spreadsheet",
 }
@@ -391,6 +392,7 @@ func Describe(id string) (string, error) {
 		"fig14a":          "Figure 14a — DICE time vs. workers",
 		"fig14b":          "Figure 14b — GOTTA time vs. workers",
 		"fig14c":          "Figure 14c — KGE time vs. workers",
+		"recovery":        "Recovery — DICE makespan vs. fault rate per paradigm (checkpointing armed)",
 		"ablation-torch":  "Ablation — GOTTA script with and without Ray's 1-CPU torch pin",
 		"ablation-store":  "Ablation — GOTTA script under swept object-store rates",
 		"ablation-serde":  "Ablation — DICE workflow under swept serde throughput",

@@ -4,31 +4,29 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/tasks/dice"
-	"repro/internal/tasks/gotta"
-	"repro/internal/tasks/kge"
-	"repro/internal/tasks/wef"
 	"repro/internal/telemetry"
+
+	// The four task packages register themselves with the core task
+	// registry; importing them here is what makes them runnable by
+	// name throughout the experiment harness and the CLI.
+	_ "repro/internal/tasks/dice"
+	_ "repro/internal/tasks/gotta"
+	_ "repro/internal/tasks/kge"
+	_ "repro/internal/tasks/wef"
 )
 
-// TraceTasks lists the task names Trace accepts.
-var TraceTasks = []string{"dice", "wef", "gotta", "kge"}
+// TraceTasks lists the task names Trace accepts, from the registry.
+func TraceTasks() []string { return core.TaskNames() }
 
 // traceTask builds the named task at the config's scale, using each
-// task's paper-scale baseline size (the largest Figure 13 point).
+// task's registered paper-scale baseline size (the largest Figure 13
+// point).
 func traceTask(name string, cfg Config) (core.Task, error) {
-	switch name {
-	case "dice":
-		return dice.New(dice.Params{Pairs: cfg.scaled(200), Seed: cfg.Seed})
-	case "wef":
-		return wef.New(wef.Params{Tweets: cfg.scaled(200), Seed: cfg.Seed})
-	case "gotta":
-		return gotta.New(gotta.Params{Paragraphs: cfg.scaled(16), Seed: cfg.Seed})
-	case "kge":
-		return kge.New(kge.Params{Products: cfg.scaled(6800), Seed: cfg.Seed})
-	default:
-		return nil, fmt.Errorf("experiments: unknown trace task %q (have %v)", name, TraceTasks)
+	size, err := core.TaskDefaultSize(name)
+	if err != nil {
+		return nil, err
 	}
+	return core.NewTask(name, cfg.scaled(size), cfg.Seed)
 }
 
 // Trace runs one task under both paradigms with telemetry attached and
@@ -43,8 +41,10 @@ func Trace(name string, cfg Config) (*telemetry.Recorder, error) {
 		return nil, err
 	}
 	rec := telemetry.New()
-	rc := cfg.RunConfig
-	rc.Telemetry = rec
+	rc, err := cfg.RunConfig.With(core.WithTelemetry(rec))
+	if err != nil {
+		return nil, err
+	}
 	s, w, err := core.RunBoth(task, rc)
 	if err != nil {
 		return nil, err

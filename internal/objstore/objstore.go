@@ -25,6 +25,12 @@ type Stats struct {
 	Restores   int
 	PutSeconds float64
 	GetSeconds float64
+	// Reconstructions counts objects rebuilt from lineage after node
+	// faults; ReconstructedBytes and ReconstructSeconds total their
+	// size and simulated cost.
+	Reconstructions    int
+	ReconstructedBytes int64
+	ReconstructSeconds float64
 }
 
 type object struct {
@@ -194,6 +200,24 @@ func (s *Store) AccessSeconds(id ID) (float64, error) {
 		return 0, fmt.Errorf("objstore: object %q not found", id)
 	}
 	return s.model.GetSeconds(o.size, o.spilled), nil
+}
+
+// ReconstructSeconds prices rebuilding a lost copy of an object after
+// a node fault, the way Ray recovers plasma objects: the object is
+// re-created from lineage (a fresh put at memory rate) and the
+// retried task fetches it again. The store's contents are unchanged —
+// the surviving copy is authoritative — but the reconstruction is
+// recorded in the stats.
+func (s *Store) ReconstructSeconds(id ID) (float64, error) {
+	o, ok := s.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("objstore: object %q not found", id)
+	}
+	secs := s.model.PutSeconds(o.size, false) + s.model.GetSeconds(o.size, o.spilled)
+	s.stats.Reconstructions++
+	s.stats.ReconstructedBytes += o.size
+	s.stats.ReconstructSeconds += secs
+	return secs, nil
 }
 
 // Pin protects an object from eviction.

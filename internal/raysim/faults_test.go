@@ -1,0 +1,110 @@
+package raysim
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/faults"
+)
+
+// buildJob submits a small fan-out/fan-in graph with an object fetch,
+// fresh on each call so runs are independent.
+func buildFaultJob(t *testing.T) *Job {
+	t.Helper()
+	c := newCluster(t, 4)
+	if _, err := c.Store().Put("shared", 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	j := c.NewJob()
+	var deps []TaskID
+	for i := 0; i < 8; i++ {
+		deps = append(deps, j.Submit(TaskSpec{
+			Work: cost.Work{Interp: 2}, Gets: objstoreID("shared"),
+		}))
+	}
+	j.Submit(TaskSpec{Work: cost.Work{Interp: 1}, Deps: deps})
+	return j
+}
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	plan := faults.Plan{Seed: 7, Rate: 40, NodeFraction: 0.5}
+	run := func() *Result {
+		j := buildFaultJob(t)
+		j.SetFaults(plan)
+		res, err := j.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespans differ: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if a.Recovery != b.Recovery {
+		t.Fatalf("recovery differs: %+v vs %+v", a.Recovery, b.Recovery)
+	}
+	if a.Recovery.Kills == 0 {
+		t.Fatalf("expected kills at rate 40/100s, got %+v", a.Recovery)
+	}
+}
+
+func TestZeroPlanMatchesCleanRun(t *testing.T) {
+	clean := buildFaultJob(t)
+	res, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := buildFaultJob(t)
+	armed.SetFaults(faults.Plan{})
+	got, err := armed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != res.Makespan || got.Recovery != res.Recovery {
+		t.Fatalf("zero plan changed the run: %v/%+v vs %v/%+v",
+			got.Makespan, got.Recovery, res.Makespan, res.Recovery)
+	}
+	if got.Recovery.Kills != 0 {
+		t.Fatalf("zero plan reported kills: %+v", got.Recovery)
+	}
+}
+
+func TestFaultsSlowDownButNeverSpeedUp(t *testing.T) {
+	clean := buildFaultJob(t)
+	res, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := buildFaultJob(t)
+	faulty.SetFaults(faults.Plan{Seed: 3, Rate: 60})
+	got, err := faulty.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Recovery.Kills > 0 && got.Makespan <= res.Makespan {
+		t.Fatalf("faulty makespan %v not above clean %v despite %d kills",
+			got.Makespan, res.Makespan, got.Recovery.Kills)
+	}
+}
+
+func TestNodeFaultReconstructsObjects(t *testing.T) {
+	j := buildFaultJob(t)
+	// All faults are node-level; at this rate some will strike while a
+	// task holding the shared object runs.
+	j.SetFaults(faults.Plan{Seed: 11, Rate: 80, NodeFraction: 1})
+	res, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.NodeKills == 0 {
+		t.Skip("no node kill landed on a running task at this seed")
+	}
+	st := j.cluster.store.Stats()
+	if st.Reconstructions == 0 || st.ReconstructSeconds <= 0 {
+		t.Fatalf("node kills without reconstruction accounting: %+v", st)
+	}
+	if res.Recovery.ExtraCostSeconds <= 0 {
+		t.Fatalf("node kills added no extra cost: %+v", res.Recovery)
+	}
+}

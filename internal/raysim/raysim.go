@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/objstore"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -100,7 +101,16 @@ type Job struct {
 	err     error
 	rec     *telemetry.Recorder
 	proc    string
+	plan    faults.Plan
 }
+
+// SetFaults arms a deterministic fault plan for Run. Recovery follows
+// Ray's lineage semantics: a killed task is re-executed whole after a
+// capped exponential backoff, and a node-level fault additionally
+// reconstructs the objects the task was fetching. The task bodies
+// themselves are untouched, so outputs are bit-identical to the
+// failure-free run.
+func (j *Job) SetFaults(plan faults.Plan) { j.plan = plan }
 
 // SetTelemetry attaches a recorder; Run then emits one span per task on
 // the "ray-cpus" track of process proc, stamped with the sim virtual
@@ -149,6 +159,9 @@ type Result struct {
 	// ParallelTasks is the peak number of concurrently running tasks —
 	// the paper's "number of parallel processes" metric.
 	ParallelTasks int
+	// Recovery aggregates fault-recovery work (zero without a fault
+	// plan); per-object reconstruction detail is in Store().Stats().
+	Recovery sim.Recovery
 }
 
 // Run schedules the job on the cluster and returns its simulated
@@ -191,7 +204,14 @@ func (j *Job) Run() (*Result, error) {
 			Latency: 0,
 		})
 	}
-	sched, err := sim.Schedule(jobs, []sim.Pool{{Name: pool, Slots: j.cluster.numCPUs}})
+	pools := []sim.Pool{{Name: pool, Slots: j.cluster.numCPUs}}
+	var sched *sim.Result
+	var err error
+	if !j.plan.Injecting() {
+		sched, err = sim.Schedule(jobs, pools)
+	} else {
+		sched, err = j.scheduleFaulty(jobs, pools)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +220,52 @@ func (j *Job) Run() (*Result, error) {
 		Makespan:      sched.Makespan,
 		Schedule:      sched,
 		ParallelTasks: peakConcurrency(sched),
+		Recovery:      sched.Recovery,
 	}, nil
+}
+
+// scheduleFaulty runs the job under its fault plan: the failure-free
+// schedule fixes the fault horizon, the plan expands into kill events
+// over it, and the faulty schedule retries killed tasks from lineage
+// with capped exponential backoff, pricing object reconstruction for
+// node-level faults.
+func (j *Job) scheduleFaulty(jobs []sim.Job, pools []sim.Pool) (*sim.Result, error) {
+	clean, err := sim.Schedule(jobs, pools)
+	if err != nil {
+		return nil, err
+	}
+	evs := j.plan.Events(clean.Makespan)
+	if len(evs) == 0 {
+		return clean, nil
+	}
+	simFaults := make([]sim.FaultEvent, len(evs))
+	for i, e := range evs {
+		simFaults[i] = sim.FaultEvent{
+			At: e.At, Pool: jobs[0].Pool, Salt: e.Salt,
+			LoseObjects: e.Kind == faults.KillNode,
+		}
+	}
+	store := j.cluster.store
+	retry := sim.RetryPolicy{
+		Delay: func(_ sim.JobID, r int) float64 { return j.plan.Backoff(r) },
+		ExtraCost: func(id sim.JobID, _ int, lost bool) float64 {
+			if !lost {
+				return 0
+			}
+			// Job IDs are task indices: rebuild the killed task's
+			// object fetches from lineage.
+			var secs float64
+			for _, obj := range j.tasks[int(id)].Gets {
+				s, err := store.ReconstructSeconds(obj)
+				if err != nil {
+					continue // object deleted since submission
+				}
+				secs += s
+			}
+			return secs
+		},
+	}
+	return sim.ScheduleFaulty(jobs, pools, simFaults, retry)
 }
 
 // recordTelemetry emits one virtual-clock span per scheduled task plus
@@ -229,9 +294,27 @@ func (j *Job) recordTelemetry(jobs []sim.Job, sched *sim.Result) {
 			Virtual: telemetry.Virt{Start: sp.Start, Dur: sp.Finish - sp.Start},
 		})
 	}
+	// Aborted attempts, tagged as recovery work: the time each killed
+	// attempt held a CPU before the fault struck.
+	for _, ab := range sched.Aborts {
+		spans = append(spans, telemetry.Span{
+			Proc: proc, Track: "ray-cpus",
+			Name:    fmt.Sprintf("%s:killed#%d", jobs[int(ab.Job)].Name, ab.Attempt),
+			Cat:     "recovery",
+			HasVirt: true,
+			Virtual: telemetry.Virt{Start: ab.Start, Dur: ab.Killed - ab.Start},
+		})
+	}
 	j.rec.Record(spans...)
 	reg := j.rec.Metrics
-	reg.Counter("ray." + proc + ".tasks").Add(0, int64(len(jobs)))
+	reg.Counter("ray."+proc+".tasks").Add(0, int64(len(jobs)))
+	if rec := sched.Recovery; rec.Kills > 0 {
+		reg.Counter("ray."+proc+".recovery.kills").Add(0, int64(rec.Kills))
+		reg.Counter("ray."+proc+".recovery.node_kills").Add(0, int64(rec.NodeKills))
+		j.rec.SetMeta("ray."+proc+".recovery.lost_seconds", fmt.Sprintf("%.6f", rec.LostSeconds))
+		j.rec.SetMeta("ray."+proc+".recovery.backoff_seconds", fmt.Sprintf("%.6f", rec.DelaySeconds))
+		j.rec.SetMeta("ray."+proc+".recovery.reconstruct_seconds", fmt.Sprintf("%.6f", rec.ExtraCostSeconds))
+	}
 	if chain, err := sim.CriticalChain(jobs); err == nil {
 		row := telemetry.CriticalRow{Proc: proc, Track: "ray-cpus"}
 		for _, id := range chain {

@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// RecoveryCurve renders the recovery-overhead sweep: a table of
+// makespans per fault rate with the overhead relative to the
+// failure-free run, and optionally an ASCII chart of makespan versus
+// fault rate for both paradigms.
+func RecoveryCurve(w io.Writer, points []experiments.RecoveryPoint, chart bool) {
+	rows := [][]string{{
+		"faults/100s", "script s", "overhead", "workflow s", "overhead",
+		"kills (s/w)", "ckpt write s", "digests ok",
+	}}
+	var sS, sW []Point
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.4g", p.Rate),
+			Secs(p.Script), Delta(p.Script, p.ScriptClean),
+			Secs(p.Workflow), Delta(p.Workflow, p.WorkflowClean),
+			fmt.Sprintf("%d/%d", p.ScriptKills, p.WorkflowKills),
+			fmt.Sprintf("%.4g", p.CheckpointSeconds),
+			fmt.Sprint(p.DigestsMatch),
+		})
+		sS = append(sS, Point{X: p.Rate, Y: p.Script})
+		sW = append(sW, Point{X: p.Rate, Y: p.Workflow})
+	}
+	Table(w, rows)
+	if chart {
+		Chart(w, "DICE makespan vs fault rate", []Series{
+			{Name: "script (lineage replay)", Points: sS},
+			{Name: "workflow (checkpoint/restore)", Points: sW},
+		}, 48, 10)
+	}
+}

@@ -1,0 +1,33 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRecoveryCurve(t *testing.T) {
+	pts := []experiments.RecoveryPoint{
+		{Rate: 0, Script: 10, Workflow: 12, ScriptClean: 10, WorkflowClean: 11.5,
+			CheckpointSeconds: 0.5, DigestsMatch: true},
+		{Rate: 4, Script: 14, Workflow: 13, ScriptClean: 10, WorkflowClean: 11.5,
+			ScriptKills: 2, WorkflowKills: 1, CheckpointSeconds: 0.5, DigestsMatch: true},
+	}
+	var b strings.Builder
+	RecoveryCurve(&b, pts, true)
+	out := b.String()
+	for _, want := range []string{
+		"faults/100s", "2/1", "+40%", "DICE makespan vs fault rate",
+		"script (lineage replay)", "workflow (checkpoint/restore)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	RecoveryCurve(&b, pts, false)
+	if strings.Contains(b.String(), "makespan vs fault rate") {
+		t.Fatal("chart rendered with chart=false")
+	}
+}

@@ -59,10 +59,17 @@ type Span struct {
 type Result struct {
 	// Makespan is the finish time of the last job.
 	Makespan float64
-	// Spans maps each job to its execution interval.
+	// Spans maps each job to its execution interval (the final,
+	// successful attempt under fault injection).
 	Spans map[JobID]Span
-	// BusyTime is the total slot-seconds consumed per pool.
+	// BusyTime is the total slot-seconds consumed per pool, including
+	// the partial work of attempts later killed by faults.
 	BusyTime map[string]float64
+	// Aborts lists killed attempts in kill order; empty without fault
+	// injection.
+	Aborts []Abort
+	// Recovery aggregates fault-recovery work; zero without injection.
+	Recovery Recovery
 }
 
 // Utilization returns the fraction of pool slot-time spent busy over
@@ -74,11 +81,15 @@ func (r *Result) Utilization(pool string, slots int) float64 {
 	return r.BusyTime[pool] / (r.Makespan * float64(slots))
 }
 
-// event is either a job completion or (job == wakeupEvent) a
-// dispatch wakeup at the moment a queued job's latency elapses.
+// event is a job completion, (job == wakeupEvent) a dispatch wakeup at
+// the moment a queued job's latency elapses, or (job <= faultBase) a
+// fault strike, carrying the fault's index as faultBase-job. attempt
+// tags completions so a killed attempt's stale completion event can be
+// recognized and dropped.
 type event struct {
-	at  float64
-	job JobID
+	at      float64
+	job     JobID
+	attempt int
 }
 
 // wakeupEvent marks events that exist only to trigger a dispatch at a
@@ -86,6 +97,13 @@ type event struct {
 // time falls while other jobs are still running would not start until
 // the next completion, even with free slots.
 const wakeupEvent = JobID(-1)
+
+// faultBase encodes fault indices into event job IDs: fault i is
+// job faultBase-i. All faults sort below wakeupEvent, so at equal
+// times a fault is processed before dispatches and completions — a
+// job finishing the instant a fault strikes is killed, the harsher
+// (and still deterministic) reading.
+const faultBase = JobID(-2)
 
 type eventHeap []event
 
@@ -130,6 +148,14 @@ func (q *readyQueue) Pop() any {
 // references to unknown pools or jobs, non-positive pool sizes,
 // negative costs, or dependency cycles.
 func Schedule(jobs []Job, pools []Pool) (*Result, error) {
+	return schedule(jobs, pools, nil, RetryPolicy{})
+}
+
+// schedule is the shared event loop behind Schedule and ScheduleFaulty.
+// With an empty fault list the injection bookkeeping is skipped
+// entirely, so the fault-free path is byte-identical to the original
+// scheduler.
+func schedule(jobs []Job, pools []Pool, faults []FaultEvent, retry RetryPolicy) (*Result, error) {
 	byID := make(map[JobID]*Job, len(jobs))
 	for i := range jobs {
 		j := &jobs[i]
@@ -199,6 +225,22 @@ func Schedule(jobs []Job, pools []Pool) (*Result, error) {
 		}
 	}
 
+	// Fault-injection bookkeeping, touched only when faults exist.
+	injecting := len(faults) > 0
+	var (
+		runningJobs map[JobID]runInfo
+		curAttempt  map[JobID]int // attempts so far killed; 0 = first attempt
+		extraCost   map[JobID]float64
+	)
+	if injecting {
+		runningJobs = make(map[JobID]runInfo)
+		curAttempt = make(map[JobID]int)
+		extraCost = make(map[JobID]float64)
+		for i := range faults {
+			heap.Push(running, event{at: faults[i].At, job: faultBase - JobID(i)})
+		}
+	}
+
 	// Jobs with no dependencies are ready at time 0 (plus latency).
 	ids := make([]JobID, 0, len(jobs))
 	for id := range byID {
@@ -216,10 +258,17 @@ func Schedule(jobs []Job, pools []Pool) (*Result, error) {
 	start := func(id JobID, at float64) {
 		j := byID[id]
 		free[j.Pool]--
-		fin := at + j.Cost
+		c := j.Cost
+		attempt := 0
+		if injecting {
+			c += extraCost[id]
+			attempt = curAttempt[id]
+			runningJobs[id] = runInfo{start: at, cost: c}
+		}
+		fin := at + c
 		res.Spans[id] = Span{Start: at, Finish: fin}
-		res.BusyTime[j.Pool] += j.Cost
-		heap.Push(running, event{at: fin, job: id})
+		res.BusyTime[j.Pool] += c
+		heap.Push(running, event{at: fin, job: id, attempt: attempt})
 	}
 
 	// dispatch starts every startable job at the current time. A job is
@@ -258,9 +307,27 @@ func Schedule(jobs []Job, pools []Pool) (*Result, error) {
 		}
 		ev := heap.Pop(running).(event)
 		now = ev.at
+		if ev.job <= faultBase {
+			if err := strike(&faultCtx{
+				f: &faults[int(faultBase-ev.job)], now: now,
+				byID: byID, free: free, res: res, retry: &retry,
+				runningJobs: runningJobs, curAttempt: curAttempt, extraCost: extraCost,
+				ready: ready, running: running,
+			}); err != nil {
+				return nil, err
+			}
+			dispatch()
+			continue
+		}
 		if ev.job == wakeupEvent {
 			dispatch()
 			continue
+		}
+		if injecting {
+			if ev.attempt != curAttempt[ev.job] {
+				continue // stale completion of a killed attempt
+			}
+			delete(runningJobs, ev.job)
 		}
 		j := byID[ev.job]
 		free[j.Pool]++
@@ -278,6 +345,88 @@ func Schedule(jobs []Job, pools []Pool) (*Result, error) {
 	}
 	res.Makespan = now
 	return res, nil
+}
+
+// faultCtx carries the scheduler state a fault strike mutates.
+type faultCtx struct {
+	f           *FaultEvent
+	now         float64
+	byID        map[JobID]*Job
+	free        map[string]int
+	res         *Result
+	retry       *RetryPolicy
+	runningJobs map[JobID]runInfo
+	curAttempt  map[JobID]int
+	extraCost   map[JobID]float64
+	ready       map[string]*readyQueue
+	running     *eventHeap
+}
+
+// strike applies one fault: pick a deterministic victim among the
+// running jobs, discard its in-flight attempt, and re-queue it under
+// the retry policy. Faults on an idle (or non-matching) system are
+// no-ops.
+func strike(c *faultCtx) error {
+	victims := make([]JobID, 0, len(c.runningJobs))
+	for id := range c.runningJobs {
+		if c.f.Pool == "" || c.byID[id].Pool == c.f.Pool {
+			victims = append(victims, id)
+		}
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	sort.Slice(victims, func(i, k int) bool { return victims[i] < victims[k] })
+	v := victims[int(c.f.Salt%uint64(len(victims)))]
+	ri := c.runningJobs[v]
+	delete(c.runningJobs, v)
+	jv := c.byID[v]
+	c.free[jv.Pool]++
+	// Remove the unexecuted remainder of the attempt from busy time;
+	// the part already executed stays, as genuinely wasted slot time.
+	c.res.BusyTime[jv.Pool] -= (ri.start + ri.cost) - c.now
+	c.curAttempt[v]++
+	retryN := c.curAttempt[v]
+	maxR := c.retry.MaxRetries
+	if maxR == 0 {
+		maxR = DefaultMaxRetries
+	}
+	if retryN > maxR {
+		return fmt.Errorf("sim: job %d (%s) killed %d times, exceeding %d retries", v, jv.Name, retryN, maxR)
+	}
+	var delay, extra float64
+	if c.retry.Delay != nil {
+		delay = c.retry.Delay(v, retryN)
+	}
+	if c.retry.ExtraCost != nil {
+		extra = c.retry.ExtraCost(v, retryN, c.f.LoseObjects)
+	}
+	if delay < 0 || extra < 0 {
+		return fmt.Errorf("sim: retry policy returned negative delay/cost (%g, %g) for job %d", delay, extra, v)
+	}
+	c.extraCost[v] = extra
+
+	rec := &c.res.Recovery
+	rec.Kills++
+	if c.f.LoseObjects {
+		rec.NodeKills++
+	}
+	rec.LostSeconds += c.now - ri.start
+	rec.DelaySeconds += delay
+	rec.ExtraCostSeconds += extra
+	c.res.Aborts = append(c.res.Aborts, Abort{
+		Job: v, Attempt: retryN, Start: ri.start, Killed: c.now,
+		LostObjects: c.f.LoseObjects,
+	})
+
+	// Re-queue: dependencies were satisfied before the first attempt,
+	// so the job re-enters its pool's queue directly.
+	readyAt := c.now + delay
+	heap.Push(c.ready[jv.Pool], readyEntry{at: readyAt, job: v})
+	if readyAt > c.now {
+		heap.Push(c.running, event{at: readyAt, job: wakeupEvent})
+	}
+	return nil
 }
 
 // CriticalPath returns the length of the longest dependency chain

@@ -38,6 +38,14 @@ type Task struct {
 	cases  []datagen.ClinicalCase
 }
 
+// The registry entry makes the task runnable by name from the CLI and
+// the experiment harness; the default size is the paper's full scale.
+func init() {
+	core.RegisterTask("dice", 200, func(size int, seed uint64) (core.Task, error) {
+		return New(Params{Pairs: size, Seed: seed})
+	})
+}
+
 // New generates the dataset and returns the task.
 func New(p Params) (*Task, error) {
 	if p.Pairs <= 0 {

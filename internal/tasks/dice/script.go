@@ -11,6 +11,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/notebook"
 	"repro/internal/raysim"
+	"repro/internal/sim"
 )
 
 // Notebook cell sources (pseudo-Python). These are the script
@@ -173,6 +174,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 
 	var chunkRecords [][]Record
 	parallelProcs := 1
+	var recovery sim.Recovery
 
 	nb.Add(&notebook.Cell{Name: "imports", Source: srcImports, Run: func(k *notebook.Kernel) error {
 		k.Charge(cost.Work{Interp: 1.2, Mem: 0.3}) // import pandas, ray, init
@@ -193,6 +195,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			}
 			job := ray.NewJob()
 			job.SetTelemetry(cfg.Telemetry, "script:dice")
+			job.SetFaults(cfg.Faults)
 			chunkRecords = make([][]Record, nChunks)
 			for ci := 0; ci < nChunks; ci++ {
 				var work cost.Work
@@ -231,6 +234,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			}
 			k.ChargeSeconds(res.Makespan)
 			parallelProcs = res.ParallelTasks
+			recovery = res.Recovery
 			return nil
 		})
 	}})
@@ -260,6 +264,13 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		Operators:     nb.NumCells(),
 		ParallelProcs: parallelProcs,
 		Output:        RecordsToTable(out),
+		Recovery: core.RecoveryTotals{
+			Kills:              recovery.Kills,
+			LostSeconds:        recovery.LostSeconds,
+			DelaySeconds:       recovery.DelaySeconds,
+			RestoreSeconds:     recovery.ExtraCostSeconds,
+			ReconstructedBytes: ray.Store().Stats().ReconstructedBytes,
+		},
 	}, nil
 }
 

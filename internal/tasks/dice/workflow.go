@@ -277,7 +277,7 @@ func (t *Task) ProfileWorkflow(cfg core.RunConfig) (*dataflow.Trace, error) {
 		return nil, err
 	}
 	w := t.buildWorkflow(cfg.Workers)
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry})
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +293,7 @@ func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Re
 		return nil, err
 	}
 	w := t.buildWorkflow(cfg.Workers)
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, BatchSize: batchSize, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry})
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, BatchSize: batchSize, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +314,7 @@ func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Re
 		Operators:     w.NumOperators(),
 		ParallelProcs: cfg.Workers,
 		Output:        RecordsToTable(recs),
+		Recovery:      res.Recovery.Totals(),
 	}, nil
 }
 

@@ -41,6 +41,14 @@ type Task struct {
 	model    *genqa.Model
 }
 
+// The registry entry makes the task runnable by name from the CLI and
+// the experiment harness; the default size is the paper's full scale.
+func init() {
+	core.RegisterTask("gotta", 16, func(size int, seed uint64) (core.Task, error) {
+		return New(Params{Paragraphs: size, Seed: seed})
+	})
+}
+
 // New generates the dataset and returns the task.
 func New(p Params) (*Task, error) {
 	if p.Paragraphs <= 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/notebook"
 	"repro/internal/objstore"
 	"repro/internal/raysim"
+	"repro/internal/sim"
 )
 
 // Notebook cell sources (pseudo-Python).
@@ -76,6 +77,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 
 	var answers []Answer
 	parallel := 1
+	var recovery sim.Recovery
 
 	nb.Add(&notebook.Cell{Name: "imports", Source: srcImports, Run: func(k *notebook.Kernel) error {
 		k.Charge(workImports)
@@ -98,6 +100,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		return k.Call("run_batch", func() error {
 			job := ray.NewJob()
 			job.SetTelemetry(cfg.Telemetry, "script:gotta")
+			job.SetFaults(cfg.Faults)
 			for _, p := range t.passages {
 				job.Submit(raysim.TaskSpec{
 					Name:             "batch-" + p.ID,
@@ -118,6 +121,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			}
 			k.ChargeSeconds(res.Makespan)
 			parallel = res.ParallelTasks
+			recovery = res.Recovery
 			return nil
 		})
 	}})
@@ -143,5 +147,12 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		ParallelProcs: parallel,
 		Output:        AnswersToTable(answers),
 		Quality:       out,
+		Recovery: core.RecoveryTotals{
+			Kills:              recovery.Kills,
+			LostSeconds:        recovery.LostSeconds,
+			DelaySeconds:       recovery.DelaySeconds,
+			RestoreSeconds:     recovery.ExtraCostSeconds,
+			ReconstructedBytes: ray.Store().Stats().ReconstructedBytes,
+		},
 	}, nil
 }

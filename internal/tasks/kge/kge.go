@@ -66,6 +66,14 @@ type Task struct {
 // embedding dimensionality of the synthetic pre-trained model.
 const embDim = 16
 
+// The registry entry makes the task runnable by name from the CLI and
+// the experiment harness; the default size is the paper's full scale.
+func init() {
+	core.RegisterTask("kge", 6800, func(size int, seed uint64) (core.Task, error) {
+		return New(Params{Products: size, Seed: seed})
+	})
+}
+
 // New generates the world, pre-trains the embedding model and returns
 // the task.
 func New(p Params) (*Task, error) {

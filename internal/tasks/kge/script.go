@@ -10,6 +10,7 @@ import (
 	"repro/internal/notebook"
 	"repro/internal/objstore"
 	"repro/internal/raysim"
+	"repro/internal/sim"
 )
 
 // Notebook cell sources (pseudo-Python).
@@ -79,6 +80,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	var rows []scored
 	var recs []Recommendation
 	parallel := 1
+	var recovery sim.Recovery
 
 	nb.Add(&notebook.Cell{Name: "imports", Source: srcImports, Run: func(k *notebook.Kernel) error {
 		k.Charge(cost.Work{Interp: 1.0, Mem: 0.3})
@@ -115,6 +117,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			}
 			job := ray.NewJob()
 			job.SetTelemetry(cfg.Telemetry, "script:kge")
+			job.SetFaults(cfg.Faults)
 			for ci := 0; ci < nChunks; ci++ {
 				n := 0
 				for idx := ci; idx < len(inStock); idx += nChunks {
@@ -142,6 +145,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			}
 			k.ChargeSeconds(res.Makespan)
 			parallel = res.ParallelTasks
+			recovery = res.Recovery
 			return nil
 		})
 	}})
@@ -173,7 +177,14 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		Operators:     nb.NumCells(),
 		ParallelProcs: parallel,
 		Output:        RecommendationsToTable(recs),
-		Quality:       t.quality(recs),
+		Recovery: core.RecoveryTotals{
+			Kills:              recovery.Kills,
+			LostSeconds:        recovery.LostSeconds,
+			DelaySeconds:       recovery.DelaySeconds,
+			RestoreSeconds:     recovery.ExtraCostSeconds,
+			ReconstructedBytes: ray.Store().Stats().ReconstructedBytes,
+		},
+		Quality: t.quality(recs),
 	}, nil
 }
 

@@ -39,6 +39,14 @@ type Task struct {
 	tweets []datagen.Tweet
 }
 
+// The registry entry makes the task runnable by name from the CLI and
+// the experiment harness; the default size is the paper's full scale.
+func init() {
+	core.RegisterTask("wef", 200, func(size int, seed uint64) (core.Task, error) {
+		return New(Params{Tweets: size, Seed: seed})
+	})
+}
+
 // New generates the dataset and returns the task.
 func New(p Params) (*Task, error) {
 	if p.Tweets <= 0 {

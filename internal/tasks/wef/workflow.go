@@ -176,7 +176,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	sink := w.Sink("predictions")
 	w.Connect(shapeID, sink, 0, dataflow.RoundRobin())
 
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry})
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +215,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		Paradigm:      core.Workflow,
 		SimSeconds:    res.SimSeconds,
 		Trace:         res.Trace.Totals(),
+		Recovery:      res.Recovery.Totals(),
 		LinesOfCode:   t.workflowLoC(),
 		Operators:     w.NumOperators(),
 		ParallelProcs: 1,

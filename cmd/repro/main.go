@@ -47,6 +47,7 @@ func main() {
 		traceTask  = flag.String("trace-task", "dice", "task to instrument for -trace/-metrics ("+strings.Join(experiments.TraceTasks(), ", ")+")")
 		traceWall  = flag.Bool("trace-wall", false, "include non-deterministic wall-clock spans in the trace and metrics")
 		faultRate  = flag.Float64("faults", 0, "fault rate in kills per 100 simulated seconds; arms deterministic fault injection (and workflow checkpointing) for every run")
+		lineageOn  = flag.Bool("lineage", false, "with -trace/-metrics: arm the versioned artifact store and run each paradigm twice, so cache hits and commits appear in the trace")
 	)
 	flag.Parse()
 
@@ -82,7 +83,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := runTrace(*traceTask, *traceOut, *metrics, *traceWall, cfg); err != nil {
+		if err := runTrace(*traceTask, *traceOut, *metrics, *traceWall, *lineageOn, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -93,6 +94,11 @@ func main() {
 		for _, id := range experiments.IDs {
 			desc, _ := experiments.Describe(id)
 			fmt.Printf("%-8s %s\n", id, desc)
+		}
+		fmt.Println("\ntasks (for -trace-task; size is the paper-scale default):")
+		for _, name := range core.TaskNames() {
+			size, _ := core.TaskDefaultSize(name)
+			fmt.Printf("%-8s size=%d\n", name, size)
 		}
 		return
 	}
@@ -121,8 +127,12 @@ func main() {
 
 // runTrace runs one task under both paradigms with telemetry attached,
 // optionally writing a Chrome trace and printing the metrics report.
-func runTrace(task, traceOut string, metrics, wall bool, cfg experiments.Config) error {
-	rec, err := experiments.Trace(task, cfg)
+func runTrace(task, traceOut string, metrics, wall, lineageOn bool, cfg experiments.Config) error {
+	traceFn := experiments.Trace
+	if lineageOn {
+		traceFn = experiments.TraceLineage
+	}
+	rec, err := traceFn(task, cfg)
 	if err != nil {
 		return err
 	}
@@ -321,6 +331,15 @@ func run(id string, cfg experiments.Config, charts, jsonOut bool) error {
 			return emit(pts)
 		}
 		report.RecoveryCurve(w, pts, charts)
+	case "iterate":
+		pts, err := experiments.Iterate(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(pts)
+		}
+		report.IterationTable(w, pts, charts)
 	case "ablation-torch", "ablation-store", "ablation-serde", "ablation-batch":
 		fn := map[string]func(experiments.Config) ([]experiments.AblationRow, error){
 			"ablation-torch": experiments.AblationTorchPin,

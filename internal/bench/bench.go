@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/faults"
+	"repro/internal/lineage"
 	"repro/internal/relation"
 	"repro/internal/tasks/dice"
 	"repro/internal/tasks/kge"
@@ -39,8 +40,8 @@ type Macro struct {
 	Experiment      string  `json:"experiment"`
 	Size            int     `json:"size"`
 	WallMS          float64 `json:"wall_ms"`
-	WallMSTelemetry float64 `json:"wall_ms_telemetry"`
-	OverheadPct     float64 `json:"overhead_pct"`
+	WallMSTelemetry float64 `json:"wall_ms_telemetry,omitempty"`
+	OverheadPct     float64 `json:"overhead_pct,omitempty"`
 	SimSeconds      float64 `json:"sim_seconds"`
 }
 
@@ -185,6 +186,49 @@ func micros() []Micro {
 			}
 		}))
 	}
+
+	// Lineage primitives: what the versioned artifact store charges per
+	// unit — hashing provenance into a fingerprint, committing a fresh
+	// result, and resolving a fingerprint that hits.
+	out = append(out, measure("lineage_fingerprint", 4096, func() {
+		for i := 0; i < 4096; i++ {
+			fp := lineage.NewHasher().
+				String("workflow:dice[pairs=200,seed=1,workers=4]").
+				String("op:aggregate-write").
+				Int(i).
+				Uint64(0x9e3779b97f4a7c15).
+				Sum()
+			if fp == 0 {
+				panic("bench: fingerprint chain hashed to zero")
+			}
+		}
+	}))
+	commitTable, _ := joinTables(1000)
+	store, err := lineage.NewStore(nil, 1<<40)
+	if err != nil {
+		panic(err)
+	}
+	crun := store.Begin("bench:commit", nil)
+	nextFP := lineage.Fingerprint(1)
+	out = append(out, measure("lineage_commit_1k_rows", 1, func() {
+		// A fresh fingerprint per call keeps every commit on the real
+		// path (digest + priced put), never the already-present shortcut.
+		nextFP++
+		if a, _ := crun.Commit("bench-unit", nextFP, commitTable, 1); a == nil {
+			panic("bench: commit returned no artifact")
+		}
+	}))
+	hrun := store.Begin("bench:lookup", nil)
+	for i := 0; i < 4096; i++ {
+		hrun.CommitMeta(fmt.Sprintf("cell-%d", i), lineage.Fingerprint(1<<32+i), 0.001)
+	}
+	out = append(out, measure("lineage_hit_lookup", 4096, func() {
+		for i := 0; i < 4096; i++ {
+			if hrun.Lookup("cell", lineage.Fingerprint(1<<32+i)) == nil {
+				panic("bench: expected lineage hit")
+			}
+		}
+	}))
 	return out
 }
 
@@ -269,7 +313,71 @@ func macros(seed uint64) ([]Macro, error) {
 			return nil, err
 		}
 	}
-	return out, nil
+	lin, err := lineageMacros(seed)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, lin...), nil
+}
+
+// lineageMacros times the iterate workload's two wall-clock extremes on
+// the DICE workflow: a cold run with no store attached, and a fully
+// warm run against a populated store where every operator hits, so the
+// engine's work is provenance resolution plus replay of cached tables.
+// The pair bounds what the artifact store costs (or saves) in host
+// time, as opposed to the simulated seconds the iterate experiment
+// reports.
+func lineageMacros(seed uint64) ([]Macro, error) {
+	const (
+		reps  = 7
+		pairs = 50
+	)
+	task, err := dice.New(dice.Params{Pairs: pairs, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	store, err := lineage.NewStore(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	warmCfg := core.MustRunConfig(core.WithLineage(store))
+	// Populate pass, untimed: after it every fingerprint in the warm
+	// variant's plan resolves to a committed artifact.
+	if _, err := task.Run(core.Workflow, warmCfg); err != nil {
+		return nil, err
+	}
+	timeOnce := func(cfg core.RunConfig) (float64, float64, error) {
+		start := time.Now()
+		res, err := task.Run(core.Workflow, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return float64(time.Since(start).Microseconds()) / 1000, res.SimSeconds, nil
+	}
+	cold, warm := -1.0, -1.0
+	var coldSim, warmSim float64
+	for r := 0; r < reps; r++ {
+		cw, cs, err := timeOnce(core.MustRunConfig())
+		if err != nil {
+			return nil, fmt.Errorf("bench: iterate-cold: %w", err)
+		}
+		if cold < 0 || cw < cold {
+			cold = cw
+		}
+		coldSim = cs
+		ww, ws, err := timeOnce(warmCfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: iterate-warm: %w", err)
+		}
+		if warm < 0 || ww < warm {
+			warm = ww
+		}
+		warmSim = ws
+	}
+	return []Macro{
+		{Task: task.Name(), Experiment: "iterate-cold", Size: pairs, WallMS: cold, SimSeconds: coldSim},
+		{Task: task.Name(), Experiment: "iterate-warm", Size: pairs, WallMS: warm, SimSeconds: warmSim},
+	}, nil
 }
 
 // Run executes the full harness.

@@ -36,13 +36,29 @@ func TestMacrosTrajectory(t *testing.T) {
 	if len(mac) == 0 {
 		t.Fatal("no macro points")
 	}
+	iterate := map[string]Macro{}
 	for _, m := range mac {
 		if m.WallMS <= 0 || m.SimSeconds <= 0 {
 			t.Fatalf("degenerate macro point %+v", m)
 		}
+		if m.Experiment == "iterate-cold" || m.Experiment == "iterate-warm" {
+			// The lineage pair has no telemetry variant; it compares a
+			// cold run against a fully warm store instead.
+			iterate[m.Experiment] = m
+			continue
+		}
 		if m.WallMSTelemetry <= 0 {
 			t.Fatalf("telemetry run missing from macro point %+v", m)
 		}
+	}
+	cold, okc := iterate["iterate-cold"]
+	warm, okw := iterate["iterate-warm"]
+	if !okc || !okw {
+		t.Fatalf("iterate macro pair missing: %+v", iterate)
+	}
+	if warm.SimSeconds >= cold.SimSeconds {
+		t.Fatalf("all-hit run not cheaper in simulated seconds: warm %v vs cold %v",
+			warm.SimSeconds, cold.SimSeconds)
 	}
 }
 

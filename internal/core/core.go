@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/faults"
+	"repro/internal/lineage"
 	"repro/internal/relation"
 	"repro/internal/telemetry"
 )
@@ -57,6 +58,12 @@ type RunConfig struct {
 	// checkpointing with restore for workflows. The zero plan is
 	// entirely inert. Outputs are bit-identical under any plan.
 	Faults faults.Plan
+	// Lineage, when non-nil, arms versioned-artifact caching with
+	// incremental re-execution: workflow runs reuse at operator
+	// granularity, script runs at cell granularity with stateful-kernel
+	// (suffix-invalidation) semantics. The store persists across runs of
+	// the same task — that persistence is what makes iteration cheap.
+	Lineage *lineage.Store
 }
 
 // Normalize fills defaults and validates. Worker counts are bounded by
@@ -113,6 +120,9 @@ type Result struct {
 	// Recovery summarizes fault-recovery work; zero without a fault
 	// plan.
 	Recovery RecoveryTotals
+	// Lineage summarizes artifact-store reuse (hits, invalidations,
+	// bytes served from cache); nil without a lineage store.
+	Lineage *lineage.RunReport
 }
 
 // RecoveryTotals folds a run's fault-recovery work into comparable

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/faults"
+	"repro/internal/lineage"
 	"repro/internal/telemetry"
 )
 
@@ -33,6 +34,13 @@ func WithTelemetry(rec *telemetry.Recorder) Option {
 // WithFaults arms a deterministic fault plan.
 func WithFaults(plan faults.Plan) Option {
 	return func(c *RunConfig) { c.Faults = plan }
+}
+
+// WithLineage attaches a versioned artifact store, arming incremental
+// re-execution. Pass the same store across successive runs of a task to
+// model the edit-and-rerun loop.
+func WithLineage(s *lineage.Store) Option {
+	return func(c *RunConfig) { c.Lineage = s }
 }
 
 // NewRunConfig builds and normalizes a RunConfig from options.

@@ -11,7 +11,10 @@
 // from the mechanisms below rather than from the constants.
 package cost
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Language identifies the implementation language of an operator or
 // script step. The paper contrasts Python operators against Scala
@@ -161,6 +164,36 @@ func Default() *Model {
 		TorchCoresTexera: 6,
 		TorchCoresRay:    1,
 	}
+}
+
+// Digest returns a deterministic FNV-1a hash of every rate constant in
+// the model. Lineage fingerprints fold it in so cached artifacts from a
+// differently-calibrated model never satisfy a lookup: a recalibration
+// is an edit, not a cache hit.
+func (m *Model) Digest() uint64 {
+	const (
+		offset64 = 14695981039346269563
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, f := range []float64{
+		m.SerdeBytesPerSec, m.NetworkBytesPerSec,
+		m.ObjectStorePutBytesPerSec, m.ObjectStoreGetBytesPerSec,
+		m.SpillBytesPerSec, m.TaskOverhead, m.OperatorStartup,
+		m.ControlOverhead, m.CheckpointPutBytesPerSec, m.CheckpointGetBytesPerSec,
+	} {
+		mix(math.Float64bits(f))
+	}
+	mix(uint64(m.TorchCoresTexera))
+	mix(uint64(m.TorchCoresRay))
+	return h
 }
 
 // Validate reports an error if any rate is non-positive.

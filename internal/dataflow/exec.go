@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cost"
 	"repro/internal/faults"
+	"repro/internal/lineage"
 	"repro/internal/relation"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -36,6 +37,14 @@ type Config struct {
 	// unaffected: sink tables are bit-identical to a failure-free run,
 	// only SimSeconds and the Recovery accounting change.
 	Faults faults.Plan
+	// Lineage, when set, arms operator-granularity result caching: node
+	// outputs are committed to the versioned artifact store and cache
+	// hits replay stored tables instead of executing (see lineage.go).
+	Lineage *lineage.Store
+	// LineageScope names this workflow build in the store; empty uses
+	// "workflow:<name>". Runs that share a scope share warm-start
+	// accounting; fingerprints alone keep their artifacts apart.
+	LineageScope string
 }
 
 // Result is the outcome of a completed workflow execution.
@@ -51,6 +60,9 @@ type Result struct {
 	// Recovery describes checkpoint and fault-recovery work; nil when
 	// the execution ran without a fault plan.
 	Recovery *RecoveryInfo
+	// Lineage summarizes artifact-store reuse; nil when the execution
+	// ran without a lineage store.
+	Lineage *lineage.RunReport
 }
 
 // AutoBatchSize picks the batch size a source uses when none is
@@ -104,6 +116,10 @@ type nodeRuntime struct {
 
 	shards []workShard // one per worker (sources and sinks use shard 0)
 	wall   []wallShard // like shards; allocated only when telemetry is on
+
+	// capture collects each worker's emitted rows for the lineage
+	// commit; allocated only for dirty operators under a lineage store.
+	capture [][]relation.Tuple
 
 	wg sync.WaitGroup
 }
@@ -172,6 +188,7 @@ type Execution struct {
 	gate   *gate
 	rts    []*nodeRuntime
 	tel    *execTelemetry // nil = telemetry off
+	lin    *lineagePlan   // nil = lineage off
 	done   chan struct{}
 
 	errOnce sync.Once
@@ -270,6 +287,21 @@ func (w *Workflow) Start(ctx context.Context, cfg Config) (*Execution, error) {
 		ex.rts[n.id] = rt
 	}
 
+	// Plan lineage modes (fingerprints, store lookups, replay/skip
+	// assignment) before any goroutine starts, then allocate output
+	// capture for the nodes whose results will be committed.
+	if err := ex.planLineage(); err != nil {
+		cancel()
+		return nil, err
+	}
+	if ex.lin != nil {
+		for _, n := range w.nodes {
+			if ex.lin.mode[n.id] == lmDirty && n.kind == kindOperator {
+				ex.rts[n.id].capture = make([][]relation.Tuple, n.parallelism)
+			}
+		}
+	}
+
 	// Launch edge routers.
 	var routerWG sync.WaitGroup
 	for _, n := range w.nodes {
@@ -356,10 +388,14 @@ func (ex *Execution) Progress() []OpProgress {
 }
 
 // emit forwards rows produced by a node to all its out edges and
-// updates trace counters.
-func (ex *Execution) emit(rt *nodeRuntime, rows []relation.Tuple) {
+// updates trace counters. worker indexes the producing worker's
+// lineage-capture shard.
+func (ex *Execution) emit(rt *nodeRuntime, worker int, rows []relation.Tuple) {
 	if len(rows) == 0 {
 		return
+	}
+	if rt.capture != nil {
+		rt.capture[worker] = append(rt.capture[worker], rows...)
 	}
 	rt.outTuples.Add(int64(len(rows)))
 	rt.batches.Add(1)
@@ -442,6 +478,15 @@ func (ex *Execution) runNode(wg *sync.WaitGroup, rt *nodeRuntime) {
 			q.close()
 		}
 	}()
+	switch ex.lineageMode(rt.n.id) {
+	case lmSkip:
+		// Elided entirely: the cached artifact stands in for the node.
+		rt.setState(Completed)
+		return
+	case lmReplay:
+		ex.runReplay(rt)
+		return
+	}
 	switch rt.n.kind {
 	case kindSource:
 		ex.runSource(rt)
@@ -480,7 +525,7 @@ func (ex *Execution) runSource(rt *nodeRuntime) {
 			t0 = tel.rec.NowNS()
 		}
 		rt.addWork(0, rt.n.scanWork.Scale(float64(len(b.Rows))))
-		ex.emit(rt, b.Rows)
+		ex.emit(rt, 0, b.Rows)
 		if tel != nil {
 			t1 := tel.rec.NowNS()
 			rt.wall[0].note(t0, t1)
@@ -581,7 +626,7 @@ func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
 				ex.failOp(rt, worker, port, err)
 				return
 			}
-			ex.emit(rt, out)
+			ex.emit(rt, worker, out)
 			if tel != nil {
 				t1 := tel.rec.NowNS()
 				rt.wall[worker].note(t0, t1)
@@ -596,7 +641,7 @@ func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
 			ex.failOp(rt, worker, port, err)
 			return
 		}
-		ex.emit(rt, out)
+		ex.emit(rt, worker, out)
 	}
 	ec.phase = phaseEnd
 	if err := inst.Close(ec); err != nil {
@@ -615,6 +660,7 @@ func (ex *Execution) finish() {
 	if ex.err != nil {
 		return
 	}
+	ex.commitLineage()
 	trace := ex.buildTrace()
 	jobs, pools, meta, err := lowerWithMeta(trace, ex.model)
 	if err != nil {
@@ -636,9 +682,19 @@ func (ex *Execution) finish() {
 	ex.recordRecovery(recInfo)
 	tables := make(map[string]*relation.Table)
 	for _, rt := range ex.rts {
-		if rt.n.kind == kindSink {
-			tables[rt.n.name] = rt.sinkTable
+		if rt.n.kind != kindSink {
+			continue
 		}
+		if ex.lin != nil && ex.lin.mode[rt.n.id] == lmSkip {
+			// The sink never ran; its cached artifact is the result.
+			tables[rt.n.name] = ex.lin.art[rt.n.id].Table
+			continue
+		}
+		tables[rt.n.name] = rt.sinkTable
+	}
+	var linReport *lineage.RunReport
+	if ex.lin != nil {
+		linReport = ex.lin.run.Report()
 	}
 	ex.result = &Result{
 		Tables:     tables,
@@ -646,14 +702,70 @@ func (ex *Execution) finish() {
 		SimSeconds: sched.Makespan,
 		Schedule:   sched,
 		Recovery:   recInfo,
+		Lineage:    linReport,
 	}
 }
 
-// buildTrace snapshots all runtime counters into a Trace.
+// buildTrace snapshots all runtime counters into a Trace. Under a
+// lineage plan the trace reflects what actually happened: skipped
+// non-sink nodes are absent, replay nodes and skipped sinks appear as
+// source-like cache views whose only cost is the artifact fetch, dirty
+// nodes carry their commit tax in EndWork, and only edges that carried
+// data (into dirty consumers) remain.
 func (ex *Execution) buildTrace() *Trace {
 	tr := &Trace{Workflow: ex.wf.name}
 	for _, rt := range ex.rts {
+		if ex.lin != nil {
+			switch ex.lin.mode[rt.n.id] {
+			case lmSkip:
+				if rt.n.kind != kindSink {
+					continue
+				}
+				art := ex.lin.art[rt.n.id]
+				tr.Nodes = append(tr.Nodes, NodeTrace{
+					ID:             rt.n.id,
+					Name:           rt.n.name,
+					Kind:           rt.n.kind.String(),
+					Parallelism:    1,
+					InTuples:       int64(art.Table.Len()),
+					OutTuples:      int64(art.Table.Len()),
+					EmittedBatches: 1,
+					WorkByPort:     []cost.Work{{Mem: ex.lin.fetchSec[rt.n.id]}},
+				})
+				continue
+			case lmReplay:
+				nt := NodeTrace{
+					ID:             rt.n.id,
+					Name:           rt.n.name,
+					Kind:           rt.n.kind.String(),
+					Parallelism:    1,
+					OutTuples:      rt.outTuples.Load(),
+					EmittedBatches: rt.batches.Load(),
+					WorkByPort:     []cost.Work{{Mem: ex.lin.fetchSec[rt.n.id]}},
+				}
+				tr.Nodes = append(tr.Nodes, nt)
+				for i, e := range rt.n.outEdges {
+					if ex.lin.mode[e.to.id] != lmDirty {
+						continue
+					}
+					st := rt.edgeStats[i]
+					tr.Edges = append(tr.Edges, EdgeTrace{
+						From:    e.from.id,
+						To:      e.to.id,
+						Port:    e.port,
+						Batches: st.batches.Load(),
+						Tuples:  st.tuples.Load(),
+						Bytes:   st.bytes.Load(),
+					})
+				}
+				continue
+			}
+		}
 		byPort, end, open := rt.mergedWork()
+		if ex.lin != nil {
+			// Fold the artifact-commit tax into the node's close work.
+			end = end.Add(cost.Work{Mem: ex.lin.commitSec[rt.n.id]})
+		}
 		nt := NodeTrace{
 			ID:             rt.n.id,
 			Name:           rt.n.name,
@@ -680,6 +792,9 @@ func (ex *Execution) buildTrace() *Trace {
 		}
 		tr.Nodes = append(tr.Nodes, nt)
 		for i, e := range rt.n.outEdges {
+			if ex.lin != nil && ex.lin.mode[e.to.id] != lmDirty {
+				continue
+			}
 			st := rt.edgeStats[i]
 			tr.Edges = append(tr.Edges, EdgeTrace{
 				From:    e.from.id,

@@ -45,7 +45,8 @@ type node struct {
 	scanWork    cost.Work        // kindSource only, per tuple
 	srcSchema   *relation.Schema // kindSource only
 	parallelism int
-	batchSize   int // source batch size; 0 = workflow default / auto
+	batchSize   int    // source batch size; 0 = workflow default / auto
+	signature   string // user-visible parameters, folded into lineage fingerprints
 	inEdges     []*edge
 	outEdges    []*edge
 	schema      *relation.Schema // output schema, set by Validate
@@ -95,6 +96,14 @@ func WithParallelism(n int) NodeOpt {
 // WithBatchSize overrides the batch size a source emits.
 func WithBatchSize(n int) NodeOpt {
 	return func(nd *node) { nd.batchSize = n }
+}
+
+// WithSignature attaches a parameter signature to a node. The lineage
+// layer folds it into the node's fingerprint, so editing an operator's
+// configuration (a new signature) invalidates its cached artifact and
+// the dirty suffix below it.
+func WithSignature(sig string) NodeOpt {
+	return func(nd *node) { nd.signature = sig }
 }
 
 // WithScanWork overrides the per-tuple cost a source charges.

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lineage"
+	"repro/internal/relation"
+	"repro/internal/tasks/dice"
+	"repro/internal/tasks/kge"
+)
+
+// The lineage golden tests extend the determinism guarantee to the
+// edit-and-rerun loop: a task run against a persistent artifact store,
+// edited and re-run, must produce outputs bit-identical to a cold run
+// of the same edited pipeline — and the entire edit sequence must be
+// bit-reproducible (same SimSeconds, same digests) when repeated from a
+// fresh store. Incremental execution may only change how much work
+// re-runs, never what the pipeline computes.
+
+type editStep struct {
+	revs map[string]int
+}
+
+// runEditSequence executes an edit sequence for one task under one
+// paradigm against a fresh store, returning per-step (SimSeconds,
+// output digest) pairs alongside the cold reference digests.
+func runEditSequence(t *testing.T, name string, paradigm core.Paradigm, mk func() (core.Task, error), steps []editStep) (secs []float64, digests, coldDigests []uint64) {
+	t.Helper()
+	task, err := mk()
+	if err != nil {
+		t.Fatalf("%s: build task: %v", name, err)
+	}
+	ed, ok := task.(interface{ SetEdits(map[string]int) })
+	if !ok {
+		t.Fatalf("%s: task does not accept edits", name)
+	}
+	store, err := lineage.NewStore(nil, 0)
+	if err != nil {
+		t.Fatalf("%s: new store: %v", name, err)
+	}
+	for _, step := range steps {
+		ed.SetEdits(step.revs)
+		inc, err := task.Run(paradigm, core.RunConfig{Lineage: store})
+		if err != nil {
+			t.Fatalf("%s: incremental run: %v", name, err)
+		}
+		if inc.Lineage == nil {
+			t.Fatalf("%s: incremental run has no lineage report", name)
+		}
+		cold, err := task.Run(paradigm, core.RunConfig{})
+		if err != nil {
+			t.Fatalf("%s: cold run: %v", name, err)
+		}
+		secs = append(secs, inc.SimSeconds)
+		digests = append(digests, relation.Digest(inc.Output))
+		coldDigests = append(coldDigests, relation.Digest(cold.Output))
+	}
+	return secs, digests, coldDigests
+}
+
+func assertLineageGolden(t *testing.T, name string, mk func() (core.Task, error), steps []editStep) {
+	t.Helper()
+	for _, paradigm := range []core.Paradigm{core.Script, core.Workflow} {
+		s1, d1, cold := runEditSequence(t, name, paradigm, mk, steps)
+		s2, d2, _ := runEditSequence(t, name, paradigm, mk, steps)
+		for i := range steps {
+			if d1[i] != cold[i] {
+				t.Errorf("%s/%s step %d: incremental output %#x != cold output %#x",
+					name, paradigm, i, d1[i], cold[i])
+			}
+			if d1[i] != d2[i] {
+				t.Errorf("%s/%s step %d: output digests differ across sequence repeats: %#x vs %#x",
+					name, paradigm, i, d1[i], d2[i])
+			}
+			if s1[i] != s2[i] {
+				t.Errorf("%s/%s step %d: SimSeconds differ across sequence repeats: %v vs %v",
+					name, paradigm, i, s1[i], s2[i])
+			}
+		}
+	}
+}
+
+func TestGoldenDICELineageEditAndRerun(t *testing.T) {
+	assertLineageGolden(t, "dice", func() (core.Task, error) {
+		return dice.New(dice.Params{Pairs: 10, Seed: 1})
+	}, []editStep{
+		{revs: map[string]int{}},
+		{revs: map[string]int{"split": 1}},
+		{revs: map[string]int{"split": 1, "parse": 1}},
+		{revs: map[string]int{"split": 1, "parse": 1, "write": 1}},
+	})
+}
+
+func TestGoldenKGELineageEditAndRerun(t *testing.T) {
+	assertLineageGolden(t, "kge", func() (core.Task, error) {
+		return kge.New(kge.Params{Products: 340, Seed: 1})
+	}, []editStep{
+		{revs: map[string]int{}},
+		{revs: map[string]int{"compute-distance": 1}},
+		{revs: map[string]int{"compute-distance": 1, "embedding-join": 1}},
+		{revs: map[string]int{"compute-distance": 1, "embedding-join": 1, "rank-topk": 1}},
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/lineage"
 	"repro/internal/telemetry"
 
 	// The four task packages register themselves with the core task
@@ -35,15 +36,41 @@ func traceTask(name string, cfg Config) (core.Task, error) {
 // side by side in one Chrome trace. The recorder's virtual-clock data
 // is deterministic; wall-clock data varies run to run.
 func Trace(name string, cfg Config) (*telemetry.Recorder, error) {
+	return trace(name, cfg, false)
+}
+
+// TraceLineage is Trace with a versioned artifact store armed: each
+// paradigm runs twice against the same store, so the second pass's
+// cache hits, commits and invalidation events show up as lineage spans
+// and counters in the recorder.
+func TraceLineage(name string, cfg Config) (*telemetry.Recorder, error) {
+	return trace(name, cfg, true)
+}
+
+func trace(name string, cfg Config, withLineage bool) (*telemetry.Recorder, error) {
 	cfg = cfg.normalize()
 	task, err := traceTask(name, cfg)
 	if err != nil {
 		return nil, err
 	}
 	rec := telemetry.New()
-	rc, err := cfg.RunConfig.With(core.WithTelemetry(rec))
+	opts := []core.Option{core.WithTelemetry(rec)}
+	if withLineage {
+		store, err := lineage.NewStore(cfg.Model, 0)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithLineage(store))
+	}
+	rc, err := cfg.RunConfig.With(opts...)
 	if err != nil {
 		return nil, err
+	}
+	if withLineage {
+		// Populate pass: the runs that matter are the warm ones below.
+		if _, _, err := core.RunBoth(task, rc); err != nil {
+			return nil, err
+		}
 	}
 	s, w, err := core.RunBoth(task, rc)
 	if err != nil {

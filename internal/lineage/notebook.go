@@ -1,0 +1,84 @@
+package lineage
+
+import (
+	"fmt"
+
+	"repro/internal/notebook"
+	"repro/internal/telemetry"
+)
+
+// NotebookSpec describes a notebook run to the store.
+type NotebookSpec struct {
+	// Scope identifies the notebook build ("script:dice[...]"); it is
+	// part of every cell fingerprint.
+	Scope string
+	// Revs carries per-cell edit revisions: bumping Revs[cellName]
+	// models editing that cell's source in a semantics-preserving way.
+	Revs map[string]int
+}
+
+// RunNotebook executes a notebook top-down with cell-granularity reuse
+// under stateful-kernel semantics. Each cell's fingerprint chains the
+// previous cell's fingerprint (a Jupyter kernel is stateful: any
+// earlier change can affect any later cell, whether or not data flows
+// between them), so hits are always a prefix and an edit invalidates
+// the edited cell plus everything after it in cell order.
+//
+// Hit cells are replayed with charges suppressed — their closures still
+// run so the kernel state later cells read (variables, object-store
+// contents) is rebuilt, but no simulated time accrues beyond the store
+// fetch. Miss cells run normally and commit metadata-only artifacts:
+// the script paradigm's cache remembers *that* a cell ran and how long
+// it took, not a materialized table — the coarser reuse the paper
+// describes.
+func RunNotebook(s *Store, nb *notebook.Notebook, spec NotebookSpec, rec *telemetry.Recorder) (*RunReport, error) {
+	run := s.Begin(spec.Scope, rec)
+	cells := nb.Cells()
+	run.SetUnits(len(cells))
+	k := nb.Kernel()
+	if run.rep.Warm {
+		// The kernel from the previous iteration is still running; no
+		// fresh interpreter launch to pay for.
+		k.MarkWarm()
+	}
+	prev := uint64(NewHasher().Uint64(s.model.Digest()).String(spec.Scope).Sum())
+	dirty := false
+	for i, c := range cells {
+		fp := NewHasher().
+			Uint64(prev).
+			Int(i).
+			String(c.Name).
+			String(c.Source).
+			Int(spec.Revs[c.Name]).
+			Sum()
+		key := fmt.Sprintf("cell:%d:%s", i, c.Name)
+		if !dirty {
+			if a := run.Lookup(key, fp); a != nil {
+				fetch := run.Fetch(a)
+				if fetch > 0 {
+					k.ChargeSeconds(fetch)
+				}
+				if err := nb.ReplayCell(i); err != nil {
+					return run.Report(), err
+				}
+				prev = uint64(fp)
+				continue
+			}
+			// First miss: everything after is dirty by kernel order —
+			// later lookups would miss anyway (their chained fps moved),
+			// but skipping them keeps invalidation counts meaningful:
+			// only the frontier cell records the invalidation event.
+			dirty = true
+		} else {
+			// Count the downstream re-runs the suffix rule forces.
+			run.MissDownstream()
+		}
+		before := k.Elapsed()
+		if err := nb.RunCell(i); err != nil {
+			return run.Report(), err
+		}
+		run.CommitMeta(key, fp, k.Elapsed()-before)
+		prev = uint64(fp)
+	}
+	return run.Report(), nil
+}

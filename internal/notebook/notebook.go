@@ -24,6 +24,7 @@ type Kernel struct {
 	vars      map[string]any
 	execCount int
 	elapsed   float64
+	replaying bool
 	stack     []string
 	errStack  []string // stack captured at the deepest failing frame
 	history   []ExecutionRecord
@@ -79,8 +80,13 @@ func (k *Kernel) Defined(name string) bool {
 	return ok
 }
 
-// Charge adds CPU work (executed in Python) to the virtual clock.
+// Charge adds CPU work (executed in Python) to the virtual clock. A
+// replaying kernel (see Notebook.ReplayCell) suppresses the charge: the
+// cell's state transitions happen, its compute already did.
 func (k *Kernel) Charge(w cost.Work) {
+	if k.replaying {
+		return
+	}
 	k.elapsed += w.Seconds(cost.Python)
 }
 
@@ -90,7 +96,25 @@ func (k *Kernel) ChargeSeconds(s float64) {
 	if s < 0 {
 		panic("notebook: negative time charge")
 	}
+	if k.replaying {
+		return
+	}
 	k.elapsed += s
+}
+
+// Replaying reports whether the kernel is currently rebuilding state
+// from a lineage replay rather than executing fresh work. Cells with
+// side effects beyond the virtual clock (telemetry attachment, cluster
+// instrumentation) consult it to stay quiet during replays.
+func (k *Kernel) Replaying() bool { return k.replaying }
+
+// MarkWarm zeroes the start-up control overhead on a kernel that has
+// not yet executed a cell, modeling an iteration against an
+// already-running kernel instead of a fresh interpreter launch.
+func (k *Kernel) MarkWarm() {
+	if k.execCount == 0 {
+		k.elapsed = 0
+	}
 }
 
 // Elapsed returns the simulated seconds accumulated so far.
@@ -261,6 +285,31 @@ func (n *Notebook) RunCell(i int) error {
 		return cellErr
 	}
 	k.history = append(k.history, rec)
+	return nil
+}
+
+// ReplayCell re-executes the i-th cell with all time charges
+// suppressed, to rebuild kernel state (variables, object-store
+// contents) that downstream cells depend on when lineage has already
+// certified the cell's result. It does not advance the execution
+// counter, record history, or emit telemetry: from the outside the cell
+// was served from cache, not run.
+func (n *Notebook) ReplayCell(i int) error {
+	if i < 0 || i >= len(n.cells) {
+		return fmt.Errorf("notebook: no cell %d", i)
+	}
+	c := n.cells[i]
+	k := n.kernel
+	k.replaying = true
+	k.errStack = nil
+	defer func() { k.replaying = false }()
+	var err error
+	if c.Run != nil {
+		err = c.Run(k)
+	}
+	if err != nil {
+		return &CellError{Cell: c.Name, ExecCount: k.execCount, Stack: k.errStack, Err: err}
+	}
 	return nil
 }
 

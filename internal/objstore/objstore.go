@@ -103,8 +103,21 @@ func (s *Store) Size(id ID) int64 {
 
 // evictFor spills unpinned LRU objects until need bytes fit, returning
 // the simulated seconds spent spilling. It reports whether it
-// succeeded.
+// succeeded. When the request is unsatisfiable — pinned residents alone
+// leave less than need bytes of reclaimable headroom — it fails
+// up front without spilling anything, so an oversized put does not
+// pointlessly flush every unpinned bystander to disk on its way to the
+// spill path.
 func (s *Store) evictFor(need int64) (float64, bool) {
+	var pinned int64
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		if o := e.Value.(*object); o.pinned {
+			pinned += o.size
+		}
+	}
+	if pinned+need > s.capacity {
+		return 0, false
+	}
 	var secs float64
 	for s.used+need > s.capacity {
 		e := s.lru.Back()

@@ -1,0 +1,125 @@
+package objstore
+
+import "testing"
+
+// When every resident object is pinned, an over-budget put must go
+// straight to the spill path without evicting (there is nothing legal
+// to evict) and without error.
+func TestPutAllResidentsPinned(t *testing.T) {
+	s, err := New(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []ID{"a", "b"} {
+		if _, err := s.Put(id, 50); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Put("c", 10); err != nil {
+		t.Fatalf("put with all residents pinned: %v", err)
+	}
+	if !s.Spilled("c") {
+		t.Fatal("object c should have been created on the spill path")
+	}
+	if s.Spilled("a") || s.Spilled("b") {
+		t.Fatal("pinned residents must not be evicted")
+	}
+	if got := s.Stats().Spills; got != 0 {
+		t.Fatalf("no eviction should have happened, got %d spills", got)
+	}
+	if s.Used() != 100 {
+		t.Fatalf("used = %d, want 100", s.Used())
+	}
+}
+
+// An unsatisfiable request (pinned bytes + need > capacity) must fail
+// fast instead of first flushing every unpinned bystander to disk.
+func TestUnsatisfiableEvictionSparesBystanders(t *testing.T) {
+	s, err := New(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("pinned", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin("pinned"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("bystander", 30); err != nil {
+		t.Fatal(err)
+	}
+	// 60 pinned + 50 needed > 100: impossible even with "bystander" gone.
+	if _, err := s.Put("big", 50); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Spilled("big") {
+		t.Fatal("object big should have been created on the spill path")
+	}
+	if s.Spilled("bystander") {
+		t.Fatal("bystander was pointlessly evicted on an unsatisfiable request")
+	}
+	if got := s.Stats().Spills; got != 0 {
+		t.Fatalf("want 0 spill evictions, got %d", got)
+	}
+}
+
+// Same edge case on the read side: restoring a spilled object that can
+// never fit must serve from disk without evicting residents.
+func TestUnsatisfiableRestoreSparesResidents(t *testing.T) {
+	s, err := New(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("huge", 200); err != nil { // lands spilled
+		t.Fatal(err)
+	}
+	if _, err := s.Put("resident", 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("huge"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Spilled("resident") {
+		t.Fatal("resident was evicted for an unrestorable object")
+	}
+	if s.Spilled("huge") != true {
+		t.Fatal("huge cannot be restored into a 100-byte store")
+	}
+	if got := s.Stats().Restores; got != 0 {
+		t.Fatalf("want 0 restores, got %d", got)
+	}
+}
+
+// Delete of a pinned, resident entry must release its memory and LRU
+// slot; a pin protects against eviction, not against explicit deletion.
+func TestDeletePinnedEntry(t *testing.T) {
+	s, err := New(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("a", 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatalf("delete of pinned entry: %v", err)
+	}
+	if s.Contains("a") {
+		t.Fatal("deleted object still present")
+	}
+	if s.Used() != 0 {
+		t.Fatalf("used = %d after delete, want 0", s.Used())
+	}
+	// The freed space must be reusable in memory.
+	if _, err := s.Put("b", 90); err != nil {
+		t.Fatal(err)
+	}
+	if s.Spilled("b") {
+		t.Fatal("store did not reclaim the deleted pinned entry's space")
+	}
+}

@@ -1,0 +1,41 @@
+package relation
+
+// FNV-1a primitives shared by Digest and by the lineage fingerprint
+// layer. Exporting the constants (rather than each caller re-declaring
+// them) keeps every content hash in the repo on the same function, so a
+// table digest folded into a lineage fingerprint mixes consistently.
+
+const (
+	// FNVOffset64 is the FNV-1a 64-bit offset basis.
+	FNVOffset64 uint64 = 14695981039346269563
+	// FNVPrime64 is the FNV-1a 64-bit prime.
+	FNVPrime64 uint64 = 1099511628211
+)
+
+// FNVMix folds b into the running FNV-1a hash h.
+func FNVMix(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= FNVPrime64
+	}
+	return h
+}
+
+// FNVMixString folds s into h without allocating.
+func FNVMixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= FNVPrime64
+	}
+	return h
+}
+
+// FNVMixUint64 folds v into h byte by byte, little-endian.
+func FNVMixUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= FNVPrime64
+		v >>= 8
+	}
+	return h
+}

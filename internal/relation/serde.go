@@ -175,18 +175,7 @@ func EncodeTable(t *Table) ([]byte, error) {
 // compare across runs. It uses a pooled encoder, so digesting does not
 // allocate per row.
 func Digest(t *Table) uint64 {
-	const (
-		offset64 = 14695981039346269563
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(b []byte) {
-		for _, c := range b {
-			h ^= uint64(c)
-			h *= prime64
-		}
-	}
-	mix([]byte(t.Schema().String()))
+	h := FNVMixString(FNVOffset64, t.Schema().String())
 	enc := GetEncoder()
 	defer enc.Release()
 	for _, r := range t.Rows() {
@@ -194,10 +183,10 @@ func Digest(t *Table) uint64 {
 		if err != nil {
 			// Unencodable values cannot occur in schema-conformant
 			// tables; fold the error text so the digest still reflects it.
-			mix([]byte(err.Error()))
+			h = FNVMixString(h, err.Error())
 			continue
 		}
-		mix(b)
+		h = FNVMix(h, b)
 	}
 	return h
 }

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// IterationTable renders the iterate experiment: per edit step and
+// task, the cold and incremental makespans under both paradigms, the
+// reuse ratios, and the artifact bytes served from the store. The
+// asymmetry the experiment demonstrates reads off the reuse columns:
+// the workflow caches at operator granularity, the script only at cell
+// granularity with suffix invalidation.
+func IterationTable(w io.Writer, points []experiments.IteratePoint, chart bool) {
+	rows := [][]string{{
+		"task", "step", "edited stage",
+		"script cold", "script inc", "reuse",
+		"wflow cold", "wflow inc", "reuse",
+		"hit MB", "outputs ok",
+	}}
+	series := map[string][]Point{}
+	for _, p := range points {
+		stage := p.Stage
+		if stage == "" {
+			stage = "(initial build)"
+		}
+		rows = append(rows, []string{
+			p.Task, fmt.Sprint(p.Step), stage,
+			Secs(p.ScriptCold), Secs(p.ScriptInc),
+			fmt.Sprintf("%d/%d", p.ScriptReused, p.ScriptUnits),
+			Secs(p.WorkflowCold), Secs(p.WorkflowInc),
+			fmt.Sprintf("%d/%d", p.WorkflowReused, p.WorkflowUnits),
+			fmt.Sprintf("%.2f", float64(p.WorkflowHitBytes)/(1<<20)),
+			fmt.Sprint(p.OutputsMatch),
+		})
+		series["script inc/cold"] = append(series["script inc/cold"],
+			Point{X: float64(p.Step), Y: ratio(p.ScriptInc, p.ScriptCold)})
+		series["workflow inc/cold"] = append(series["workflow inc/cold"],
+			Point{X: float64(p.Step), Y: ratio(p.WorkflowInc, p.WorkflowCold)})
+	}
+	Table(w, rows)
+	if chart {
+		Chart(w, "incremental/cold makespan ratio vs edit step (all tasks)", []Series{
+			{Name: "script (cell suffix reuse)", Points: series["script inc/cold"]},
+			{Name: "workflow (operator reuse)", Points: series["workflow inc/cold"]},
+		}, 48, 10)
+	}
+}
+
+// ratio returns inc/cold, guarding a zero denominator.
+func ratio(inc, cold float64) float64 {
+	if cold <= 0 {
+		return 0
+	}
+	return inc / cold
+}

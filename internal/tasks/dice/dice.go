@@ -36,7 +36,24 @@ type Params struct {
 type Task struct {
 	params Params
 	cases  []datagen.ClinicalCase
+	// edits carries per-stage revision counters modeling
+	// semantics-preserving re-parameterizations of the pipeline (the
+	// iterate workload). A bumped rev changes the stage's lineage
+	// signature without changing its output.
+	edits map[string]int
 }
+
+// SetEdits installs per-stage edit revisions (stage names: parse,
+// split, write). The map is copied.
+func (t *Task) SetEdits(m map[string]int) {
+	t.edits = make(map[string]int, len(m))
+	for k, v := range m {
+		t.edits[k] = v
+	}
+}
+
+// rev returns the current edit revision of a stage.
+func (t *Task) rev(stage string) int { return t.edits[stage] }
 
 // The registry entry makes the task runnable by name from the CLI and
 // the experiment harness; the default size is the paper's full scale.

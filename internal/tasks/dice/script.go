@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/datagen"
+	"repro/internal/lineage"
 	"repro/internal/notebook"
 	"repro/internal/raysim"
 	"repro/internal/sim"
@@ -194,7 +195,11 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 				nChunks = len(t.cases)
 			}
 			job := ray.NewJob()
-			job.SetTelemetry(cfg.Telemetry, "script:dice")
+			if !k.Replaying() {
+				// A replayed cell rebuilds chunkRecords but must not
+				// re-emit spans for work that was served from cache.
+				job.SetTelemetry(cfg.Telemetry, "script:dice")
+			}
 			job.SetFaults(cfg.Faults)
 			chunkRecords = make([][]Record, nChunks)
 			for ci := 0; ci < nChunks; ci++ {
@@ -253,7 +258,20 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		return nil
 	}})
 
-	if err := nb.RunAll(); err != nil {
+	var linRep *lineage.RunReport
+	if cfg.Lineage != nil {
+		scope := fmt.Sprintf("script:dice[pairs=%d,seed=%d,workers=%d]", t.params.Pairs, t.params.Seed, cfg.Workers)
+		linRep, err = lineage.RunNotebook(cfg.Lineage, nb, lineage.NotebookSpec{
+			Scope: scope,
+			Revs: map[string]int{
+				"wrangle_chunks":  t.rev("parse") + t.rev("split"),
+				"aggregate_write": t.rev("write"),
+			},
+		}, cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := nb.RunAll(); err != nil {
 		return nil, err
 	}
 	return &core.Result{
@@ -271,6 +289,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			RestoreSeconds:     recovery.ExtraCostSeconds,
 			ReconstructedBytes: ray.Store().Stats().ReconstructedBytes,
 		},
+		Lineage: linRep,
 	}, nil
 }
 

@@ -142,7 +142,8 @@ func (t *Task) buildWorkflow(workers int) *dataflow.Workflow {
 		lines := strings.Count(r.MustStr(1), "\n")
 		return workParse.Scale(float64(lines))
 	}
-	parseID := w.Op(parse, dataflow.WithParallelism(workers))
+	parseID := w.Op(parse, dataflow.WithParallelism(workers),
+		dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("parse"))))
 	w.Connect(annSrc, parseID, 0, dataflow.RoundRobin())
 
 	// Entity and event extraction (selective maps).
@@ -230,7 +231,8 @@ func (t *Task) buildWorkflow(workers int) *dataflow.Workflow {
 		n := len(textproc.SplitSentences(r.MustStr(1)))
 		return workSplit.Scale(float64(n))
 	}
-	splitID := w.Op(split, dataflow.WithParallelism(workers))
+	splitID := w.Op(split, dataflow.WithParallelism(workers),
+		dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("split"))))
 	w.Connect(textSrc, splitID, 0, dataflow.RoundRobin())
 
 	// Link events to their sentence: join on case, then keep the
@@ -255,7 +257,8 @@ func (t *Task) buildWorkflow(workers int) *dataflow.Workflow {
 		return []relation.Tuple{{r.MustStr(0), r.MustStr(1), r.MustStr(2), r.MustStr(7), r.MustStr(4), r.MustStr(8)}}, nil
 	})
 	shapeOut.Work = workWrite
-	shapeOutID := w.Op(shapeOut, dataflow.WithParallelism(workers))
+	shapeOutID := w.Op(shapeOut, dataflow.WithParallelism(workers),
+		dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("write"))))
 	w.Connect(containID, shapeOutID, 0, dataflow.RoundRobin())
 
 	sink := w.Sink("maccrobat-ee")
@@ -293,7 +296,12 @@ func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Re
 		return nil, err
 	}
 	w := t.buildWorkflow(cfg.Workers)
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, BatchSize: batchSize, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults})
+	res, err := w.Run(context.Background(), dataflow.Config{
+		Model: cfg.Model, BatchSize: batchSize, Cluster: cluster.Paper(),
+		Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Lineage:      cfg.Lineage,
+		LineageScope: fmt.Sprintf("workflow:dice[pairs=%d,seed=%d,workers=%d]", t.params.Pairs, t.params.Seed, cfg.Workers),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -315,6 +323,7 @@ func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Re
 		ParallelProcs: cfg.Workers,
 		Output:        RecordsToTable(recs),
 		Recovery:      res.Recovery.Totals(),
+		Lineage:       res.Lineage,
 	}, nil
 }
 

@@ -39,7 +39,22 @@ type Task struct {
 	params   Params
 	passages []datagen.Passage
 	model    *genqa.Model
+	// edits carries per-stage revision counters modeling
+	// semantics-preserving re-parameterizations (the iterate workload).
+	edits map[string]int
 }
+
+// SetEdits installs per-stage edit revisions (stage names: prompts,
+// evaluate). The map is copied.
+func (t *Task) SetEdits(m map[string]int) {
+	t.edits = make(map[string]int, len(m))
+	for k, v := range m {
+		t.edits[k] = v
+	}
+}
+
+// rev returns the current edit revision of a stage.
+func (t *Task) rev(stage string) int { return t.edits[stage] }
 
 // The registry entry makes the task runnable by name from the CLI and
 // the experiment harness; the default size is the paper's full scale.

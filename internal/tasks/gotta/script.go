@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/lineage"
 	"repro/internal/notebook"
 	"repro/internal/objstore"
 	"repro/internal/raysim"
@@ -99,7 +100,11 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb.Add(&notebook.Cell{Name: "inference", Source: srcInference, Run: func(k *notebook.Kernel) error {
 		return k.Call("run_batch", func() error {
 			job := ray.NewJob()
-			job.SetTelemetry(cfg.Telemetry, "script:gotta")
+			if !k.Replaying() {
+				// A replayed cell rebuilds the answers but must not
+				// re-emit spans for work that was served from cache.
+				job.SetTelemetry(cfg.Telemetry, "script:gotta")
+			}
 			job.SetFaults(cfg.Faults)
 			for _, p := range t.passages {
 				job.Submit(raysim.TaskSpec{
@@ -132,7 +137,21 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		return nil
 	}})
 
-	if err := nb.RunAll(); err != nil {
+	var linRep *lineage.RunReport
+	if cfg.Lineage != nil {
+		scope := fmt.Sprintf("script:gotta[paragraphs=%d,sentences=%d,seed=%d,workers=%d]",
+			t.params.Paragraphs, t.params.SentencesPer, t.params.Seed, cfg.Workers)
+		linRep, err = lineage.RunNotebook(cfg.Lineage, nb, lineage.NotebookSpec{
+			Scope: scope,
+			Revs: map[string]int{
+				"build_prompts": t.rev("prompts"),
+				"evaluate":      t.rev("evaluate"),
+			},
+		}, cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := nb.RunAll(); err != nil {
 		return nil, err
 	}
 	if len(answers) == 0 {
@@ -154,5 +173,6 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			RestoreSeconds:     recovery.ExtraCostSeconds,
 			ReconstructedBytes: ray.Store().Stats().ReconstructedBytes,
 		},
+		Lineage: linRep,
 	}, nil
 }

@@ -154,7 +154,8 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	prompts.ExtraWork = func(relation.Tuple) cost.Work {
 		return workPrompt.Scale(float64(t.params.SentencesPer))
 	}
-	promptsID := w.Op(prompts) // prompt building is a serial stage
+	promptsID := w.Op(prompts, // prompt building is a serial stage
+		dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("prompts"))))
 	w.Connect(src, promptsID, 0, dataflow.RoundRobin())
 
 	speedup := cost.TorchSpeedup(cfg.Model.TorchCoresTexera)
@@ -171,13 +172,19 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		return []relation.Tuple{{r.MustStr(0), r.MustInt(1), r.MustStr(2), gold, pred, genqa.ExactMatch(pred, gold)}}, nil
 	})
 	eval.Work = workEval
-	evalID := w.Op(eval, dataflow.WithParallelism(cfg.Workers))
+	evalID := w.Op(eval, dataflow.WithParallelism(cfg.Workers),
+		dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("evaluate"))))
 	w.Connect(inferID, evalID, 0, dataflow.RoundRobin())
 
 	sink := w.Sink("answers")
 	w.Connect(evalID, sink, 0, dataflow.RoundRobin())
 
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults})
+	res, err := w.Run(context.Background(), dataflow.Config{
+		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Lineage: cfg.Lineage,
+		LineageScope: fmt.Sprintf("workflow:gotta[paragraphs=%d,sentences=%d,seed=%d,workers=%d]",
+			t.params.Paragraphs, t.params.SentencesPer, t.params.Seed, cfg.Workers),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +208,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		ParallelProcs: cfg.Workers,
 		Output:        AnswersToTable(answers),
 		Quality:       quality(answers),
+		Lineage:       res.Lineage,
 	}, nil
 }
 

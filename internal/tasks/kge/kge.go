@@ -61,7 +61,24 @@ type Task struct {
 	user   string
 	relVec []float64 // "buys" relation embedding
 	userV  []float64 // target user embedding
+	// edits carries per-stage revision counters modeling
+	// semantics-preserving re-parameterizations (the iterate workload);
+	// stage names are the Figure 7 stageNames values.
+	edits map[string]int
 }
+
+// SetEdits installs per-stage edit revisions (stage names:
+// filter-instock, embedding-join, compute-delta, compute-distance,
+// rank-topk, reverse-lookup). The map is copied.
+func (t *Task) SetEdits(m map[string]int) {
+	t.edits = make(map[string]int, len(m))
+	for k, v := range m {
+		t.edits[k] = v
+	}
+}
+
+// rev returns the current edit revision of a stage.
+func (t *Task) rev(stage string) int { return t.edits[stage] }
 
 // embedding dimensionality of the synthetic pre-trained model.
 const embDim = 16

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/lineage"
 	"repro/internal/notebook"
 	"repro/internal/objstore"
 	"repro/internal/raysim"
@@ -116,7 +117,11 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 				return fmt.Errorf("kge: no in-stock candidates")
 			}
 			job := ray.NewJob()
-			job.SetTelemetry(cfg.Telemetry, "script:kge")
+			if !k.Replaying() {
+				// A replayed cell rebuilds the scored rows but must not
+				// re-emit spans for work that was served from cache.
+				job.SetTelemetry(cfg.Telemetry, "script:kge")
+			}
 			job.SetFaults(cfg.Faults)
 			for ci := 0; ci < nChunks; ci++ {
 				n := 0
@@ -166,7 +171,22 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		return nil
 	}})
 
-	if err := nb.RunAll(); err != nil {
+	var linRep *lineage.RunReport
+	if cfg.Lineage != nil {
+		scope := fmt.Sprintf("script:kge[products=%d,seed=%d,workers=%d]", t.params.Products, t.params.Seed, cfg.Workers)
+		linRep, err = lineage.RunNotebook(cfg.Lineage, nb, lineage.NotebookSpec{
+			Scope: scope,
+			Revs: map[string]int{
+				"filter_candidates": t.rev("filter-instock"),
+				"score_chunks":      t.rev("embedding-join") + t.rev("compute-delta") + t.rev("compute-distance"),
+				"rank":              t.rev("rank-topk"),
+				"reverse_lookup":    t.rev("reverse-lookup"),
+			},
+		}, cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := nb.RunAll(); err != nil {
 		return nil, err
 	}
 	return &core.Result{
@@ -185,6 +205,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			ReconstructedBytes: ray.Store().Stats().ReconstructedBytes,
 		},
 		Quality: t.quality(recs),
+		Lineage: linRep,
 	}, nil
 }
 

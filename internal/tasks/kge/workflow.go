@@ -330,6 +330,16 @@ func (t *Task) buildWorkflow(workers int) (*dataflow.Workflow, error) {
 	prev := src
 
 	layout := variantStages(t.params.Variant.Ops)
+	// A fused operator's lineage signature sums its member stages' edit
+	// revisions: editing any fused-in stage re-parameterizes the whole
+	// operator, which is exactly the reuse granularity the GUI exposes.
+	sigFor := func(stages []stage) dataflow.NodeOpt {
+		sum := 0
+		for _, s := range stages {
+			sum += t.rev(stageNames[s])
+		}
+		return dataflow.WithSignature(fmt.Sprintf("rev=%d", sum))
+	}
 	in := schemaBase
 	for _, stages := range layout {
 		last := stages[len(stages)-1]
@@ -359,7 +369,7 @@ func (t *Task) buildWorkflow(workers int) (*dataflow.Workflow, error) {
 			}
 			withFilter := len(stages) > 1
 			for _, op := range t.scalaJoinChain(withFilter) {
-				id := w.Op(op, dataflow.WithParallelism(workers))
+				id := w.Op(op, dataflow.WithParallelism(workers), sigFor(stages))
 				w.Connect(prev, id, 0, dataflow.RoundRobin())
 				prev = id
 			}
@@ -382,7 +392,7 @@ func (t *Task) buildWorkflow(workers int) (*dataflow.Workflow, error) {
 		if hasRank || hasReverse {
 			par = 1 // global sort and ordered output
 		}
-		id := w.Op(op, dataflow.WithParallelism(par))
+		id := w.Op(op, dataflow.WithParallelism(par), sigFor(stages))
 		w.Connect(prev, id, 0, dataflow.RoundRobin())
 		prev = id
 		in = out
@@ -399,7 +409,12 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults})
+	res, err := w.Run(context.Background(), dataflow.Config{
+		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Lineage: cfg.Lineage,
+		LineageScope: fmt.Sprintf("workflow:kge[products=%d,seed=%d,workers=%d,ops=%d,scala=%t]",
+			t.params.Products, t.params.Seed, cfg.Workers, t.params.Variant.Ops, t.params.Variant.ScalaJoin),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -421,5 +436,6 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		ParallelProcs: cfg.Workers,
 		Output:        RecommendationsToTable(recs),
 		Quality:       t.quality(recs),
+		Lineage:       res.Lineage,
 	}, nil
 }

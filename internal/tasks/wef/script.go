@@ -1,8 +1,11 @@
 package wef
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/lineage"
 	"repro/internal/ml/textclf"
 	"repro/internal/notebook"
 	"repro/internal/relation"
@@ -106,7 +109,21 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		return nil
 	}})
 
-	if err := nb.RunAll(); err != nil {
+	var linRep *lineage.RunReport
+	if cfg.Lineage != nil {
+		scope := fmt.Sprintf("script:wef[tweets=%d,epochs=%d,seed=%d]", t.params.Tweets, t.params.Epochs, t.params.Seed)
+		var err error
+		linRep, err = lineage.RunNotebook(cfg.Lineage, nb, lineage.NotebookSpec{
+			Scope: scope,
+			Revs: map[string]int{
+				"train_models":   t.rev("train"),
+				"evaluate_write": t.rev("shape"),
+			},
+		}, cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := nb.RunAll(); err != nil {
 		return nil, err
 	}
 	return &core.Result{
@@ -118,5 +135,6 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		ParallelProcs: 1,
 		Output:        out,
 		Quality:       quality,
+		Lineage:       linRep,
 	}, nil
 }

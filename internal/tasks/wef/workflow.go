@@ -162,7 +162,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		id := w.Op(op)
+		id := w.Op(op, dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("train"))))
 		w.Connect(prev, id, 0, dataflow.RoundRobin())
 		prev = id
 		schema = op.out
@@ -171,12 +171,16 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		return []relation.Tuple{{r.MustInt(0), r.MustBool(6), r.MustBool(7), r.MustBool(8), r.MustBool(9)}}, nil
 	})
 	shape.Work = cost.Work{Interp: 0.5e-3}
-	shapeID := w.Op(shape)
+	shapeID := w.Op(shape, dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("shape"))))
 	w.Connect(prev, shapeID, 0, dataflow.RoundRobin())
 	sink := w.Sink("predictions")
 	w.Connect(shapeID, sink, 0, dataflow.RoundRobin())
 
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults})
+	res, err := w.Run(context.Background(), dataflow.Config{
+		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Lineage:      cfg.Lineage,
+		LineageScope: fmt.Sprintf("workflow:wef[tweets=%d,epochs=%d,seed=%d]", t.params.Tweets, t.params.Epochs, t.params.Seed),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +225,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		ParallelProcs: 1,
 		Output:        out,
 		Quality:       quality,
+		Lineage:       res.Lineage,
 	}, nil
 }
 

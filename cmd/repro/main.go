@@ -15,6 +15,8 @@
 //	repro -metrics            # print the telemetry summary + metrics dump
 //	repro -faults 4           # arm deterministic fault injection (4 kills
 //	                          # per 100 sim-seconds) for every run
+//	repro -validate           # statically validate every task's workflow
+//	                          # DAG without executing; exit 1 on findings
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		traceWall  = flag.Bool("trace-wall", false, "include non-deterministic wall-clock spans in the trace and metrics")
 		faultRate  = flag.Float64("faults", 0, "fault rate in kills per 100 simulated seconds; arms deterministic fault injection (and workflow checkpointing) for every run")
 		lineageOn  = flag.Bool("lineage", false, "with -trace/-metrics: arm the versioned artifact store and run each paradigm twice, so cache hits and commits appear in the trace")
+		validate   = flag.Bool("validate", false, "statically validate every task's workflow DAG (cycles, arity, schemas, partitioning, checkpoints) without executing; exit 1 if any diagnostic fires")
 	)
 	flag.Parse()
 
@@ -72,6 +75,23 @@ func main() {
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *validate {
+		cfg, err := mkCfg()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ok, err := runValidate(cfg, *jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -156,6 +176,43 @@ func runTrace(task, traceOut string, metrics, wall, lineageOn bool, cfg experime
 		return rec.WriteMetrics(os.Stdout, wall)
 	}
 	return nil
+}
+
+// runValidate statically checks every task's workflow DAG and prints
+// per-task operator/edge counts plus any diagnostics. It returns false
+// when a plan has findings.
+func runValidate(cfg experiments.Config, jsonOut bool) (bool, error) {
+	reports, err := experiments.ValidatePlans(cfg)
+	if err != nil {
+		return false, err
+	}
+	total := 0
+	for _, r := range reports {
+		total += len(r.Diags)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return false, err
+		}
+		return total == 0, nil
+	}
+	out := [][]string{{"task", "workers", "operators", "edges", "diagnostics"}}
+	for _, r := range reports {
+		out = append(out, []string{
+			r.Task, strconv.Itoa(r.Workers), strconv.Itoa(r.Operators),
+			strconv.Itoa(r.Edges), strconv.Itoa(len(r.Diags)),
+		})
+	}
+	report.Table(os.Stdout, out)
+	for _, r := range reports {
+		for _, d := range r.Diags {
+			fmt.Printf("%s: %s\n", r.Task, d)
+		}
+	}
+	fmt.Printf("plan validation: %d tasks, %d diagnostics\n", len(reports), total)
+	return total == 0, nil
 }
 
 // runBench executes the wall-clock harness and writes its report.

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/cost"
@@ -78,7 +79,13 @@ func main() {
 	}
 	printProgress(ex)
 
-	for name, tbl := range res.Tables {
+	sinkNames := make([]string, 0, len(res.Tables))
+	for name := range res.Tables {
+		sinkNames = append(sinkNames, name)
+	}
+	sort.Strings(sinkNames)
+	for _, name := range sinkNames {
+		tbl := res.Tables[name]
 		fmt.Printf("\nsink %q (%d rows, schema: %s):\n", name, tbl.Len(), tbl.Schema())
 		rows := [][]string{}
 		header := []string{}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Escape-comment grammar:
+//
+//	//lint:allow <rule> [reason...]
+//
+// The comment suppresses findings of <rule> on its own line (trailing
+// form) and on the line immediately below (preceding form). The reason
+// is free text; by convention it says why the hazard is intentional.
+
+// allowSet records, per file, which (line, rule) pairs are suppressed.
+type allowSet map[int]map[string]bool
+
+// allowsOf scans a file's comments for escape comments.
+func allowsOf(fset *token.FileSet, f *ast.File) allowSet {
+	set := make(allowSet)
+	add := func(line int, rule string) {
+		if set[line] == nil {
+			set[line] = make(map[string]bool)
+		}
+		set[line][rule] = true
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+			rest, ok := strings.CutPrefix(text, "lint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			add(line, fields[0])
+			add(line+1, fields[0])
+		}
+	}
+	return set
+}
+
+// allowed reports whether a finding at pos for rule is suppressed.
+func (a allowSet) allowed(fset *token.FileSet, pos token.Pos, rule string) bool {
+	return a[fset.Position(pos).Line][rule]
+}

@@ -1,0 +1,47 @@
+// Fixture for the errdrop rule: hot-path code may not discard error
+// returns silently.
+package fixture
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func fallibleValue() (int, error) { return 0, errors.New("boom") }
+
+type res struct{}
+
+func (res) Close() error { return nil }
+
+// DropStmt discards the error entirely.
+func DropStmt() {
+	fallible() // want errdrop
+}
+
+// DropBlank assigns the error to the blank identifier.
+func DropBlank() {
+	_ = fallible() // want errdrop
+}
+
+// DropTuple discards the tuple's error half.
+func DropTuple() int {
+	v, _ := fallibleValue() // want errdrop
+	return v
+}
+
+// Handled propagates both forms.
+func Handled() (int, error) {
+	if err := fallible(); err != nil {
+		return 0, err
+	}
+	return fallibleValue()
+}
+
+// DeferClose is exempt: the deferred-Close idiom.
+func DeferClose(r res) {
+	defer r.Close()
+}
+
+// Acknowledged discards deliberately with an escape comment.
+func Acknowledged() {
+	_ = fallible() //lint:allow errdrop fixture: best-effort cleanup
+}

@@ -1,0 +1,43 @@
+// Fixture for the goroutine rule: launches in deterministic engine
+// packages must join through a barrier in the same function.
+package fixture
+
+import "sync"
+
+// FireAndForget launches with no barrier anywhere in the function.
+func FireAndForget(work func()) {
+	go work() // want goroutine
+}
+
+// TwoLoose launches twice with no barrier; both are flagged.
+func TwoLoose(work func()) {
+	go work() // want goroutine
+	go work() // want goroutine
+}
+
+// Joined launches under a WaitGroup barrier.
+func Joined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Signalled closes a completion channel the caller blocks on — the
+// executor's done-channel pattern.
+func Signalled(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// Allowed is acknowledged with an escape comment.
+func Allowed(work func()) {
+	go work() //lint:allow goroutine fixture: detached by design
+}

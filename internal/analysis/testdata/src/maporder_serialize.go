@@ -1,0 +1,29 @@
+// Fixture: map iteration order reaching serialized output directly.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DumpUnsorted writes entries in map iteration order — every run
+// serializes different bytes.
+func DumpUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maporder
+	}
+}
+
+// DumpSorted iterates sorted keys; the inner append is redeemed by the
+// sort before any byte is written.
+func DumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,10 @@
+// Fixture for the rand rule: math/rand draws from process-global,
+// seed-uncontrolled state; deterministic code uses xrand.
+package fixture
+
+import "math/rand" // want rand
+
+// Roll is nondeterministic across runs.
+func Roll() int {
+	return rand.Intn(6)
+}

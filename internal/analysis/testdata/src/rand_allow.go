@@ -1,0 +1,9 @@
+// Fixture: an acknowledged math/rand import passes.
+package fixture
+
+import "math/rand" //lint:allow rand fixture: non-reproducible demo only
+
+// Shuffle is acknowledged as nondeterministic.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,32 @@
+// Fixture for the wallclock rule: host-clock reads must go through
+// the telemetry shim. Parsed by the lint tests; never compiled into
+// the module.
+package fixture
+
+import "time"
+
+// Epoch reads the host clock directly — the hazard.
+func Epoch() time.Time {
+	return time.Now() // want wallclock
+}
+
+// Elapsed derives a duration from the host clock — same hazard.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock
+}
+
+// Deadline reads the clock through Until.
+func Deadline(t0 time.Time) time.Duration {
+	return time.Until(t0) // want wallclock
+}
+
+// Shimmed is the sanctioned form: the read carries an escape comment,
+// as the real shim in internal/telemetry/wallclock.go does.
+func Shimmed() time.Time {
+	return time.Now() //lint:allow wallclock fixture shim
+}
+
+// Derived arithmetic on caller-supplied times is fine.
+func Derived(t0 time.Time) time.Time {
+	return t0.Add(3 * time.Second)
+}

@@ -1,0 +1,9 @@
+// Fixture: the wallclock rule sees through import aliasing.
+package fixture
+
+import clock "time"
+
+// AliasedNow hides the read behind an alias.
+func AliasedNow() clock.Time {
+	return clock.Now() // want wallclock
+}

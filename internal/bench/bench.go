@@ -64,9 +64,9 @@ func measure(name string, inner int, f func()) Micro {
 		ops     int
 	)
 	for elapsed < 100*time.Millisecond {
-		start := time.Now()
+		start := telemetry.WallClock()
 		f()
-		elapsed += time.Since(start)
+		elapsed += telemetry.WallSince(start)
 		ops += inner
 	}
 	return Micro{Name: name, NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops), AllocsPerOp: allocs}
@@ -243,12 +243,12 @@ func macros(seed uint64) ([]Macro, error) {
 	var out []Macro
 	run := func(task core.Task, experiment string, size int) error {
 		timeOnce := func(cfg core.RunConfig) (float64, float64, error) {
-			start := time.Now()
+			start := telemetry.WallClock()
 			res, err := task.Run(core.Workflow, cfg)
 			if err != nil {
 				return 0, 0, err
 			}
-			return float64(time.Since(start).Microseconds()) / 1000, res.SimSeconds, nil
+			return float64(telemetry.WallSince(start).Microseconds()) / 1000, res.SimSeconds, nil
 		}
 		instrCfg := func() core.RunConfig { return core.MustRunConfig(core.WithTelemetry(telemetry.New())) }
 		// Warm both variants (first runs pay one-time costs: page faults,
@@ -347,12 +347,12 @@ func lineageMacros(seed uint64) ([]Macro, error) {
 		return nil, err
 	}
 	timeOnce := func(cfg core.RunConfig) (float64, float64, error) {
-		start := time.Now()
+		start := telemetry.WallClock()
 		res, err := task.Run(core.Workflow, cfg)
 		if err != nil {
 			return 0, 0, err
 		}
-		return float64(time.Since(start).Microseconds()) / 1000, res.SimSeconds, nil
+		return float64(telemetry.WallSince(start).Microseconds()) / 1000, res.SimSeconds, nil
 	}
 	cold, warm := -1.0, -1.0
 	var coldSim, warmSim float64

@@ -172,15 +172,15 @@ func (ex *Execution) recordTelemetry(jobs []sim.Job, sched *sim.Result) {
 	// Deterministic data-volume counters, per node and per edge.
 	for _, rt := range ex.rts {
 		node := prefix + "node." + rt.n.name + "."
-		reg.Counter(node + "in_tuples").Add(0, rt.inTuples.Load())
-		reg.Counter(node + "out_tuples").Add(0, rt.outTuples.Load())
-		reg.Counter(node + "batches").Add(0, rt.batches.Load())
+		reg.Counter(node+"in_tuples").Add(0, rt.inTuples.Load())
+		reg.Counter(node+"out_tuples").Add(0, rt.outTuples.Load())
+		reg.Counter(node+"batches").Add(0, rt.batches.Load())
 		for i, e := range rt.n.outEdges {
 			st := rt.edgeStats[i]
 			edge := fmt.Sprintf("%sedge.%s->%s.p%d.", prefix, e.from.name, e.to.name, e.port)
-			reg.Counter(edge + "batches").Add(0, st.batches.Load())
-			reg.Counter(edge + "tuples").Add(0, st.tuples.Load())
-			reg.Counter(edge + "bytes").Add(0, st.bytes.Load())
+			reg.Counter(edge+"batches").Add(0, st.batches.Load())
+			reg.Counter(edge+"tuples").Add(0, st.tuples.Load())
+			reg.Counter(edge+"bytes").Add(0, st.bytes.Load())
 		}
 	}
 
@@ -225,9 +225,9 @@ func (ex *Execution) recordRecovery(info *RecoveryInfo) {
 	}
 	prefix := "wf." + ex.wf.name + ".recovery."
 	reg := tel.rec.Metrics
-	reg.Counter(prefix + "checkpoints").Add(0, int64(info.Checkpoints))
-	reg.Counter(prefix + "checkpoint_bytes").Add(0, info.CheckpointBytes)
-	reg.Counter(prefix + "kills").Add(0, int64(info.Kills))
+	reg.Counter(prefix+"checkpoints").Add(0, int64(info.Checkpoints))
+	reg.Counter(prefix+"checkpoint_bytes").Add(0, info.CheckpointBytes)
+	reg.Counter(prefix+"kills").Add(0, int64(info.Kills))
 	tel.rec.SetMeta(prefix+"checkpoint_write_seconds", fmt.Sprintf("%.6f", info.CheckpointWriteSeconds))
 	tel.rec.SetMeta(prefix+"lost_seconds", fmt.Sprintf("%.6f", info.LostSeconds))
 	tel.rec.SetMeta(prefix+"respawn_seconds", fmt.Sprintf("%.6f", info.DelaySeconds))

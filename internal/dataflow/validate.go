@@ -1,0 +1,242 @@
+package dataflow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Plan-validation rule IDs. Each diagnostic Validate emits carries one
+// of these, so callers (and CI) can assert on specific failures the
+// way Texera's composition checker names each editor-side error.
+const (
+	// RuleBuilder: a builder method recorded an error while the DAG was
+	// being constructed (nil operator, duplicate port, out-of-range
+	// node id), or the workflow is empty.
+	RuleBuilder = "WF001"
+	// RuleArity: an operator input port is dangling, a sink has zero or
+	// multiple inputs, or a source is unconnected.
+	RuleArity = "WF002"
+	// RuleCycle: the graph is not a DAG.
+	RuleCycle = "WF003"
+	// RuleSchema: schema inference through an operator failed (missing
+	// column, key type clash across a join, wrong input shape).
+	RuleSchema = "WF004"
+	// RuleHashKey: a hash-partitioned edge names a key that is not in
+	// the producer's output schema.
+	RuleHashKey = "WF005"
+	// RuleParallel: a stateful operator's parallelism violates its
+	// partitioning requirements (parallel sort/limit, a parallel join
+	// without hash or broadcast inputs, a parallel group-by without a
+	// hash-partitioned input).
+	RuleParallel = "WF006"
+	// RuleSignature: a node's WithSignature string is not in the
+	// "rev=<int>" format the lineage fingerprints expect.
+	RuleSignature = "WF007"
+	// RuleCheckpoint: a parallel operator has a blocking port fed by a
+	// round-robin edge, which epoch-checkpoint recovery cannot replay
+	// faithfully (the round-robin cursor is not part of the
+	// checkpoint, so a restore re-deals the blocked input differently).
+	RuleCheckpoint = "WF008"
+)
+
+// Diag is one plan-time diagnostic: a rule ID, the offending node
+// (empty for workflow-level problems such as cycles), and a message.
+type Diag struct {
+	Rule string `json:"rule"`
+	Node string `json:"node,omitempty"`
+	ID   NodeID `json:"id"`
+	Msg  string `json:"msg"`
+}
+
+func (d Diag) String() string {
+	if d.Node == "" {
+		return fmt.Sprintf("%s: %s", d.Rule, d.Msg)
+	}
+	return fmt.Sprintf("%s: node %q (#%d): %s", d.Rule, d.Node, d.ID, d.Msg)
+}
+
+// Validate statically checks a workflow plan and returns every
+// diagnostic it can find, without executing anything and without
+// mutating the workflow. It is the multi-error counterpart of the
+// (*Workflow).Validate method the executor calls: the method stops at
+// the first error and caches schemas on the nodes for execution; this
+// function keeps going so a `repro -validate` run or a test can see
+// the whole picture at once. A nil return means the plan is sound.
+func Validate(w *Workflow) []Diag {
+	if w == nil {
+		return []Diag{{Rule: RuleBuilder, ID: -1, Msg: "nil workflow"}}
+	}
+	if w.err != nil {
+		// The recorded builder error means the node/edge lists may be
+		// inconsistent; report it alone rather than chasing ghosts.
+		return []Diag{{Rule: RuleBuilder, ID: -1, Msg: w.err.Error()}}
+	}
+	if len(w.nodes) == 0 {
+		return []Diag{{Rule: RuleBuilder, ID: -1, Msg: fmt.Sprintf("workflow %q is empty", w.name)}}
+	}
+
+	var diags []Diag
+	report := func(rule string, n *node, msg string) {
+		d := Diag{Rule: rule, ID: -1, Msg: msg}
+		if n != nil {
+			d.Node, d.ID = n.name, n.id
+		}
+		diags = append(diags, d)
+	}
+
+	// Arity: every operator port connected, sinks exactly one input,
+	// sources feeding something. arityOK gates the schema pass so a
+	// dangling port is reported once, not again as an inference hole.
+	arityOK := make([]bool, len(w.nodes))
+	for _, n := range w.nodes {
+		arityOK[n.id] = true
+		switch n.kind {
+		case kindOperator:
+			ports := n.op.Desc().Ports
+			if len(n.inEdges) != ports {
+				report(RuleArity, n, fmt.Sprintf("%d of %d input ports connected", len(n.inEdges), ports))
+				arityOK[n.id] = false
+			}
+		case kindSink:
+			if len(n.inEdges) != 1 {
+				report(RuleArity, n, fmt.Sprintf("sink needs exactly one input, has %d", len(n.inEdges)))
+				arityOK[n.id] = false
+			}
+		case kindSource:
+			if len(n.outEdges) == 0 {
+				report(RuleArity, n, "source is not connected")
+			}
+		}
+	}
+
+	// Signature format: the lineage layer folds signatures into node
+	// fingerprints as "rev=<int>"; anything else silently reads as a
+	// permanent cache miss, so flag it at plan time.
+	for _, n := range w.nodes {
+		if n.signature == "" {
+			continue
+		}
+		if rev, ok := strings.CutPrefix(n.signature, "rev="); !ok || !isInt(rev) {
+			report(RuleSignature, n, fmt.Sprintf("signature %q is not in rev=<int> form", n.signature))
+		}
+	}
+
+	// Checkpoint compatibility: epoch checkpoints snapshot operator
+	// state, not channel cursors. A blocking port must replay its
+	// whole input after a restore, and with parallelism > 1 a
+	// round-robin feed re-deals tuples to different workers than the
+	// original run — hash or broadcast feeds are stable, round-robin
+	// is not.
+	for _, n := range w.nodes {
+		if n.kind != kindOperator || n.parallelism <= 1 {
+			continue
+		}
+		blocking := n.op.Desc().BlockingPorts
+		for _, e := range n.inEdges {
+			if e.port < len(blocking) && blocking[e.port] && e.part.kind == partRoundRobin {
+				report(RuleCheckpoint, n, fmt.Sprintf(
+					"blocking port %d is round-robin partitioned with parallelism %d; checkpoint replay would re-deal it (use hash or broadcast)",
+					e.port, n.parallelism))
+			}
+		}
+	}
+
+	order, err := w.topoOrder()
+	if err != nil {
+		// No topological order means no schema propagation; the
+		// structural diagnostics above still stand.
+		report(RuleCycle, nil, err.Error())
+		return diags
+	}
+
+	// Schema inference in topological order, into a side table so an
+	// invalid plan leaves the workflow untouched. A node with a
+	// missing input schema (upstream failure or dangling port) is
+	// skipped silently — its cause is already on the list.
+	schemas := make([]*relation.Schema, len(w.nodes))
+	for _, n := range order {
+		switch n.kind {
+		case kindSource:
+			schemas[n.id] = n.srcSchema
+		case kindOperator:
+			if !arityOK[n.id] {
+				continue
+			}
+			in := make([]*relation.Schema, n.op.Desc().Ports)
+			complete := true
+			for _, e := range n.inEdges {
+				in[e.port] = schemas[e.from.id]
+				if in[e.port] == nil {
+					complete = false
+				}
+			}
+			if !complete {
+				continue
+			}
+			s, err := n.op.OutputSchema(in)
+			if err != nil {
+				report(RuleSchema, n, err.Error())
+				continue
+			}
+			schemas[n.id] = s
+		case kindSink:
+			if arityOK[n.id] {
+				schemas[n.id] = schemas[n.inEdges[0].from.id]
+			}
+		}
+	}
+
+	// Hash keys must exist in the producer's schema, and stateful
+	// operators must respect their parallel partitioning rules.
+	for _, n := range w.nodes {
+		for _, e := range n.inEdges {
+			if e.part.kind != partHash {
+				continue
+			}
+			ps := schemas[e.from.id]
+			if ps == nil {
+				continue
+			}
+			if ps.IndexOf(e.part.key) < 0 {
+				report(RuleHashKey, n, fmt.Sprintf("edge %q->%q: hash key %q not in producer schema [%s]", e.from.name, e.to.name, e.part.key, ps))
+			}
+		}
+		if n.kind != kindOperator || n.parallelism == 1 {
+			continue
+		}
+		switch n.op.(type) {
+		case *SortOp, *LimitOp:
+			report(RuleParallel, n, fmt.Sprintf("cannot run with parallelism %d", n.parallelism))
+		case *HashJoinOp:
+			for _, e := range n.inEdges {
+				if e.part.kind != partHash && !(e.port == 0 && e.part.kind == partBroadcast) {
+					report(RuleParallel, n, fmt.Sprintf("parallel join requires hash-partitioned inputs (or a broadcast build side); port %d is %s", e.port, e.part))
+				}
+			}
+		case *GroupByOp:
+			if len(n.inEdges) == 1 && n.inEdges[0].part.kind != partHash {
+				report(RuleParallel, n, "parallel group-by requires a hash-partitioned input")
+			}
+		}
+	}
+
+	return diags
+}
+
+// isInt reports whether s parses as a base-10 integer.
+func isInt(s string) bool {
+	_, err := strconv.Atoi(s)
+	return err == nil && s != ""
+}
+
+// NumEdges returns the number of edges in the workflow graph.
+func (w *Workflow) NumEdges() int {
+	n := 0
+	for _, nd := range w.nodes {
+		n += len(nd.outEdges)
+	}
+	return n
+}

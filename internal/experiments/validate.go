@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+)
+
+// PlanProvider is the capability a task exposes for plan-time
+// validation: build the workflow DAG it would execute, without
+// executing it. All four paper tasks implement it.
+type PlanProvider interface {
+	WorkflowPlan(workers int) (*dataflow.Workflow, error)
+}
+
+// PlanReport is one task's static plan-validation result.
+type PlanReport struct {
+	Task      string          `json:"task"`
+	Workers   int             `json:"workers"`
+	Operators int             `json:"operators"`
+	Edges     int             `json:"edges"`
+	Diags     []dataflow.Diag `json:"diags,omitempty"`
+}
+
+// ValidatePlans builds every registered task's workflow DAG at the
+// config's scale and runs the static plan validator over each — the
+// editor-side composition check Texera performs before a workflow may
+// execute, applied to all four reproduction tasks at once. Workers is
+// forced above one so the partitioning and checkpoint rules are
+// exercised. The error return covers harness problems (a task that
+// cannot be built); plan problems land in the per-task Diags.
+func ValidatePlans(cfg Config) ([]PlanReport, error) {
+	cfg = cfg.normalize()
+	workers := cfg.Workers
+	if workers < 2 {
+		workers = 2
+	}
+	var out []PlanReport
+	for _, name := range core.TaskNames() {
+		task, err := traceTask(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p, ok := task.(PlanProvider)
+		if !ok {
+			return nil, fmt.Errorf("experiments: task %q does not expose a workflow plan", name)
+		}
+		w, err := p.WorkflowPlan(workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: task %q: building plan: %w", name, err)
+		}
+		out = append(out, PlanReport{
+			Task:      name,
+			Workers:   workers,
+			Operators: w.NumOperators(),
+			Edges:     w.NumEdges(),
+			Diags:     dataflow.Validate(w),
+		})
+	}
+	return out, nil
+}

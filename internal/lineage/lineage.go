@@ -198,7 +198,7 @@ type Run struct {
 func (s *Store) Begin(scope string, rec *telemetry.Recorder) *Run {
 	for _, id := range s.pinned {
 		// Unpin can only fail for missing IDs, which we put ourselves.
-		_ = s.obj.Unpin(id)
+		_ = s.obj.Unpin(id) //lint:allow errdrop best-effort unpin of ids this store put itself
 	}
 	s.pinned = s.pinned[:0]
 	r := &Run{
@@ -343,7 +343,7 @@ func (r *Run) count(name string, v int64) {
 	if r.rec == nil {
 		return
 	}
-	r.rec.Metrics.Counter("lineage." + r.rep.Scope + "." + name).Add(0, v)
+	r.rec.Metrics.Counter("lineage."+r.rep.Scope+"."+name).Add(0, v)
 }
 
 // span emits one store event on the run's lineage track. Store events

@@ -149,7 +149,10 @@ func (s *Sheet) detach(r Ref) {
 }
 
 // dependentsOf returns the distinct cells whose formulas read r,
-// through point references or covering ranges.
+// through point references or covering ranges. Point dependents come
+// out of a map, so they are sorted into (row, col) order before the
+// deterministic range-dependency suffix — recalculation visits cells
+// in the same order on every run.
 func (s *Sheet) dependentsOf(r Ref) []Ref {
 	seen := map[Ref]bool{}
 	var out []Ref
@@ -159,6 +162,12 @@ func (s *Sheet) dependentsOf(r Ref) []Ref {
 			out = append(out, d)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Row != out[j].Row {
+			return out[i].Row < out[j].Row
+		}
+		return out[i].Col < out[j].Col
+	})
 	for _, rd := range s.rangeDeps {
 		if rd.rg.contains(r) && !seen[rd.dep] {
 			seen[rd.dep] = true

@@ -369,3 +369,9 @@ func workflowConfig() []string {
 	}
 	return lines
 }
+
+// WorkflowPlan assembles the workflow DAG without executing it, so
+// plan-time validation (repro -validate) can inspect the graph.
+func (t *Task) WorkflowPlan(workers int) (*dataflow.Workflow, error) {
+	return t.buildWorkflow(workers), nil
+}

@@ -129,9 +129,11 @@ func (gi *generateInstance) EndPort(dataflow.ExecCtx, int) ([]relation.Tuple, er
 }
 func (gi *generateInstance) Close(dataflow.ExecCtx) error { return nil }
 
-// runWorkflow executes GOTTA as a dataflow: prompts are constructed by
-// one operator and streamed to the generator in engine-tuned batches.
-func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
+// buildWorkflow assembles the GOTTA dataflow graph: serial prompt
+// construction feeding parallel BART inference and evaluation. The
+// cost model sets only simulated work (torch speedup, model-transfer
+// time), not the plan's shape.
+func (t *Task) buildWorkflow(model *cost.Model, workers int) *dataflow.Workflow {
 	w := dataflow.New("gotta")
 	lang := cost.Python
 	src := w.Source("passages", t.passageTable(), dataflow.WithScanWork(cost.Work{Interp: 0.08}))
@@ -158,13 +160,13 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("prompts"))))
 	w.Connect(src, promptsID, 0, dataflow.RoundRobin())
 
-	speedup := cost.TorchSpeedup(cfg.Model.TorchCoresTexera)
+	speedup := cost.TorchSpeedup(model.TorchCoresTexera)
 	infer := &generateOp{
 		task:       t,
 		perQA:      cost.Work{Mem: forwardSecondsPerQA / speedup},
-		workerInit: workWorkerInit.Add(cost.Work{Mem: cfg.Model.TransferSeconds(t.model.ModelBytes)}),
+		workerInit: workWorkerInit.Add(cost.Work{Mem: model.TransferSeconds(t.model.ModelBytes)}),
 	}
-	inferID := w.Op(infer, dataflow.WithParallelism(cfg.Workers))
+	inferID := w.Op(infer, dataflow.WithParallelism(workers))
 	w.Connect(promptsID, inferID, 0, dataflow.RoundRobin())
 
 	eval := dataflow.NewMap("evaluate", lang, OutputSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
@@ -172,13 +174,25 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		return []relation.Tuple{{r.MustStr(0), r.MustInt(1), r.MustStr(2), gold, pred, genqa.ExactMatch(pred, gold)}}, nil
 	})
 	eval.Work = workEval
-	evalID := w.Op(eval, dataflow.WithParallelism(cfg.Workers),
+	evalID := w.Op(eval, dataflow.WithParallelism(workers),
 		dataflow.WithSignature(fmt.Sprintf("rev=%d", t.rev("evaluate"))))
 	w.Connect(inferID, evalID, 0, dataflow.RoundRobin())
 
 	sink := w.Sink("answers")
 	w.Connect(evalID, sink, 0, dataflow.RoundRobin())
+	return w
+}
 
+// WorkflowPlan assembles the workflow DAG without executing it, so
+// plan-time validation (repro -validate) can inspect the graph.
+func (t *Task) WorkflowPlan(workers int) (*dataflow.Workflow, error) {
+	return t.buildWorkflow(cost.Default(), workers), nil
+}
+
+// runWorkflow executes GOTTA as a dataflow: prompts are constructed by
+// one operator and streamed to the generator in engine-tuned batches.
+func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
+	w := t.buildWorkflow(cfg.Model, cfg.Workers)
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
 		Lineage: cfg.Lineage,

@@ -439,3 +439,9 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		Lineage:       res.Lineage,
 	}, nil
 }
+
+// WorkflowPlan assembles the workflow DAG without executing it, so
+// plan-time validation (repro -validate) can inspect the graph.
+func (t *Task) WorkflowPlan(workers int) (*dataflow.Workflow, error) {
+	return t.buildWorkflow(workers)
+}

@@ -150,9 +150,10 @@ func (t *Task) tweetTable() *relation.Table {
 	return tbl
 }
 
-// runWorkflow executes WEF as a chain of four blocking fine-tune
-// operators — sequential, like the paper's measured configuration.
-func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
+// buildWorkflow assembles the WEF chain of four blocking fine-tune
+// operators — sequential, like the paper's measured configuration, so
+// there is no worker knob to thread through.
+func (t *Task) buildWorkflow() (*dataflow.Workflow, error) {
 	w := dataflow.New("wef")
 	src := w.Source("tweets", t.tweetTable(), dataflow.WithScanWork(workLoad))
 	prev := src
@@ -175,7 +176,23 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	w.Connect(prev, shapeID, 0, dataflow.RoundRobin())
 	sink := w.Sink("predictions")
 	w.Connect(shapeID, sink, 0, dataflow.RoundRobin())
+	return w, nil
+}
 
+// WorkflowPlan assembles the workflow DAG without executing it, so
+// plan-time validation (repro -validate) can inspect the graph. The
+// chain is sequential regardless of workers.
+func (t *Task) WorkflowPlan(int) (*dataflow.Workflow, error) {
+	return t.buildWorkflow()
+}
+
+// runWorkflow executes WEF as a chain of four blocking fine-tune
+// operators — sequential, like the paper's measured configuration.
+func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
+	w, err := t.buildWorkflow()
+	if err != nil {
+		return nil, err
+	}
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
 		Lineage:      cfg.Lineage,

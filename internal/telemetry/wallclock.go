@@ -1,0 +1,22 @@
+package telemetry
+
+import "time"
+
+// This file is the repository's only sanctioned wall-clock access: the
+// telemetry recorder's dual-stamp epoch and the wall-clock benchmark
+// harness both read through it, so the determinism linter's wallclock
+// rule (see internal/analysis and DESIGN.md "Static analysis") has
+// exactly two allowed call sites, both below. Everything that feeds
+// digests, golden tests or deterministic exports must use virtual
+// time; wall time is profiling data only.
+
+// WallClock reads the host clock. The only legitimate consumers are
+// profiling paths whose output is explicitly non-deterministic.
+func WallClock() time.Time {
+	return time.Now() //lint:allow wallclock the single sanctioned wall-clock read
+}
+
+// WallSince returns the wall time elapsed since t0.
+func WallSince(t0 time.Time) time.Duration {
+	return time.Since(t0) //lint:allow wallclock the single sanctioned elapsed-wall read
+}

@@ -96,7 +96,7 @@ func DefaultConfig(moduleRoot, modulePath string) Config {
 	return Config{
 		ModuleRoot:     moduleRoot,
 		ModulePath:     modulePath,
-		GoroutineScope: []string{"internal/sim", "internal/dataflow", "internal/lineage"},
+		GoroutineScope: []string{"internal/sim", "internal/dataflow", "internal/lineage", "internal/relation"},
 		ErrDropScope:   []string{"internal/relation", "internal/objstore", "internal/lineage"},
 	}
 }

@@ -53,23 +53,43 @@ type Report struct {
 	Macro      []Macro `json:"macro"`
 }
 
-// measure times f (which must perform inner operations per call) until
-// the total exceeds ~100ms, then reports per-operation cost. Allocs
-// are sampled separately with a single run.
+// measure times f (which must perform inner operations per call) over
+// three ~60ms windows and reports the median window's per-operation
+// cost. Allocs are sampled separately with a single run. Two choices
+// here exist for noise robustness on a shared bench host, where a
+// single ~100ms mean (the BENCH_1–4 estimator) swung adjacent runs of
+// the same binary by double-digit percentages: the forced collection
+// before the timed windows puts every micro in the same GC regime (the
+// pacer otherwise inherits whatever heap target the previous micro or
+// the macro suite left behind — a skew larger than some effects being
+// measured), and the median discards a window that absorbed a
+// neighbor's CPU burst without hiding steady-state cost the way a
+// minimum would. Windows stay long enough that a micro with a large
+// live fixture amortizes whole GC mark cycles inside each window
+// rather than landing one in some windows and none in others — GC
+// triggered by f's own allocation belongs inside the measurement,
+// evenly.
 func measure(name string, inner int, f func()) Micro {
 	f() // warm up
 	allocs := testing.AllocsPerRun(1, f) / float64(inner)
-	var (
-		elapsed time.Duration
-		ops     int
-	)
-	for elapsed < 100*time.Millisecond {
-		start := telemetry.WallClock()
-		f()
-		elapsed += telemetry.WallSince(start)
-		ops += inner
+	runtime.GC()
+	const windows = 3
+	perOp := make([]float64, windows)
+	for w := range perOp {
+		var (
+			elapsed time.Duration
+			ops     int
+		)
+		for elapsed < 60*time.Millisecond {
+			start := telemetry.WallClock()
+			f()
+			elapsed += telemetry.WallSince(start)
+			ops += inner
+		}
+		perOp[w] = float64(elapsed.Nanoseconds()) / float64(ops)
 	}
-	return Micro{Name: name, NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops), AllocsPerOp: allocs}
+	sort.Float64s(perOp)
+	return Micro{Name: name, NsPerOp: perOp[windows/2], AllocsPerOp: allocs}
 }
 
 func joinTables(n int) (*relation.Table, *relation.Table) {
@@ -96,17 +116,65 @@ func micros() []Micro {
 		dataflow.AddWorkLoop(65536)
 	}))
 
+	// Serde and digest micros run before the 100k join fixtures exist:
+	// the encode loop allocates its output buffer every call, and with
+	// megabytes of fixture rows live each incremental GC spends its
+	// cycles scanning unrelated tuples — measured roughly 2x on
+	// encode_table_10k. The *_row variants keep the pre-columnar
+	// baseline in every report, so the columnar speedup reads as an
+	// ablation within one run instead of a cross-commit diff.
+	enc10k, _ := joinTables(10000)
+	enc10k.Columnarize()
+	prevCol := relation.SetColumnarEnabled(false)
+	out = append(out, measure("encode_table_10k_row", 1, func() {
+		if _, err := relation.EncodeTable(enc10k); err != nil {
+			panic(err)
+		}
+	}))
+	relation.SetColumnarEnabled(true)
+	out = append(out, measure("encode_table_10k", 1, func() {
+		if _, err := relation.EncodeTable(enc10k); err != nil {
+			panic(err)
+		}
+	}))
+	out = append(out, measure("col_digest_10k", 1, func() {
+		if relation.Digest(enc10k) == 0 {
+			panic("bench: zero digest")
+		}
+	}))
+	relation.SetColumnarEnabled(prevCol)
+
+	// The join fixtures gain a columnar backing up front; the global
+	// gate then selects which engine a call exercises.
 	left, right := joinTables(100000)
+	left.Columnarize()
+	right.Columnarize()
+	prevCol = relation.SetColumnarEnabled(false)
+	out = append(out, measure("hash_join_100k_row", 1, func() {
+		if _, err := relation.HashJoin(left, right, "k", "k", relation.Inner); err != nil {
+			panic(err)
+		}
+	}))
+	relation.SetColumnarEnabled(true)
 	out = append(out, measure("hash_join_100k", 1, func() {
 		if _, err := relation.HashJoin(left, right, "k", "k", relation.Inner); err != nil {
 			panic(err)
 		}
 	}))
+	// Sharded-join trajectory: the goroutine-per-shard probe beat the
+	// serial join in BENCH_1 (47.5ms vs 53.5ms) but had regressed by
+	// BENCH_4 (59.4ms vs 50.5ms) once the serial path got cheaper — on a
+	// single-CPU bench machine goroutines add scheduling cost without
+	// adding parallelism. The columnar joiner instead radix-partitions
+	// both sides by hash and probes partition-at-a-time against
+	// cache-resident tables, so the sharded number sits below the serial
+	// one again on any GOMAXPROCS.
 	out = append(out, measure("hash_join_par8_100k", 1, func() {
 		if _, err := relation.HashJoinPar(left, right, "k", "k", relation.Inner, 8); err != nil {
 			panic(err)
 		}
 	}))
+	relation.SetColumnarEnabled(prevCol)
 	joiner, err := relation.NewJoiner(left.Schema(), right, "k", "k", relation.Inner, 1)
 	if err != nil {
 		panic(err)
@@ -116,12 +184,44 @@ func micros() []Micro {
 		joiner.ProbeRows(nil, batch)
 	}))
 
-	enc10k, _ := joinTables(10000)
-	out = append(out, measure("encode_table_10k", 1, func() {
-		if _, err := relation.EncodeTable(enc10k); err != nil {
-			panic(err)
+	// Columnar-native micros: the conversion cost call sites pay once
+	// per table, and the kernels that sit under filter and group-by.
+	convSrc, _ := joinTables(100000)
+	out = append(out, measure("col_convert_100k", 1, func() {
+		if _, ok := relation.ToColumnar(convSrc); !ok {
+			panic("bench: columnar conversion failed")
 		}
 	}))
+	lc, ok := left.Columnar()
+	if !ok {
+		panic("bench: join fixture lost its columnar backing")
+	}
+	out = append(out, measure("col_filter_100k", 1, func() {
+		sel, err := lc.SelectInt("k", func(v int64) bool { return v < 12500 }, nil)
+		if err != nil {
+			panic(err)
+		}
+		if lc.FilterCol(sel).Len() == 0 {
+			panic("bench: filter selected nothing")
+		}
+	}))
+	_, groupSrc := joinTables(100000)
+	groupSrc.Columnarize()
+	groupAggs := []relation.Aggregate{
+		{Func: relation.Count, As: "n"},
+		{Func: relation.Sum, Field: "weight", As: "w"},
+	}
+	prevCol = relation.SetColumnarEnabled(true)
+	out = append(out, measure("col_group_by_100k", 1, func() {
+		res, err := relation.GroupBy(groupSrc, []string{"k"}, groupAggs)
+		if err != nil {
+			panic(err)
+		}
+		if res.Len() == 0 {
+			panic("bench: group-by produced no groups")
+		}
+	}))
+	relation.SetColumnarEnabled(prevCol)
 	tup := relation.Tuple{int64(42), "a reasonably sized string payload", 3.14159, true}
 	out = append(out, measure("encode_tuple_pooled", 4096, func() {
 		e := relation.GetEncoder()
@@ -317,7 +417,72 @@ func macros(seed uint64) ([]Macro, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(out, lin...), nil
+	out = append(out, lin...)
+	col, err := columnarMacros(seed)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, col...), nil
+}
+
+// columnarMacros is the end-to-end before/after pair for the columnar
+// execution layer: the same DICE workflow with the automatic columnar
+// fast paths globally disabled (the pre-columnar row engine) and
+// enabled. Both runs compute bit-identical results — the golden
+// columnar tests assert that — so the wall-clock delta is pure
+// representation, not work.
+func columnarMacros(seed uint64) ([]Macro, error) {
+	const (
+		reps  = 7
+		pairs = 200
+	)
+	task, err := dice.New(dice.Params{Pairs: pairs, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	prev := relation.ColumnarEnabled()
+	defer relation.SetColumnarEnabled(prev)
+	timeOnce := func(columnar bool) (float64, float64, error) {
+		relation.SetColumnarEnabled(columnar)
+		runtime.GC() // same pacing state for both engines, as measure does
+		start := telemetry.WallClock()
+		res, err := task.Run(core.Workflow, core.MustRunConfig())
+		if err != nil {
+			return 0, 0, err
+		}
+		return float64(telemetry.WallSince(start).Microseconds()) / 1000, res.SimSeconds, nil
+	}
+	// Warm both engines, then interleave timed reps and keep each
+	// variant's fastest run, as the telemetry pairs do.
+	for _, c := range []bool{false, true} {
+		if _, _, err := timeOnce(c); err != nil {
+			return nil, fmt.Errorf("bench: colpath warmup: %w", err)
+		}
+	}
+	row, col := -1.0, -1.0
+	var rowSim, colSim float64
+	for r := 0; r < reps; r++ {
+		rw, rs, err := timeOnce(false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: colpath-off: %w", err)
+		}
+		if row < 0 || rw < row {
+			row = rw
+		}
+		rowSim = rs
+		cw, cs, err := timeOnce(true)
+		if err != nil {
+			return nil, fmt.Errorf("bench: colpath-on: %w", err)
+		}
+		if col < 0 || cw < col {
+			col = cw
+		}
+		colSim = cs
+	}
+	return []Macro{
+		{Task: task.Name(), Experiment: "colpath-off", Size: pairs, WallMS: row, SimSeconds: rowSim},
+		{Task: task.Name(), Experiment: "colpath-on", Size: pairs, WallMS: col, SimSeconds: colSim},
+	}, nil
 }
 
 // lineageMacros times the iterate workload's two wall-clock extremes on

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dataflow"
+	"repro/internal/relation"
 )
 
 func TestMeasureReportsPerOp(t *testing.T) {
@@ -37,19 +38,34 @@ func TestMacrosTrajectory(t *testing.T) {
 		t.Fatal("no macro points")
 	}
 	iterate := map[string]Macro{}
+	colpath := map[string]Macro{}
 	for _, m := range mac {
 		if m.WallMS <= 0 || m.SimSeconds <= 0 {
 			t.Fatalf("degenerate macro point %+v", m)
 		}
-		if m.Experiment == "iterate-cold" || m.Experiment == "iterate-warm" {
+		switch m.Experiment {
+		case "iterate-cold", "iterate-warm":
 			// The lineage pair has no telemetry variant; it compares a
 			// cold run against a fully warm store instead.
 			iterate[m.Experiment] = m
+			continue
+		case "colpath-off", "colpath-on":
+			// The columnar pair compares the two engines directly.
+			colpath[m.Experiment] = m
 			continue
 		}
 		if m.WallMSTelemetry <= 0 {
 			t.Fatalf("telemetry run missing from macro point %+v", m)
 		}
+	}
+	off, oko := colpath["colpath-off"]
+	on, okn := colpath["colpath-on"]
+	if !oko || !okn {
+		t.Fatalf("columnar macro pair missing: %+v", colpath)
+	}
+	if off.SimSeconds != on.SimSeconds {
+		t.Fatalf("columnar engines disagree on simulated seconds: row %v vs columnar %v",
+			off.SimSeconds, on.SimSeconds)
 	}
 	cold, okc := iterate["iterate-cold"]
 	warm, okw := iterate["iterate-warm"]
@@ -87,5 +103,83 @@ func TestTelemetryMicroLoopsRun(t *testing.T) {
 		if !seen {
 			t.Fatalf("micro %s missing", name)
 		}
+	}
+}
+
+// TestColumnarMicroSmoke runs the columnar micro-benchmark kernels at
+// tiny sizes and cross-checks each against the row engine. The CI
+// bench-smoke step runs exactly this test, so a broken columnar kernel
+// fails the pipeline fast without paying for the full harness.
+func TestColumnarMicroSmoke(t *testing.T) {
+	prev := relation.SetColumnarEnabled(true)
+	defer relation.SetColumnarEnabled(prev)
+	left, right := joinTables(2048)
+	left.Columnarize()
+	right.Columnarize()
+	if _, ok := left.Columnar(); !ok {
+		t.Fatal("bench fixture did not gain a columnar backing")
+	}
+
+	serial, err := relation.HashJoin(left, right, "k", "k", relation.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := relation.HashJoinPar(left, right, "k", "k", relation.Inner, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relation.SetColumnarEnabled(false)
+	rowJoin, err := relation.HashJoin(left, right, "k", "k", relation.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowDigest := relation.Digest(rowJoin)
+	relation.SetColumnarEnabled(true)
+	if d := relation.Digest(serial); d != rowDigest {
+		t.Fatalf("columnar join digest %#x differs from row engine %#x", d, rowDigest)
+	}
+	if d := relation.Digest(par); d != rowDigest {
+		t.Fatalf("partitioned columnar join digest %#x differs from row engine %#x", d, rowDigest)
+	}
+
+	enc, err := relation.EncodeTable(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(enc)) != relation.TableBytes(left) {
+		t.Fatalf("columnar encode produced %d bytes, accounting says %d", len(enc), relation.TableBytes(left))
+	}
+
+	lc, _ := left.Columnar()
+	sel, err := lc.SelectInt("k", func(v int64) bool { return v < 64 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := lc.FilterCol(sel)
+	relation.SetColumnarEnabled(false)
+	rowFiltered := relation.Filter(left, func(r relation.Tuple) bool { return r[0].(int64) < 64 })
+	wantFilter := relation.Digest(rowFiltered)
+	relation.SetColumnarEnabled(true)
+	if d := relation.Digest(filtered); d != wantFilter {
+		t.Fatalf("columnar filter digest %#x differs from row engine %#x", d, wantFilter)
+	}
+
+	aggs := []relation.Aggregate{
+		{Func: relation.Count, As: "n"},
+		{Func: relation.Sum, Field: "weight", As: "w"},
+	}
+	colG, err := relation.GroupBy(right, []string{"k"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relation.SetColumnarEnabled(false)
+	rowG, err := relation.GroupBy(right, []string{"k"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroup := relation.Digest(rowG)
+	relation.SetColumnarEnabled(true)
+	if d := relation.Digest(colG); d != wantGroup {
+		t.Fatalf("columnar group-by digest %#x differs from row engine %#x", d, wantGroup)
 	}
 }

@@ -690,7 +690,9 @@ func (ex *Execution) finish() {
 			tables[rt.n.name] = ex.lin.art[rt.n.id].Table
 			continue
 		}
-		tables[rt.n.name] = rt.sinkTable
+		// Downstream consumers digest, re-encode, and join result
+		// tables; hand them over columnar-backed.
+		tables[rt.n.name] = rt.sinkTable.Columnarize()
 	}
 	var linReport *lineage.RunReport
 	if ex.lin != nil {

@@ -111,11 +111,15 @@ func WithScanWork(w cost.Work) NodeOpt {
 	return func(nd *node) { nd.scanWork = w }
 }
 
-// Source adds a table-scan source node and returns its ID.
+// Source adds a table-scan source node and returns its ID. Large
+// source tables gain a columnar backing here, once per graph: the
+// lineage planner digests every source on every run, and joins against
+// a source table probe its typed vectors directly.
 func (w *Workflow) Source(name string, t *relation.Table, opts ...NodeOpt) NodeID {
 	if t == nil {
 		return w.fail(fmt.Errorf("dataflow: source %q has nil table", name))
 	}
+	t.Columnarize()
 	n := &node{
 		kind:        kindSource,
 		name:        name,

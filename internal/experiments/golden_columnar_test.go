@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tasks/dice"
+	"repro/internal/tasks/gotta"
+	"repro/internal/tasks/kge"
+	"repro/internal/tasks/wef"
+)
+
+// The columnar execution layer is a pure representation change: every
+// fast path it adds (vectorized join, group-by, digest, encode) must
+// compute the same bytes the row path computes. These tests run all
+// four tasks under both paradigms twice — once with the columnar fast
+// paths disabled (the pre-columnar row engine) and once enabled — and
+// assert the runs are bit-identical: same simulated seconds, same
+// output digest. This is the cross-representation guard the golden
+// determinism tests (which compare run to run within one engine
+// configuration) cannot provide.
+
+func assertColumnarBitEqual(t *testing.T, name string, mk func() (core.Task, error)) {
+	t.Helper()
+	run := func(paradigm core.Paradigm, columnar bool) (float64, uint64) {
+		prev := relation.SetColumnarEnabled(columnar)
+		defer relation.SetColumnarEnabled(prev)
+		task, err := mk()
+		if err != nil {
+			t.Fatalf("%s: build task: %v", name, err)
+		}
+		res, err := task.Run(paradigm, core.RunConfig{})
+		if err != nil {
+			t.Fatalf("%s: run (columnar=%v): %v", name, columnar, err)
+		}
+		// Digest with the fast paths still toggled, so a columnar run
+		// digests through colDigest and a row run through the encoder.
+		return res.SimSeconds, relation.Digest(res.Output)
+	}
+	for _, p := range []core.Paradigm{core.Script, core.Workflow} {
+		rowSecs, rowDigest := run(p, false)
+		colSecs, colDigest := run(p, true)
+		if rowSecs != colSecs {
+			t.Errorf("%s/%v: SimSeconds differ row vs columnar: %v vs %v", name, p, rowSecs, colSecs)
+		}
+		if rowDigest != colDigest {
+			t.Errorf("%s/%v: output digests differ row vs columnar: %#x vs %#x", name, p, rowDigest, colDigest)
+		}
+	}
+}
+
+func TestColumnarDICEBitEqual(t *testing.T) {
+	assertColumnarBitEqual(t, "dice", func() (core.Task, error) {
+		return dice.New(dice.Params{Pairs: 10, Seed: 1})
+	})
+}
+
+func TestColumnarKGEBitEqual(t *testing.T) {
+	assertColumnarBitEqual(t, "kge", func() (core.Task, error) {
+		return kge.New(kge.Params{Products: 340, Seed: 1})
+	})
+}
+
+func TestColumnarGOTTABitEqual(t *testing.T) {
+	assertColumnarBitEqual(t, "gotta", func() (core.Task, error) {
+		return gotta.New(gotta.Params{Paragraphs: 4, Seed: 1})
+	})
+}
+
+func TestColumnarWEFBitEqual(t *testing.T) {
+	assertColumnarBitEqual(t, "wef", func() (core.Task, error) {
+		return wef.New(wef.Params{Tweets: 200, Seed: 1})
+	})
+}

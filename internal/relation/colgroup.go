@@ -1,0 +1,220 @@
+package relation
+
+// Columnar group-by kernel. Rows are assigned group ids through an
+// open-addressing table keyed by the canonical uint64 hash of the typed
+// key vectors (same equivalence classes as Tuple.Key: every NaN is one
+// value, -0 and +0 are distinct), and aggregates accumulate into
+// per-group arrays in a single row-order pass. Group ids are assigned
+// in first-appearance order and float sums accumulate in row order, so
+// the output is bit-identical to the row-path GroupBy.
+
+// colGroups maps rows of c to dense group ids.
+type colGroups struct {
+	c      *ColTable
+	keyPos []int
+	gid    []int32  // per row: its group id
+	reps   []int32  // per group: first row
+	ghash  []uint64 // per group: key hash
+	slots  []int32  // open addressing: group id or -1
+	mask   uint32
+}
+
+// hashKeyRow canonically hashes row i's key columns.
+func (g *colGroups) hashKeyRow(i int) uint64 {
+	h := FNVOffset64
+	for _, p := range g.keyPos {
+		cd := &g.c.cols[p]
+		switch cd.typ {
+		case Int:
+			h ^= 'i'
+			h *= FNVPrime64
+			h = FNVMixUint64(h, uint64(cd.ints[i]))
+		case Float:
+			h ^= 'f'
+			h *= FNVPrime64
+			h = FNVMixUint64(h, canonFloatBits(cd.floats[i]))
+		case Bool:
+			h ^= 'b'
+			h *= FNVPrime64
+			if cd.bools[i] {
+				h ^= 1
+			}
+			h *= FNVPrime64
+		default:
+			s := cd.strAt(i)
+			h ^= 's'
+			h *= FNVPrime64
+			h = FNVMixUint64(h, uint64(len(s)))
+			h = FNVMixString(h, s)
+		}
+	}
+	return h
+}
+
+// eqKeyRows reports whether rows i and j agree on every key column
+// under canonical equality (NaNs equal, -0 != +0).
+func (g *colGroups) eqKeyRows(i int, j int32) bool {
+	for _, p := range g.keyPos {
+		cd := &g.c.cols[p]
+		switch cd.typ {
+		case Int:
+			if cd.ints[i] != cd.ints[j] {
+				return false
+			}
+		case Float:
+			if canonFloatBits(cd.floats[i]) != canonFloatBits(cd.floats[j]) {
+				return false
+			}
+		case Bool:
+			if cd.bools[i] != cd.bools[j] {
+				return false
+			}
+		default:
+			if cd.dict != nil {
+				// Same column, same dictionary: codes are unique per value.
+				if cd.codes[i] != cd.codes[j] {
+					return false
+				}
+			} else if cd.strs[i] != cd.strs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// grow doubles the slot table, rehashing group ids by their stored
+// hashes.
+func (g *colGroups) grow() {
+	size := 2 * len(g.slots)
+	slots := make([]int32, size)
+	for i := range slots {
+		slots[i] = -1
+	}
+	mask := uint32(size - 1)
+	for gid, h := range g.ghash {
+		slot := uint32(h) & mask
+		for slots[slot] >= 0 {
+			slot = (slot + 1) & mask
+		}
+		slots[slot] = int32(gid)
+	}
+	g.slots = slots
+	g.mask = mask
+}
+
+// assign computes group ids for every row, in first-appearance order.
+func (g *colGroups) assign() {
+	n := g.c.n
+	g.gid = make([]int32, n)
+	size := nextPow2(1024)
+	if est := nextPow2(n / 4); est > size {
+		size = est
+	}
+	g.slots = make([]int32, size)
+	for i := range g.slots {
+		g.slots[i] = -1
+	}
+	g.mask = uint32(size - 1)
+	for i := 0; i < n; i++ {
+		h := g.hashKeyRow(i)
+		slot := uint32(h) & g.mask
+		for {
+			id := g.slots[slot]
+			if id < 0 {
+				id = int32(len(g.reps))
+				g.reps = append(g.reps, int32(i))
+				g.ghash = append(g.ghash, h)
+				g.slots[slot] = id
+				g.gid[i] = id
+				if 4*len(g.reps) > 3*len(g.slots) {
+					g.grow()
+				}
+				break
+			}
+			if g.ghash[id] == h && g.eqKeyRows(i, g.reps[id]) {
+				g.gid[i] = id
+				break
+			}
+			slot = (slot + 1) & g.mask
+		}
+	}
+}
+
+// colGroupBy runs GroupBy over the columnar representation. keyPos,
+// aggPos (input column per aggregate, -1 for Count) and outSchema come
+// from the shared argument validation in GroupBy.
+func colGroupBy(c *ColTable, keyPos []int, aggs []Aggregate, aggPos []int, outSchema *Schema) *Table {
+	g := &colGroups{c: c, keyPos: keyPos}
+	g.assign()
+	ng := len(g.reps)
+	counts := make([]int64, ng)
+	for _, id := range g.gid {
+		counts[id]++
+	}
+	sums := make([][]float64, len(aggs))
+	mins := make([][]float64, len(aggs))
+	maxs := make([][]float64, len(aggs))
+	for a, p := range aggPos {
+		if p < 0 {
+			continue
+		}
+		sums[a] = make([]float64, ng)
+		mins[a] = make([]float64, ng)
+		maxs[a] = make([]float64, ng)
+		cd := &c.cols[p]
+		// seen tracks first-value initialization for min/max.
+		seen := make([]bool, ng)
+		switch cd.typ {
+		case Int:
+			for i, id := range g.gid {
+				v := float64(cd.ints[i])
+				sums[a][id] += v
+				if !seen[id] || v < mins[a][id] {
+					mins[a][id] = v
+				}
+				if !seen[id] || v > maxs[a][id] {
+					maxs[a][id] = v
+				}
+				seen[id] = true
+			}
+		default: // Float; GroupBy validated the column as numeric
+			for i, id := range g.gid {
+				v := cd.floats[i]
+				sums[a][id] += v
+				if !seen[id] || v < mins[a][id] {
+					mins[a][id] = v
+				}
+				if !seen[id] || v > maxs[a][id] {
+					maxs[a][id] = v
+				}
+				seen[id] = true
+			}
+		}
+	}
+	out := NewTable(outSchema)
+	out.rows = make([]Tuple, 0, ng)
+	for id := 0; id < ng; id++ {
+		rep := int(g.reps[id])
+		row := make(Tuple, 0, outSchema.Len())
+		for _, p := range keyPos {
+			row = append(row, c.cols[p].value(rep))
+		}
+		for a, agg := range aggs {
+			switch agg.Func {
+			case Count:
+				row = append(row, counts[id])
+			case Sum:
+				row = append(row, sums[a][id])
+			case Avg:
+				row = append(row, sums[a][id]/float64(counts[id]))
+			case Min:
+				row = append(row, mins[a][id])
+			case Max:
+				row = append(row, maxs[a][id])
+			}
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out
+}

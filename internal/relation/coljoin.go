@@ -1,0 +1,761 @@
+package relation
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Columnar equi-join kernel. The build side is hashed into an
+// open-addressing table keyed by uint64 hashes of the typed key vector
+// (no map, no canonical-string allocation); rows with equal keys form a
+// chain in build order. The probe side scans its key vector, walks the
+// matching chain per row, and emits (probe, build) index pairs; output
+// columns are then gathered vector-at-a-time from both sides.
+//
+// With more than one partition the build side is radix-reorganized:
+// hashes, keys and original row numbers are scattered into
+// partition-contiguous arrays (perm maps the reorganized position back
+// to the build row), so building and probing one partition touches a
+// few hundred kilobytes of adjacent memory instead of random positions
+// across the whole table — the cache-residency win the sharded row
+// index aimed for, here made real because the probe side is scattered
+// the same way and matches are then written back into probe order.
+//
+// Determinism contract (same as the row Joiner): output rows appear in
+// probe order, with each probe row's matches in build order —
+// bit-identical to the serial row-path HashJoin for every partition
+// count, because partitions only re-bucket the build side (equal keys
+// never split across partitions, and the scatter preserves build order
+// within a partition) and match positions are restored from per-row
+// match counts.
+//
+// Key equality matches the row path's typed index, which uses Go map
+// semantics on the native key type: NaN keys never match anything
+// (each NaN build row starts an unreachable chain) and -0.0 equals
+// +0.0 (their hashes are normalized to collide).
+
+// joinScratch holds the transient arrays of the radix build and the
+// partition-at-a-time probe. Every element is overwritten before it is
+// read (scatters fill each position exactly once, chain tails are
+// written at insert before any read of that chain), so buffers are
+// reused dirty; pooling them matters because the scratch for a 100k-row
+// join is megabytes per call and its allocation plus zeroing showed up
+// in profiles as GC time comparable to the probe loop itself.
+type joinScratch struct {
+	u64 []uint64
+	i32 []int32
+}
+
+var joinScratchPool = sync.Pool{New: func() any { return new(joinScratch) }}
+
+func (s *joinScratch) uint64s(n int) []uint64 {
+	if cap(s.u64) < n {
+		s.u64 = make([]uint64, n)
+	}
+	return s.u64[:n]
+}
+
+func (s *joinScratch) int32s(n int) []int32 {
+	if cap(s.i32) < n {
+		s.i32 = make([]int32, n)
+	}
+	return s.i32[:n]
+}
+
+// joinMix64 finalizes a 64-bit key hash (splitmix64 finalizer).
+func joinMix64(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// joinHashString hashes a string key with FNV-1a then finalizes.
+func joinHashString(s string) uint64 {
+	return joinMix64(FNVMixString(FNVOffset64, s))
+}
+
+// hashKeyCol hashes every row of a key column into dst.
+func hashKeyCol(dst []uint64, cd *colData) {
+	switch cd.typ {
+	case Int:
+		for i, v := range cd.ints {
+			dst[i] = joinMix64(uint64(v))
+		}
+	case Float:
+		for i, v := range cd.floats {
+			b := math.Float64bits(v)
+			if b == 0x8000000000000000 { // -0.0 must collide with +0.0
+				b = 0
+			}
+			dst[i] = joinMix64(b)
+		}
+	case Bool:
+		for i, v := range cd.bools {
+			if v {
+				dst[i] = joinMix64(1)
+			} else {
+				dst[i] = joinMix64(0)
+			}
+		}
+	default:
+		if cd.dict != nil {
+			// Hash each distinct value once, then spread by code.
+			dh := make([]uint64, len(cd.dict.vals))
+			for i, v := range cd.dict.vals {
+				dh[i] = joinHashString(v)
+			}
+			for i, code := range cd.codes {
+				dst[i] = dh[code]
+			}
+		} else {
+			for i, v := range cd.strs {
+				dst[i] = joinHashString(v)
+			}
+		}
+	}
+}
+
+// colJoiner is the built (right) side of a columnar join. With parts >
+// 1, bhash, bkey, next and tails live in radix-reorganized order and
+// perm maps a reorganized position to its original build row; with one
+// partition they are in build order and perm is nil.
+type colJoiner struct {
+	plan  *joinPlan
+	kind  JoinType
+	build *ColTable
+	bkey  colData // build key vectors, reorganized when parts > 1
+
+	parts     int  // power of two; 1 = single table
+	partShift uint // part = hash >> partShift
+	heads     [][]int32
+	masks     []uint32
+	next      []int32
+	bhash     []uint64
+	perm      []int32 // reorganized position -> build row; nil if parts == 1
+	offs      []int32 // partition boundaries in reorganized order
+}
+
+// nextPow2 returns the smallest power of two >= v (min 4).
+func nextPow2(v int) int {
+	n := 4
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// eqBuild reports whether reorganized build rows i and j share a key.
+// Called only on hash-equal pairs, so the string compare is rare.
+func (cj *colJoiner) eqBuild(i, j int32) bool {
+	cd := &cj.bkey
+	switch cd.typ {
+	case Int:
+		return cd.ints[i] == cd.ints[j]
+	case Float:
+		return cd.floats[i] == cd.floats[j]
+	case Bool:
+		return cd.bools[i] == cd.bools[j]
+	default:
+		if cd.dict != nil {
+			return cd.codes[i] == cd.codes[j]
+		}
+		return cd.strs[i] == cd.strs[j]
+	}
+}
+
+// scatterByPart distributes hashes, keys and row numbers into
+// partition-contiguous arrays: one sequential read pass with a handful
+// of streaming write heads. fill must hold each partition's start
+// offset and is consumed.
+func scatterByPart[K comparable](hashes []uint64, keys []K, partShift uint, fill []int32, sh []uint64, sk []K, ord []int32) {
+	for i, h := range hashes {
+		p := h >> partShift
+		s := fill[p]
+		fill[p] = s + 1
+		sh[s] = h
+		sk[s] = keys[i]
+		ord[s] = int32(i)
+	}
+}
+
+// partOffsets counts rows per partition and returns the boundary
+// offsets ([parts+1]) plus a working copy of the starts for scattering.
+func partOffsets(hashes []uint64, parts int, partShift uint) (offs, fill []int32) {
+	counts := make([]int32, parts)
+	for _, h := range hashes {
+		counts[h>>partShift]++
+	}
+	offs = make([]int32, parts+1)
+	for p := 0; p < parts; p++ {
+		offs[p+1] = offs[p] + counts[p]
+	}
+	fill = append([]int32(nil), offs[:parts]...)
+	return offs, fill
+}
+
+// newColJoiner hashes and partitions the build side. parts is rounded
+// up to a power of two; with parts > 1 the build rows are
+// radix-reorganized by their high hash bits first (hash, key and row
+// number each partition-contiguous), so each partition's
+// open-addressing table is built and probed while cache-resident.
+func newColJoiner(plan *joinPlan, kind JoinType, build *ColTable, parts int) *colJoiner {
+	n := build.n
+	key := &build.cols[plan.rk]
+	cj := &colJoiner{plan: plan, kind: kind, build: build}
+	if parts > maxJoinShards {
+		parts = maxJoinShards
+	}
+	for parts > 1 && n < 2*parts {
+		parts /= 2
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	// Round the fan-out up to a power of two so partition selection is a
+	// shift of the high hash bits (the slot index uses the low bits).
+	p := 1
+	for p < parts {
+		p <<= 1
+	}
+	cj.parts = p
+	cj.partShift = 64 - uint(log2(p))
+	if p == 1 {
+		cj.partShift = 64 // unused
+	}
+	cj.next = make([]int32, n)
+	cj.heads = make([][]int32, cj.parts)
+	cj.masks = make([]uint32, cj.parts)
+	sc := joinScratchPool.Get().(*joinScratch)
+	tails := sc.int32s(n)
+	if cj.parts == 1 {
+		// The hash vector is retained as bhash, so it cannot come from
+		// the scratch pool.
+		cj.bhash = make([]uint64, n)
+		hashKeyCol(cj.bhash, key)
+		cj.bkey = *key
+		cj.offs = []int32{0, int32(n)}
+		cj.buildPart(0, 0, int32(n), tails)
+		joinScratchPool.Put(sc)
+		return cj
+	}
+	hashes := sc.uint64s(n)
+	hashKeyCol(hashes, key)
+	offs, fill := partOffsets(hashes, cj.parts, cj.partShift)
+	cj.offs = offs
+	cj.bhash = make([]uint64, n)
+	cj.perm = make([]int32, n)
+	cj.bkey.typ = key.typ
+	switch key.typ {
+	case Int:
+		cj.bkey.ints = make([]int64, n)
+		scatterByPart(hashes, key.ints, cj.partShift, fill, cj.bhash, cj.bkey.ints, cj.perm)
+	case Float:
+		cj.bkey.floats = make([]float64, n)
+		scatterByPart(hashes, key.floats, cj.partShift, fill, cj.bhash, cj.bkey.floats, cj.perm)
+	case Bool:
+		cj.bkey.bools = make([]bool, n)
+		scatterByPart(hashes, key.bools, cj.partShift, fill, cj.bhash, cj.bkey.bools, cj.perm)
+	default:
+		if key.dict != nil {
+			cj.bkey.dict = key.dict
+			cj.bkey.codes = make([]int32, n)
+			scatterByPart(hashes, key.codes, cj.partShift, fill, cj.bhash, cj.bkey.codes, cj.perm)
+		} else {
+			cj.bkey.strs = make([]string, n)
+			scatterByPart(hashes, key.strs, cj.partShift, fill, cj.bhash, cj.bkey.strs, cj.perm)
+		}
+	}
+	for p := 0; p < cj.parts; p++ {
+		cj.buildPart(p, offs[p], offs[p+1], tails)
+	}
+	joinScratchPool.Put(sc)
+	return cj
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// buildPart inserts reorganized build rows [lo, hi) into partition p's
+// open-addressing table. Ascending reorganized order is ascending build
+// order within the partition (the scatter preserves it), so chains come
+// out in build order.
+func (cj *colJoiner) buildPart(p int, lo, hi int32, tails []int32) {
+	count := int(hi - lo)
+	size := nextPow2(2 * count)
+	heads := make([]int32, size)
+	for i := range heads {
+		heads[i] = -1
+	}
+	mask := uint32(size - 1)
+	for i := lo; i < hi; i++ {
+		h := cj.bhash[i]
+		slot := uint32(h) & mask
+		for {
+			j := heads[slot]
+			if j < 0 {
+				heads[slot] = i
+				cj.next[i] = -1
+				tails[i] = i
+				break
+			}
+			if cj.bhash[j] == h && cj.eqBuild(i, j) {
+				t := tails[j]
+				cj.next[t] = i
+				cj.next[i] = -1
+				tails[j] = i
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	cj.heads[p] = heads
+	cj.masks[p] = mask
+}
+
+// orig maps a reorganized build position to its original build row.
+func (cj *colJoiner) orig(j int32) int32 {
+	if cj.perm != nil {
+		return cj.perm[j]
+	}
+	return j
+}
+
+// firstMatch returns the reorganized head build row whose key has hash
+// h and satisfies eq, or -1.
+func (cj *colJoiner) firstMatch(h uint64, eq func(int32) bool) int32 {
+	p := 0
+	if cj.parts > 1 {
+		p = int(h >> cj.partShift)
+	}
+	heads := cj.heads[p]
+	if len(heads) == 0 {
+		return -1
+	}
+	mask := cj.masks[p]
+	slot := uint32(h) & mask
+	for {
+		j := heads[slot]
+		if j < 0 {
+			return -1
+		}
+		if cj.bhash[j] == h && eq(j) {
+			return j
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// probeScan scans probe rows [lo, hi) in order with a monomorphic
+// typed inner loop (the compiler stamps one copy per key type; there is
+// no per-candidate indirect call), appending (probe, build) match
+// pairs; unmatched probes emit (probe, -1) under LeftOuter.
+func probeScan[K comparable](cj *colJoiner, pkeys []K, bkeys []K, phash []uint64, lo, hi int, lsel, rsel []int32) ([]int32, []int32) {
+	outer := cj.kind == LeftOuter
+	perm := cj.perm
+	multi := cj.parts > 1
+	heads := cj.heads[0]
+	mask := cj.masks[0]
+	next := cj.next
+	bhash := cj.bhash
+	for i := lo; i < hi; i++ {
+		h := phash[i]
+		if multi {
+			p := h >> cj.partShift
+			heads = cj.heads[p]
+			mask = cj.masks[p]
+		}
+		slot := uint32(h) & mask
+		j := int32(-1)
+		for {
+			b := heads[slot]
+			if b < 0 {
+				break
+			}
+			if bhash[b] == h && pkeys[i] == bkeys[b] {
+				j = b
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+		if j < 0 {
+			if outer {
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, -1)
+			}
+			continue
+		}
+		if perm == nil {
+			for ; j >= 0; j = next[j] {
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, j)
+			}
+		} else {
+			for ; j >= 0; j = next[j] {
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, perm[j])
+			}
+		}
+	}
+	return lsel, rsel
+}
+
+// probeStrings is the string-key scan: dictionary-encoded probe columns
+// resolve each distinct value to its build chain head once, raw string
+// columns compare per row.
+func (cj *colJoiner) probeStrings(left *ColTable, phash []uint64, lo, hi int, lsel, rsel []int32) ([]int32, []int32) {
+	pk := &left.cols[cj.plan.lk]
+	outer := cj.kind == LeftOuter
+	bd := &cj.bkey
+	if pk.dict != nil {
+		d := pk.dict
+		resolve := make([]int32, len(d.vals))
+		for c, v := range d.vals {
+			resolve[c] = cj.firstMatch(joinHashString(v), func(j int32) bool {
+				return bd.strAt(int(j)) == v
+			})
+		}
+		for i := lo; i < hi; i++ {
+			j := resolve[pk.codes[i]]
+			if j < 0 {
+				if outer {
+					lsel = append(lsel, int32(i))
+					rsel = append(rsel, -1)
+				}
+				continue
+			}
+			for ; j >= 0; j = cj.next[j] {
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, cj.orig(j))
+			}
+		}
+		return lsel, rsel
+	}
+	for i := lo; i < hi; i++ {
+		h := phash[i]
+		v := pk.strAt(i)
+		j := cj.firstMatch(h, func(b int32) bool { return bd.strAt(int(b)) == v })
+		if j < 0 {
+			if outer {
+				lsel = append(lsel, int32(i))
+				rsel = append(rsel, -1)
+			}
+			continue
+		}
+		for ; j >= 0; j = cj.next[j] {
+			lsel = append(lsel, int32(i))
+			rsel = append(rsel, cj.orig(j))
+		}
+	}
+	return lsel, rsel
+}
+
+// scanRange dispatches a probe scan over rows [lo, hi) to the typed
+// loop for the probe key's type.
+func (cj *colJoiner) scanRange(left *ColTable, phash []uint64, lo, hi int, lsel, rsel []int32) ([]int32, []int32) {
+	pk := &left.cols[cj.plan.lk]
+	switch pk.typ {
+	case Int:
+		return probeScan(cj, pk.ints, cj.bkey.ints, phash, lo, hi, lsel, rsel)
+	case Float:
+		return probeScan(cj, pk.floats, cj.bkey.floats, phash, lo, hi, lsel, rsel)
+	case Bool:
+		return probeScan(cj, pk.bools, cj.bkey.bools, phash, lo, hi, lsel, rsel)
+	default:
+		return cj.probeStrings(left, phash, lo, hi, lsel, rsel)
+	}
+}
+
+// probePart probes with the probe side scattered by the same high hash
+// bits as the build side: hashes and keys are gathered into
+// partition-contiguous arrays, each partition is probed entirely within
+// its own few hundred kilobytes (table, build hashes, build keys and
+// probe rows all adjacent), and the match pairs are then written back
+// into probe order — the position of row i's matches is the running sum
+// of earlier rows' match counts — so the output is bit-identical to the
+// straight scan.
+func probePart[K comparable](cj *colJoiner, pkeys []K, bkeys []K, phash []uint64) (lsel, rsel []int32) {
+	n := len(pkeys)
+	offs, fill := partOffsets(phash, cj.parts, cj.partShift)
+	sc := joinScratchPool.Get().(*joinScratch)
+	sh := sc.uint64s(n)
+	sk := make([]K, n)
+	tri := sc.int32s(3 * n)
+	ord := tri[:n]
+	scatterByPart(phash, pkeys, cj.partShift, fill, sh, sk, ord)
+	outer := cj.kind == LeftOuter
+	perm := cj.perm
+	next := cj.next
+	bhash := cj.bhash
+	// Pass one, partition at a time: resolve each probe row's chain head
+	// and match count. No pair buffers grow here, so the second pass can
+	// write the output exactly sized, straight into probe order.
+	jhead := tri[n : 2*n] // chain head per scattered probe row
+	nm := tri[2*n : 3*n]  // match count per original probe row
+	for p := 0; p < cj.parts; p++ {
+		lo, hi := offs[p], offs[p+1]
+		heads := cj.heads[p]
+		mask := cj.masks[p]
+		for s := lo; s < hi; s++ {
+			h := sh[s]
+			slot := uint32(h) & mask
+			j := int32(-1)
+			for {
+				b := heads[slot]
+				if b < 0 {
+					break
+				}
+				if bhash[b] == h && sk[s] == bkeys[b] {
+					j = b
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+			jhead[s] = j
+			c := int32(0)
+			if j < 0 {
+				if outer {
+					c = 1
+				}
+			} else {
+				for b := j; b >= 0; b = next[b] {
+					c++
+				}
+			}
+			nm[ord[s]] = c
+		}
+	}
+	// Prefix-sum the counts in place: nm[i] becomes probe row i's first
+	// output position.
+	total := int32(0)
+	for i, c := range nm {
+		nm[i] = total
+		total += c
+	}
+	lsel = make([]int32, total)
+	rsel = make([]int32, total)
+	// Pass two: walk each resolved chain again (still cache-resident)
+	// and emit pairs at their probe-order positions.
+	for p := 0; p < cj.parts; p++ {
+		lo, hi := offs[p], offs[p+1]
+		for s := lo; s < hi; s++ {
+			j := jhead[s]
+			i := ord[s]
+			at := nm[i]
+			if j < 0 {
+				if outer {
+					lsel[at] = i
+					rsel[at] = -1
+				}
+				continue
+			}
+			for ; j >= 0; j = next[j] {
+				lsel[at] = i
+				rsel[at] = perm[j]
+				at++
+			}
+		}
+	}
+	joinScratchPool.Put(sc)
+	return lsel, rsel
+}
+
+// probeByPartition dispatches the partition-at-a-time probe to the
+// typed loop for the probe key's type, or reports false for string
+// keys (which take the dictionary-resolving scan instead).
+func (cj *colJoiner) probeByPartition(left *ColTable, phash []uint64) (lsel, rsel []int32, ok bool) {
+	pk := &left.cols[cj.plan.lk]
+	switch pk.typ {
+	case Int:
+		lsel, rsel = probePart(cj, pk.ints, cj.bkey.ints, phash)
+	case Float:
+		lsel, rsel = probePart(cj, pk.floats, cj.bkey.floats, phash)
+	case Bool:
+		lsel, rsel = probePart(cj, pk.bools, cj.bkey.bools, phash)
+	default:
+		return nil, nil, false
+	}
+	return lsel, rsel, true
+}
+
+// probe joins a whole probe table, returning the columnar output. With
+// more than one partition and spare processors the probe vector is
+// split into contiguous chunks joined concurrently; chunk outputs
+// concatenate in chunk order, so the result is bit-identical to a
+// serial probe.
+func (cj *colJoiner) probe(left *ColTable) *ColTable {
+	pk := &left.cols[cj.plan.lk]
+	var phash []uint64
+	if !(pk.typ == String && pk.dict != nil) {
+		phash = make([]uint64, left.n)
+		hashKeyCol(phash, pk)
+	}
+	var lsel, rsel []int32
+	workers := cj.parts
+	if w := runtime.GOMAXPROCS(0); w < workers {
+		workers = w
+	}
+	if workers == 1 && cj.parts > 1 && phash != nil && left.n >= 4096 {
+		// Single processor, partitioned build: probe partition-by-
+		// partition for cache residency instead of spawning goroutines.
+		if ls, rs, ok := cj.probeByPartition(left, phash); ok {
+			return cj.gatherOutput(left, ls, rs)
+		}
+	}
+	if workers > 1 && left.n >= 4096 {
+		chunk := (left.n + workers - 1) / workers
+		lparts := make([][]int32, workers)
+		rparts := make([][]int32, workers)
+		var wg sync.WaitGroup
+		slot := 0
+		for lo := 0; lo < left.n; lo += chunk {
+			hi := lo + chunk
+			if hi > left.n {
+				hi = left.n
+			}
+			wg.Add(1)
+			go func(slot, lo, hi int) {
+				defer wg.Done()
+				ls := make([]int32, 0, hi-lo)
+				rs := make([]int32, 0, hi-lo)
+				lparts[slot], rparts[slot] = cj.scanRange(left, phash, lo, hi, ls, rs)
+			}(slot, lo, hi)
+			slot++
+		}
+		wg.Wait()
+		n := 0
+		for _, p := range lparts {
+			n += len(p)
+		}
+		lsel = make([]int32, 0, n)
+		rsel = make([]int32, 0, n)
+		for s := range lparts {
+			lsel = append(lsel, lparts[s]...)
+			rsel = append(rsel, rparts[s]...)
+		}
+	} else {
+		lsel = make([]int32, 0, left.n)
+		rsel = make([]int32, 0, left.n)
+		lsel, rsel = cj.scanRange(left, phash, 0, left.n, lsel, rsel)
+	}
+	return cj.gatherOutput(left, lsel, rsel)
+}
+
+// gatherOutput materializes the joined columns: left columns gathered
+// by lsel, right columns (minus the key) gathered by rsel with -1
+// yielding the LeftOuter zero padding.
+func (cj *colJoiner) gatherOutput(left *ColTable, lsel, rsel []int32) *ColTable {
+	w := cj.plan.out.Len()
+	out := &ColTable{schema: cj.plan.out, n: len(lsel), cols: make([]colData, w)}
+	lw := left.schema.Len()
+	for p := 0; p < lw; p++ {
+		gatherInto(&out.cols[p], &left.cols[p], lsel)
+	}
+	for k, rp := range cj.plan.rightPos {
+		gatherNullable(&out.cols[lw+k], &cj.build.cols[rp], rsel)
+	}
+	return out
+}
+
+// gatherInto fills dst with src gathered by sel (no -1 entries).
+func gatherInto(dst, src *colData, sel []int32) {
+	dst.typ = src.typ
+	switch src.typ {
+	case Int:
+		vs := make([]int64, len(sel))
+		for i, s := range sel {
+			vs[i] = src.ints[s]
+		}
+		dst.ints = vs
+	case Float:
+		vs := make([]float64, len(sel))
+		for i, s := range sel {
+			vs[i] = src.floats[s]
+		}
+		dst.floats = vs
+	case Bool:
+		vs := make([]bool, len(sel))
+		for i, s := range sel {
+			vs[i] = src.bools[s]
+		}
+		dst.bools = vs
+	default:
+		if src.dict != nil {
+			codes := make([]int32, len(sel))
+			for i, s := range sel {
+				codes[i] = src.codes[s]
+			}
+			dst.codes = codes
+			dst.dict = src.dict
+		} else {
+			vs := make([]string, len(sel))
+			for i, s := range sel {
+				vs[i] = src.strs[s]
+			}
+			dst.strs = vs
+		}
+	}
+}
+
+// gatherNullable is gatherInto where sel entries of -1 produce the
+// column type's zero value (the LeftOuter padding).
+func gatherNullable(dst, src *colData, sel []int32) {
+	dst.typ = src.typ
+	switch src.typ {
+	case Int:
+		vs := make([]int64, len(sel))
+		for i, s := range sel {
+			if s >= 0 {
+				vs[i] = src.ints[s]
+			}
+		}
+		dst.ints = vs
+	case Float:
+		vs := make([]float64, len(sel))
+		for i, s := range sel {
+			if s >= 0 {
+				vs[i] = src.floats[s]
+			}
+		}
+		dst.floats = vs
+	case Bool:
+		vs := make([]bool, len(sel))
+		for i, s := range sel {
+			if s >= 0 {
+				vs[i] = src.bools[s]
+			}
+		}
+		dst.bools = vs
+	default:
+		if src.dict != nil {
+			d, emptyCode := src.dict.withEmpty()
+			codes := make([]int32, len(sel))
+			for i, s := range sel {
+				if s >= 0 {
+					codes[i] = src.codes[s]
+				} else {
+					codes[i] = emptyCode
+				}
+			}
+			dst.codes = codes
+			dst.dict = d
+		} else {
+			vs := make([]string, len(sel))
+			for i, s := range sel {
+				if s >= 0 {
+					vs[i] = src.strs[s]
+				}
+			}
+			dst.strs = vs
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package relation
+
+import "fmt"
+
+// Vectorized filter kernels. Each Select* scans one typed column vector
+// with a tight per-type loop — no Tuple construction, no interface
+// dispatch — and returns a selection vector of the qualifying row
+// indices, in ascending row order. Passing a previous selection vector
+// narrows it (conjunction), so multi-column predicates compose without
+// materializing intermediate tables; Gather (or FilterCol) materializes
+// the survivors once at the end.
+
+// selAll returns the identity selection for n rows.
+func selAll(n int) SelVec {
+	sel := make(SelVec, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+func (c *ColTable) colOf(name string, want Type, kernel string) (*colData, error) {
+	p := c.schema.IndexOf(name)
+	if p < 0 {
+		return nil, fmt.Errorf("relation: %s: unknown column %q", kernel, name)
+	}
+	cd := &c.cols[p]
+	if cd.typ != want {
+		return nil, fmt.Errorf("relation: %s: column %q is %s, need %s", kernel, name, cd.typ, want)
+	}
+	return cd, nil
+}
+
+// SelectInt narrows in (nil means all rows) to rows whose named Int
+// column satisfies keep.
+func (c *ColTable) SelectInt(name string, keep func(int64) bool, in SelVec) (SelVec, error) {
+	cd, err := c.colOf(name, Int, "select-int")
+	if err != nil {
+		return nil, err
+	}
+	vs := cd.ints
+	if in == nil {
+		out := SelVec{} // non-nil: an empty selection must not read as scan-all
+		for i, v := range vs {
+			if keep(v) {
+				out = append(out, int32(i))
+			}
+		}
+		return out, nil
+	}
+	out := in[:0:len(in)]
+	for _, s := range in {
+		if keep(vs[s]) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// SelectFloat narrows in to rows whose named Float column satisfies
+// keep.
+func (c *ColTable) SelectFloat(name string, keep func(float64) bool, in SelVec) (SelVec, error) {
+	cd, err := c.colOf(name, Float, "select-float")
+	if err != nil {
+		return nil, err
+	}
+	vs := cd.floats
+	if in == nil {
+		out := SelVec{} // non-nil: an empty selection must not read as scan-all
+		for i, v := range vs {
+			if keep(v) {
+				out = append(out, int32(i))
+			}
+		}
+		return out, nil
+	}
+	out := in[:0:len(in)]
+	for _, s := range in {
+		if keep(vs[s]) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// SelectBool narrows in to rows whose named Bool column equals want.
+func (c *ColTable) SelectBool(name string, want bool, in SelVec) (SelVec, error) {
+	cd, err := c.colOf(name, Bool, "select-bool")
+	if err != nil {
+		return nil, err
+	}
+	vs := cd.bools
+	if in == nil {
+		out := SelVec{} // non-nil: an empty selection must not read as scan-all
+		for i, v := range vs {
+			if v == want {
+				out = append(out, int32(i))
+			}
+		}
+		return out, nil
+	}
+	out := in[:0:len(in)]
+	for _, s := range in {
+		if vs[s] == want {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// SelectStr narrows in to rows whose named String column satisfies
+// keep. On a dictionary-encoded column the predicate runs once per
+// distinct value — the verdict is precomputed over the dictionary and
+// the row scan is a pure int32 lookup.
+func (c *ColTable) SelectStr(name string, keep func(string) bool, in SelVec) (SelVec, error) {
+	cd, err := c.colOf(name, String, "select-str")
+	if err != nil {
+		return nil, err
+	}
+	if cd.dict != nil {
+		verdict := make([]bool, len(cd.dict.vals))
+		for i, v := range cd.dict.vals {
+			verdict[i] = keep(v)
+		}
+		codes := cd.codes
+		if in == nil {
+			out := SelVec{} // non-nil: an empty selection must not read as scan-all
+			for i, code := range codes {
+				if verdict[code] {
+					out = append(out, int32(i))
+				}
+			}
+			return out, nil
+		}
+		out := in[:0:len(in)]
+		for _, s := range in {
+			if verdict[codes[s]] {
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	}
+	vs := cd.strs
+	if in == nil {
+		out := SelVec{} // non-nil: an empty selection must not read as scan-all
+		for i, v := range vs {
+			if keep(v) {
+				out = append(out, int32(i))
+			}
+		}
+		return out, nil
+	}
+	out := in[:0:len(in)]
+	for _, s := range in {
+		if keep(vs[s]) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// FilterCol gathers a selection into a row-API Table backed by the
+// gathered columns — the columnar counterpart of Filter.
+func (c *ColTable) FilterCol(sel SelVec) *Table {
+	return FromColumnar(c.Gather(sel))
+}

@@ -1,0 +1,70 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Wall-clock benchmarks for the columnar hot paths, split by phase so
+// build-vs-probe and partitioned-vs-serial regressions are visible in
+// isolation (the bench harness's micros time the combined call).
+
+func benchJoinFixture(n int) (*ColTable, *ColTable, *joinPlan) {
+	ls := MustSchema(Field{Name: "k", Type: Int}, Field{Name: "payload", Type: String})
+	rs := MustSchema(Field{Name: "k", Type: Int}, Field{Name: "weight", Type: Float})
+	left, right := NewTable(ls), NewTable(rs)
+	for i := 0; i < n; i++ {
+		left.AppendUnchecked(Tuple{int64(i % (n / 4)), fmt.Sprintf("row-%d", i)})
+		right.AppendUnchecked(Tuple{int64(i % (n / 2)), float64(i)})
+	}
+	lc, _ := ToColumnar(left)
+	rc, _ := ToColumnar(right)
+	plan, err := planJoin(ls, rs, "k", "k")
+	if err != nil {
+		panic(err)
+	}
+	return lc, rc, plan
+}
+
+func BenchmarkColJoinBuild(b *testing.B) {
+	_, rc, plan := benchJoinFixture(100000)
+	for _, parts := range []int{1, 8} {
+		b.Run(fmt.Sprintf("parts%d", parts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				newColJoiner(plan, Inner, rc, parts)
+			}
+		})
+	}
+}
+
+func BenchmarkColJoinProbe(b *testing.B) {
+	lc, rc, plan := benchJoinFixture(100000)
+	for _, parts := range []int{1, 8} {
+		cj := newColJoiner(plan, Inner, rc, parts)
+		b.Run(fmt.Sprintf("parts%d", parts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cj.probe(lc)
+			}
+		})
+	}
+}
+
+func BenchmarkColEncodeTable(b *testing.B) {
+	lc, _, _ := benchJoinFixture(10000)
+	b.Run("columnar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			colEncodeTable(lc)
+		}
+	})
+	rows := FromColumnar(lc)
+	rows.Rows()
+	b.Run("row", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prev := SetColumnarEnabled(false)
+			if _, err := EncodeTable(rows); err != nil {
+				b.Fatal(err)
+			}
+			SetColumnarEnabled(prev)
+		}
+	})
+}

@@ -1,0 +1,433 @@
+package relation
+
+import "sync/atomic"
+
+// Columnar storage. A ColTable holds the same relation as a row Table
+// but column-major: one typed vector per field ([]int64, []float64,
+// []bool) with string columns either raw ([]string) or
+// dictionary-encoded (int32 codes into a shared value dictionary).
+// Column vectors are immutable once built — every kernel that "changes"
+// a ColTable produces a new one, usually sharing column slices (Project)
+// or dictionaries (Gather, joins) with its input.
+//
+// The columnar layout is the fast half of the relation package's dual
+// representation: Table can carry a ColTable backing next to (or
+// instead of) its row slice, and the hot-path kernels — filter over
+// selection vectors, hash join, group-by, serde, Digest — run tight
+// per-type loops over the vectors with no interface dispatch, while
+// every row-oriented caller still sees []Tuple through lazy
+// materialization. Conversions in both directions are value-exact, so
+// results are bit-identical whichever representation computed them.
+
+// colEnabled globally gates the automatic columnar fast paths (the
+// explicit kernels keep working regardless). The bench harness flips it
+// to measure row-path vs columnar-path macro pairs.
+var colEnabled atomic.Bool
+
+func init() { colEnabled.Store(true) }
+
+// SetColumnarEnabled toggles the automatic columnar fast paths inside
+// the row-level API (HashJoin, GroupBy, Digest, EncodeTable, ...).
+// Outputs are bit-identical either way; only speed changes. Returns the
+// previous setting.
+func SetColumnarEnabled(on bool) bool { return colEnabled.Swap(on) }
+
+// ColumnarEnabled reports whether automatic columnar fast paths are on.
+func ColumnarEnabled() bool { return colEnabled.Load() }
+
+const (
+	// colConvertMin is the minimum row count at which the automatic
+	// fast paths bother converting a row table to columnar; below it the
+	// conversion overhead exceeds any kernel win.
+	colConvertMin = 128
+	// dictSampleRows is how many rows the string-column converter
+	// ingests before deciding between dictionary and raw encoding.
+	dictSampleRows = 1024
+	// dictEarlyCheck is the cadence at which the converter re-checks
+	// cardinality mid-sample: a column that already looks near-unique
+	// after 256 rows bails to raw immediately instead of paying map
+	// inserts for the rest of the sample. On pipelines full of
+	// small unique-keyed tables this sampling cost is the dominant
+	// conversion overhead.
+	dictEarlyCheck = 256
+	// dictMaxRatio is the cardinality ratio (distinct/seen) above which
+	// a string column abandons dictionary encoding: near-unique columns
+	// pay map inserts for no reuse.
+	dictMaxRatio = 0.75
+)
+
+// strDict is a string-column dictionary: values in first-appearance
+// order. The index map exists only while building; derived dictionaries
+// (gather outputs, padded copies) carry just the values.
+type strDict struct {
+	vals []string
+	idx  map[string]int32
+}
+
+func newStrDict() *strDict {
+	return &strDict{idx: make(map[string]int32)}
+}
+
+// code interns s, returning its dictionary code.
+func (d *strDict) code(s string) int32 {
+	if c, ok := d.idx[s]; ok {
+		return c
+	}
+	c := int32(len(d.vals))
+	d.vals = append(d.vals, s)
+	d.idx[s] = c
+	return c
+}
+
+// withEmpty returns a dictionary that contains "" (for outer-join
+// padding), either d itself or a read-only extended copy.
+func (d *strDict) withEmpty() (*strDict, int32) {
+	if d.idx != nil {
+		if c, ok := d.idx[""]; ok {
+			return d, c
+		}
+	} else {
+		for i, v := range d.vals {
+			if v == "" {
+				return d, int32(i)
+			}
+		}
+	}
+	ext := &strDict{vals: make([]string, len(d.vals)+1)}
+	copy(ext.vals, d.vals)
+	return ext, int32(len(d.vals))
+}
+
+// colData is one column vector. Exactly one of the payload slices is
+// populated, selected by typ (strings use strs when dict == nil, else
+// codes+dict).
+type colData struct {
+	typ    Type
+	ints   []int64
+	floats []float64
+	bools  []bool
+	strs   []string
+	codes  []int32
+	dict   *strDict
+}
+
+// strAt returns the string at row i of a string column.
+func (c *colData) strAt(i int) string {
+	if c.dict != nil {
+		return c.dict.vals[c.codes[i]]
+	}
+	return c.strs[i]
+}
+
+// value boxes the value at row i.
+func (c *colData) value(i int) any {
+	switch c.typ {
+	case Int:
+		return c.ints[i]
+	case Float:
+		return c.floats[i]
+	case Bool:
+		return c.bools[i]
+	default:
+		return c.strAt(i)
+	}
+}
+
+// ColTable is a column-major relation: a schema plus one typed vector
+// per field, all of length Len.
+type ColTable struct {
+	schema *Schema
+	n      int
+	cols   []colData
+
+	// encSize caches the encoded byte size (vectors are immutable, so
+	// it never goes stale); 0 means not yet computed.
+	encSize atomic.Int64
+}
+
+// Schema returns the table's schema.
+func (c *ColTable) Schema() *Schema { return c.schema }
+
+// Len returns the number of rows.
+func (c *ColTable) Len() int { return c.n }
+
+// Ints returns the backing vector of an Int column (not a copy; callers
+// must not mutate it).
+func (c *ColTable) Ints(col int) []int64 { return c.cols[col].ints }
+
+// Floats returns the backing vector of a Float column.
+func (c *ColTable) Floats(col int) []float64 { return c.cols[col].floats }
+
+// Bools returns the backing vector of a Bool column.
+func (c *ColTable) Bools(col int) []bool { return c.cols[col].bools }
+
+// Str returns the string at (row, col) of a String column.
+func (c *ColTable) Str(col, row int) string { return c.cols[col].strAt(row) }
+
+// DictEncoded reports whether a String column is dictionary-encoded and
+// the dictionary's cardinality (0 for raw or non-string columns).
+func (c *ColTable) DictEncoded(col int) (bool, int) {
+	d := c.cols[col].dict
+	if d == nil {
+		return false, 0
+	}
+	return true, len(d.vals)
+}
+
+// ToColumnar converts a row table to columnar form. It returns (nil,
+// false) when any value's dynamic type disagrees with the declared
+// schema (such rows are representable only in row form, where the join
+// spill path handles them). The input table's rows are not retained.
+func ToColumnar(t *Table) (*ColTable, bool) {
+	if t.col != nil {
+		return t.col, true
+	}
+	rows := t.Rows()
+	c := &ColTable{schema: t.schema, n: len(rows), cols: make([]colData, t.schema.Len())}
+	for p := 0; p < t.schema.Len(); p++ {
+		if !convertColumn(&c.cols[p], t.schema.Field(p).Type, rows, p) {
+			return nil, false
+		}
+	}
+	return c, true
+}
+
+// convertColumn fills one column vector from row position p.
+func convertColumn(cd *colData, typ Type, rows []Tuple, p int) bool {
+	cd.typ = typ
+	n := len(rows)
+	switch typ {
+	case Int:
+		vs := make([]int64, n)
+		for i, r := range rows {
+			v, ok := r[p].(int64)
+			if !ok {
+				return false
+			}
+			vs[i] = v
+		}
+		cd.ints = vs
+	case Float:
+		vs := make([]float64, n)
+		for i, r := range rows {
+			v, ok := r[p].(float64)
+			if !ok {
+				return false
+			}
+			vs[i] = v
+		}
+		cd.floats = vs
+	case Bool:
+		vs := make([]bool, n)
+		for i, r := range rows {
+			v, ok := r[p].(bool)
+			if !ok {
+				return false
+			}
+			vs[i] = v
+		}
+		cd.bools = vs
+	case String:
+		return convertStringColumn(cd, rows, p)
+	default:
+		return false
+	}
+	return true
+}
+
+// convertStringColumn dictionary-encodes a string column, bailing to a
+// raw []string column when an initial sample shows near-unique values
+// (paying map inserts for a dictionary nobody reuses loses to plain
+// header copies).
+func convertStringColumn(cd *colData, rows []Tuple, p int) bool {
+	n := len(rows)
+	dict := newStrDict()
+	codes := make([]int32, 0, n)
+	sample := n
+	if sample > dictSampleRows {
+		sample = dictSampleRows
+	}
+	for i := 0; i < sample; i++ {
+		v, ok := rows[i][p].(string)
+		if !ok {
+			return false
+		}
+		codes = append(codes, dict.code(v))
+		if (i+1)%dictEarlyCheck == 0 && float64(len(dict.vals)) > dictMaxRatio*float64(i+1) {
+			sample = i + 1
+			break
+		}
+	}
+	if sample >= dictEarlyCheck && float64(len(dict.vals)) > dictMaxRatio*float64(sample) {
+		// High cardinality: decode what we have and continue raw.
+		strs := make([]string, n)
+		for i, code := range codes {
+			strs[i] = dict.vals[code]
+		}
+		for i := sample; i < n; i++ {
+			v, ok := rows[i][p].(string)
+			if !ok {
+				return false
+			}
+			strs[i] = v
+		}
+		cd.strs = strs
+		return true
+	}
+	for i := sample; i < n; i++ {
+		v, ok := rows[i][p].(string)
+		if !ok {
+			return false
+		}
+		codes = append(codes, dict.code(v))
+	}
+	cd.codes = codes
+	cd.dict = dict
+	return true
+}
+
+// materializeRows builds the row form. Values are boxed through a slab
+// so a w-wide table costs one []any allocation per table rather than
+// one per row; dictionary strings box each dictionary entry once.
+func (c *ColTable) materializeRows() []Tuple {
+	w := c.schema.Len()
+	rows := make([]Tuple, c.n)
+	slab := make([]any, c.n*w)
+	boxed := make([][]any, len(c.cols))
+	for p := range c.cols {
+		if d := c.cols[p].dict; d != nil {
+			bs := make([]any, len(d.vals))
+			for i, v := range d.vals {
+				bs[i] = v
+			}
+			boxed[p] = bs
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		row := slab[i*w : (i+1)*w : (i+1)*w]
+		for p := range c.cols {
+			cd := &c.cols[p]
+			switch cd.typ {
+			case Int:
+				row[p] = cd.ints[i]
+			case Float:
+				row[p] = cd.floats[i]
+			case Bool:
+				row[p] = cd.bools[i]
+			default:
+				if cd.dict != nil {
+					row[p] = boxed[p][cd.codes[i]]
+				} else {
+					row[p] = cd.strs[i]
+				}
+			}
+		}
+		rows[i] = Tuple(row)
+	}
+	return rows
+}
+
+// SelVec is a selection vector: indices of selected rows, ascending
+// when produced by the filter kernels.
+type SelVec []int32
+
+// Gather materializes the selected rows as a new ColTable. Dictionary
+// columns share their dictionary with the input (codes are gathered,
+// values are not copied).
+func (c *ColTable) Gather(sel SelVec) *ColTable {
+	out := &ColTable{schema: c.schema, n: len(sel), cols: make([]colData, len(c.cols))}
+	for p := range c.cols {
+		cd := &c.cols[p]
+		oc := &out.cols[p]
+		oc.typ = cd.typ
+		switch cd.typ {
+		case Int:
+			vs := make([]int64, len(sel))
+			for i, s := range sel {
+				vs[i] = cd.ints[s]
+			}
+			oc.ints = vs
+		case Float:
+			vs := make([]float64, len(sel))
+			for i, s := range sel {
+				vs[i] = cd.floats[s]
+			}
+			oc.floats = vs
+		case Bool:
+			vs := make([]bool, len(sel))
+			for i, s := range sel {
+				vs[i] = cd.bools[s]
+			}
+			oc.bools = vs
+		default:
+			if cd.dict != nil {
+				codes := make([]int32, len(sel))
+				for i, s := range sel {
+					codes[i] = cd.codes[s]
+				}
+				oc.codes = codes
+				oc.dict = cd.dict
+			} else {
+				vs := make([]string, len(sel))
+				for i, s := range sel {
+					vs[i] = cd.strs[s]
+				}
+				oc.strs = vs
+			}
+		}
+	}
+	return out
+}
+
+// Project returns a ColTable with only the named columns, in order.
+// Column vectors are shared, not copied: projection is zero-copy.
+func (c *ColTable) Project(names ...string) (*ColTable, error) {
+	s, err := c.schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := &ColTable{schema: s, n: c.n, cols: make([]colData, len(names))}
+	for i, name := range names {
+		out.cols[i] = c.cols[c.schema.IndexOf(name)]
+	}
+	return out, nil
+}
+
+// Equal reports whether two columnar tables hold equal schemas and
+// identical rows in order, comparing vectors type by type (dictionary
+// and raw string columns compare by value).
+func (c *ColTable) Equal(o *ColTable) bool {
+	if !c.schema.Equal(o.schema) || c.n != o.n {
+		return false
+	}
+	for p := range c.cols {
+		a, b := &c.cols[p], &o.cols[p]
+		switch a.typ {
+		case Int:
+			for i := range a.ints {
+				if a.ints[i] != b.ints[i] {
+					return false
+				}
+			}
+		case Float:
+			for i := range a.floats {
+				if a.floats[i] != b.floats[i] {
+					return false
+				}
+			}
+		case Bool:
+			for i := range a.bools {
+				if a.bools[i] != b.bools[i] {
+					return false
+				}
+			}
+		default:
+			for i := 0; i < c.n; i++ {
+				if a.strAt(i) != b.strAt(i) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

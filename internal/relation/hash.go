@@ -1,5 +1,7 @@
 package relation
 
+import "math"
+
 // FNV-1a primitives shared by Digest and by the lineage fingerprint
 // layer. Exporting the constants (rather than each caller re-declaring
 // them) keeps every content hash in the repo on the same function, so a
@@ -38,4 +40,92 @@ func FNVMixUint64(h, v uint64) uint64 {
 		v >>= 8
 	}
 	return h
+}
+
+// Canonical tuple hashing. hashTupleCanon/equalTupleCanon replace the
+// Tuple.Key canonical-string encoding on the row-path hot spots
+// (Distinct, GroupBy, EqualUnordered): rows bucket by a uint64 FNV hash
+// instead of an allocated key string, and bucket collisions resolve by
+// canonical value equality. "Canonical" mirrors Key's equivalence
+// classes exactly — every NaN is one value (FormatFloat renders them
+// all "NaN"), while +0 and -0 stay distinct ("0" vs "-0") — so the
+// groups, the kept-first rows, and therefore the output bits are
+// identical to the string-keyed implementation.
+
+// canonNaNBits is the single bit pattern all NaNs hash as.
+const canonNaNBits uint64 = 0x7ff8_dead_beef_0000
+
+// canonFloatBits collapses every NaN to one pattern and otherwise
+// returns the IEEE bits (keeping -0 distinct from +0, like FormatFloat).
+func canonFloatBits(f float64) uint64 {
+	if f != f {
+		return canonNaNBits
+	}
+	return math.Float64bits(f)
+}
+
+// hashValueCanon folds one tagged value into h. Tags keep int64(1),
+// "1" and true from colliding, mirroring Key's type prefixes.
+func hashValueCanon(h uint64, v any) uint64 {
+	switch v := v.(type) {
+	case int64:
+		h ^= 'i'
+		h *= FNVPrime64
+		return FNVMixUint64(h, uint64(v))
+	case float64:
+		h ^= 'f'
+		h *= FNVPrime64
+		return FNVMixUint64(h, canonFloatBits(v))
+	case string:
+		h ^= 's'
+		h *= FNVPrime64
+		h = FNVMixUint64(h, uint64(len(v)))
+		return FNVMixString(h, v)
+	case bool:
+		h ^= 'b'
+		h *= FNVPrime64
+		if v {
+			h ^= 1
+			h *= FNVPrime64
+		} else {
+			h ^= 0
+			h *= FNVPrime64
+		}
+		return h
+	default:
+		h ^= '?'
+		h *= FNVPrime64
+		return h
+	}
+}
+
+// hashTupleCanon hashes the values at the given positions.
+func hashTupleCanon(t Tuple, pos []int) uint64 {
+	h := FNVOffset64
+	for _, p := range pos {
+		h = hashValueCanon(h, t[p])
+	}
+	return h
+}
+
+// equalValueCanon is the equality matching hashValueCanon: dynamic-type
+// tagged, with all NaNs equal and -0 unequal to +0.
+func equalValueCanon(a, b any) bool {
+	switch av := a.(type) {
+	case float64:
+		bv, ok := b.(float64)
+		return ok && canonFloatBits(av) == canonFloatBits(bv)
+	default:
+		return a == b
+	}
+}
+
+// equalTupleCanon compares the values at the given positions.
+func equalTupleCanon(a, b Tuple, pos []int) bool {
+	for _, p := range pos {
+		if !equalValueCanon(a[p], b[p]) {
+			return false
+		}
+	}
+	return true
 }

@@ -240,24 +240,36 @@ func newKeyIndex(t Type) keyIndex {
 	}
 }
 
-// Joiner is a reusable equi-join with the build phase done up front:
-// construct it once over the build (right) side, then probe whole
-// tables or successive row batches. Streaming callers (the dataflow
-// hash-join operator) avoid rebuilding the hash table per batch, which
-// the per-batch HashJoin calls used to do.
+// Joiner is a reusable equi-join with the build phase done once:
+// construct it over the build (right) side, then probe whole tables or
+// successive row batches. Streaming callers (the dataflow hash-join
+// operator) avoid rebuilding the hash table per batch, which the
+// per-batch HashJoin calls used to do.
+//
+// The Joiner holds up to two build indexes, each constructed lazily on
+// first use: the row-path typed index (ProbeRows, and Probe fallback)
+// and the columnar open-addressing index (Probe over tables that can go
+// columnar). Whole-table probes that take the columnar path never pay
+// for the row index, and streaming batch probes never pay for the
+// columnar one.
 type Joiner struct {
 	plan   *joinPlan
 	kind   JoinType
-	ix     keyIndex
-	build  []Tuple
+	right  *Table
 	shards int
+
+	rowOnce sync.Once
+	ix      keyIndex
+	build   []Tuple
+
+	colOnce sync.Once
+	cj      *colJoiner
 }
 
-// NewJoiner builds the hash index over the right (build) table for
-// probes whose rows follow leftSchema. shards controls the hash
-// partitioning of the build side and the parallelism of Probe; values
-// below 1 (and above 128) are clamped. Output is identical for every
-// shard count.
+// NewJoiner prepares a join of the right (build) table against probes
+// whose rows follow leftSchema. shards controls the hash partitioning
+// of the build side and the parallelism of Probe; values below 1 (and
+// above 128) are clamped. Output is identical for every shard count.
 func NewJoiner(leftSchema *Schema, right *Table, leftKey, rightKey string, kind JoinType, shards int) (*Joiner, error) {
 	plan, err := planJoin(leftSchema, right.Schema(), leftKey, rightKey)
 	if err != nil {
@@ -269,9 +281,41 @@ func NewJoiner(leftSchema *Schema, right *Table, leftKey, rightKey string, kind 
 	if shards > maxJoinShards {
 		shards = maxJoinShards
 	}
-	ix := newKeyIndex(right.Schema().Field(plan.rk).Type)
-	ix.insert(right.Rows(), plan.rk, shards, shards > 1)
-	return &Joiner{plan: plan, kind: kind, ix: ix, build: right.Rows(), shards: shards}, nil
+	return &Joiner{plan: plan, kind: kind, right: right, shards: shards}, nil
+}
+
+// rowIndex builds (once) and returns the row-path typed index.
+func (j *Joiner) rowIndex() keyIndex {
+	j.rowOnce.Do(func() {
+		j.build = j.right.Rows()
+		ix := newKeyIndex(j.right.Schema().Field(j.plan.rk).Type)
+		ix.insert(j.build, j.plan.rk, j.shards, j.shards > 1)
+		j.ix = ix
+	})
+	return j.ix
+}
+
+// columnar builds (once) and returns the columnar join index, or nil
+// when the build side is too small, cannot be represented columnar
+// (schema-divergent values need the row spill path), or the columnar
+// fast paths are disabled.
+func (j *Joiner) columnar() *colJoiner {
+	if !colEnabled.Load() {
+		return nil
+	}
+	j.colOnce.Do(func() {
+		if j.right.Len() < colConvertMin {
+			return
+		}
+		rc, ok := j.right.Columnar()
+		if !ok {
+			rc, ok = ToColumnar(j.right)
+		}
+		if ok {
+			j.cj = newColJoiner(j.plan, j.kind, rc, j.shards)
+		}
+	})
+	return j.cj
 }
 
 // OutputSchema returns the join output schema.
@@ -320,9 +364,10 @@ func (j *Joiner) emit(dst []Tuple, a *tupleArena, l, r Tuple) []Tuple {
 // ProbeRows joins a batch of probe rows against the built side,
 // appending output rows to dst in probe order.
 func (j *Joiner) ProbeRows(dst []Tuple, rows []Tuple) []Tuple {
+	ix := j.rowIndex()
 	var arena tupleArena
 	for _, l := range rows {
-		ms := j.ix.matches(l, j.plan.lk)
+		ms := ix.matches(l, j.plan.lk)
 		if len(ms) == 0 {
 			if j.kind == LeftOuter {
 				dst = j.emit(dst, &arena, l, nil)
@@ -336,11 +381,24 @@ func (j *Joiner) ProbeRows(dst []Tuple, rows []Tuple) []Tuple {
 	return dst
 }
 
-// Probe joins an entire probe table. With more than one shard the
-// probe side is split into contiguous chunks joined concurrently;
-// chunk outputs are concatenated in chunk order, so the result is
-// bit-identical to a serial probe.
+// Probe joins an entire probe table. When both sides can go columnar
+// the vectorized kernel runs (typed key vectors, open-addressing index,
+// vector gathers); otherwise the row path runs. Both paths emit
+// identical rows in identical order. With more than one shard the row
+// path splits the probe side into contiguous chunks joined
+// concurrently; chunk outputs are concatenated in chunk order, so the
+// result is bit-identical to a serial probe.
 func (j *Joiner) Probe(left *Table) *Table {
+	if cj := j.columnar(); cj != nil {
+		lc, ok := left.Columnar()
+		if !ok {
+			lc, ok = ToColumnar(left)
+		}
+		if ok {
+			return FromColumnar(cj.probe(lc))
+		}
+	}
+	j.rowIndex()
 	out := NewTable(j.plan.out)
 	rows := left.Rows()
 	if j.shards == 1 || len(rows) < 2*j.shards {

@@ -18,7 +18,16 @@ func Filter(t *Table, keep Predicate) *Table {
 }
 
 // Project returns a new table with only the named columns, in order.
+// On a columnar-backed table projection is zero-copy: the output shares
+// the selected column vectors.
 func Project(t *Table, names ...string) (*Table, error) {
+	if c := t.colBacking(); c != nil {
+		out, err := c.Project(names...)
+		if err != nil {
+			return nil, err
+		}
+		return FromColumnar(out), nil
+	}
 	s, err := t.Schema().Project(names...)
 	if err != nil {
 		return nil, err
@@ -152,20 +161,27 @@ func NestedLoopJoin(left, right *Table, leftKey, rightKey string, kind JoinType)
 }
 
 // Distinct returns the table with duplicate rows removed, keeping the
-// first occurrence of each.
+// first occurrence of each. Rows bucket by their canonical uint64 hash
+// (no per-row key-string allocation); hash collisions resolve by
+// canonical value equality, so the kept rows match the old string-keyed
+// implementation exactly.
 func Distinct(t *Table) *Table {
 	all := make([]int, t.Schema().Len())
 	for i := range all {
 		all[i] = i
 	}
-	seen := make(map[string]bool, t.Len())
+	seen := make(map[uint64][]Tuple, t.Len())
 	out := NewTable(t.Schema())
+rows:
 	for _, r := range t.Rows() {
-		k := r.Key(all...)
-		if seen[k] {
-			continue
+		h := hashTupleCanon(r, all)
+		b := seen[h]
+		for _, prev := range b {
+			if equalTupleCanon(prev, r, all) {
+				continue rows
+			}
 		}
-		seen[k] = true
+		seen[h] = append(b, r)
 		out.AppendUnchecked(r)
 	}
 	return out
@@ -180,7 +196,7 @@ func Limit(t *Table, n int) *Table {
 		n = t.Len()
 	}
 	out := NewTable(t.Schema())
-	out.rows = append(out.rows, t.rows[:n]...)
+	out.rows = append(out.rows, t.Rows()[:n]...)
 	return out
 }
 
@@ -249,7 +265,15 @@ func GroupBy(t *Table, keys []string, aggs []Aggregate) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c := t.colBacking(); c != nil {
+		return colGroupBy(c, keyPos, aggs, aggPos, outSchema), nil
+	}
 
+	// Row path: groups bucket by canonical uint64 hash (no key-string
+	// allocation), collisions resolve by canonical value equality —
+	// same equivalence classes, first-appearance order, and row-order
+	// float accumulation as the columnar kernel, so both paths emit
+	// identical bytes.
 	type acc struct {
 		key   Tuple
 		count int64
@@ -257,8 +281,8 @@ func GroupBy(t *Table, keys []string, aggs []Aggregate) (*Table, error) {
 		mins  []float64
 		maxs  []float64
 	}
-	groups := make(map[string]*acc)
-	var order []string
+	groups := make(map[uint64][]*acc)
+	var order []*acc
 	numeric := func(v any) float64 {
 		switch v := v.(type) {
 		case int64:
@@ -269,16 +293,29 @@ func GroupBy(t *Table, keys []string, aggs []Aggregate) (*Table, error) {
 		return 0
 	}
 	for _, r := range t.Rows() {
-		k := r.Key(keyPos...)
-		g, ok := groups[k]
-		if !ok {
+		h := hashTupleCanon(r, keyPos)
+		var g *acc
+		for _, cand := range groups[h] {
+			match := true
+			for i, p := range keyPos {
+				if !equalValueCanon(cand.key[i], r[p]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
 			key := make(Tuple, len(keyPos))
 			for i, p := range keyPos {
 				key[i] = r[p]
 			}
 			g = &acc{key: key, sums: make([]float64, len(aggs)), mins: make([]float64, len(aggs)), maxs: make([]float64, len(aggs))}
-			groups[k] = g
-			order = append(order, k)
+			groups[h] = append(groups[h], g)
+			order = append(order, g)
 		}
 		first := g.count == 0
 		g.count++
@@ -298,8 +335,7 @@ func GroupBy(t *Table, keys []string, aggs []Aggregate) (*Table, error) {
 	}
 
 	out := NewTable(outSchema)
-	for _, k := range order {
-		g := groups[k]
+	for _, g := range order {
 		row := make(Tuple, 0, outSchema.Len())
 		row = append(row, g.key...)
 		for i, a := range aggs {

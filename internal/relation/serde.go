@@ -54,15 +54,33 @@ func EncodeTuple(dst []byte, t Tuple) ([]byte, error) {
 	return dst, nil
 }
 
+// uvarintCanon decodes a uvarint, rejecting non-minimal encodings (the
+// encoder only ever emits minimal ones, and accepting padded forms
+// would let two different byte strings carry the same tuple — poison
+// for digest-keyed lineage).
+func uvarintCanon(src []byte) (uint64, int) {
+	v, read := binary.Uvarint(src)
+	if read > 0 && read != uvarintLen(v) {
+		return 0, 0
+	}
+	return v, read
+}
+
 // DecodeTuple decodes one tuple from src, returning the tuple and the
 // number of bytes consumed.
 func DecodeTuple(src []byte) (Tuple, int, error) {
-	n, read := binary.Uvarint(src)
+	n, read := uvarintCanon(src)
 	if read <= 0 {
 		return nil, 0, fmt.Errorf("relation: decode: bad tuple header")
 	}
 	off := read
-	t := make(Tuple, 0, n)
+	// Cap the preallocation by what the buffer can hold (every value
+	// costs at least two bytes); a corrupt header must not allocate.
+	capHint := n
+	if max := uint64(len(src)-off) / 2; capHint > max {
+		capHint = max
+	}
+	t := make(Tuple, 0, capHint)
 	for i := uint64(0); i < n; i++ {
 		if off >= len(src) {
 			return nil, 0, fmt.Errorf("relation: decode: truncated at value %d", i)
@@ -83,12 +101,14 @@ func DecodeTuple(src []byte) (Tuple, int, error) {
 			t = append(t, math.Float64frombits(binary.LittleEndian.Uint64(src[off:])))
 			off += 8
 		case tagString:
-			l, r := binary.Uvarint(src[off:])
+			l, r := uvarintCanon(src[off:])
 			if r <= 0 {
 				return nil, 0, fmt.Errorf("relation: decode: bad string length")
 			}
 			off += r
-			if off+int(l) > len(src) {
+			// Compare in uint64 space: int(l) of a 64-bit length can wrap
+			// negative and slip past an additive bounds check.
+			if l > uint64(len(src)-off) {
 				return nil, 0, fmt.Errorf("relation: decode: truncated string")
 			}
 			t = append(t, string(src[off:off+int(l)]))
@@ -96,6 +116,11 @@ func DecodeTuple(src []byte) (Tuple, int, error) {
 		case tagBool:
 			if off >= len(src) {
 				return nil, 0, fmt.Errorf("relation: decode: truncated bool")
+			}
+			// The encoder emits exactly 0 or 1; accepting other bytes would
+			// break the decode-reencode round trip.
+			if src[off] > 1 {
+				return nil, 0, fmt.Errorf("relation: decode: bad bool byte 0x%02x", src[off])
 			}
 			t = append(t, src[off] == 1)
 			off++
@@ -158,6 +183,9 @@ func (e *Encoder) EncodeTuple(t Tuple) ([]byte, error) {
 // The output buffer is sized exactly up front, so the call performs a
 // single allocation however many rows the table has.
 func EncodeTable(t *Table) ([]byte, error) {
+	if c := t.colBacking(); c != nil {
+		return colEncodeTable(c), nil
+	}
 	out := make([]byte, 0, TableBytes(t))
 	out = binary.AppendUvarint(out, uint64(t.Len()))
 	var err error
@@ -175,6 +203,9 @@ func EncodeTable(t *Table) ([]byte, error) {
 // compare across runs. It uses a pooled encoder, so digesting does not
 // allocate per row.
 func Digest(t *Table) uint64 {
+	if c := t.colBacking(); c != nil {
+		return colDigest(c)
+	}
 	h := FNVMixString(FNVOffset64, t.Schema().String())
 	enc := GetEncoder()
 	defer enc.Release()
@@ -194,7 +225,7 @@ func Digest(t *Table) uint64 {
 // DecodeTable decodes a table encoded by EncodeTable. The caller
 // supplies the schema (the format is schema-less, like a batch body).
 func DecodeTable(s *Schema, src []byte) (*Table, error) {
-	n, read := binary.Uvarint(src)
+	n, read := uvarintCanon(src)
 	if read <= 0 {
 		return nil, fmt.Errorf("relation: decode table: bad header")
 	}
@@ -217,6 +248,9 @@ func DecodeTable(s *Schema, src []byte) (*Table, error) {
 // TableBytes returns the encoded size of the whole table without
 // building the encoding.
 func TableBytes(t *Table) int64 {
+	if c := t.colBacking(); c != nil {
+		return colTableBytes(c)
+	}
 	size := int64(uvarintLen(uint64(t.Len())))
 	for _, r := range t.Rows() {
 		size += EncodedSize(r)

@@ -17,6 +17,11 @@
 //	                          # per 100 sim-seconds) for every run
 //	repro -validate           # statically validate every task's workflow
 //	                          # DAG without executing; exit 1 on findings
+//	repro -serve :8080        # live observability server: /metrics, /runs,
+//	                          # SSE progress, Chrome traces, pprof
+//	repro -explain dice       # EXPLAIN-ANALYZE profile of a task's workflow
+//	repro -bench-check        # compare a fresh bench run against the latest
+//	                          # BENCH_*.json baseline; exit 1 on regression
 package main
 
 import (
@@ -51,6 +56,12 @@ func main() {
 		faultRate  = flag.Float64("faults", 0, "fault rate in kills per 100 simulated seconds; arms deterministic fault injection (and workflow checkpointing) for every run")
 		lineageOn  = flag.Bool("lineage", false, "with -trace/-metrics: arm the versioned artifact store and run each paradigm twice, so cache hits and commits appear in the trace")
 		validate   = flag.Bool("validate", false, "statically validate every task's workflow DAG (cycles, arity, schemas, partitioning, checkpoints) without executing; exit 1 if any diagnostic fires")
+		serveAddr  = flag.String("serve", "", "start the live observability server on this address (e.g. :8080): /metrics, /runs, /runs/{id}/events SSE, /runs/{id}/trace, /debug/pprof")
+		serveTasks = flag.String("serve-tasks", "", "comma-separated tasks to launch as -serve starts; each is name[:paradigm[:size]] (e.g. dice:workflow:50)")
+		explainOf  = flag.String("explain", "", "run a task's workflow and print an EXPLAIN-ANALYZE profile (aligned tree; -json for the raw profile; -lineage for cache-hit annotation; -trace-wall adds wall columns)")
+		benchCheck = flag.Bool("bench-check", false, "run the wall-clock harness and compare against the latest BENCH_*.json baseline in -bench-dir; exit 1 on regression, 2 when no comparable baseline exists")
+		benchDir   = flag.String("bench-dir", ".", "directory searched for BENCH_*.json baselines by -bench-check")
+		workers    = flag.Int("workers", 1, "per-operator worker count for -explain and -serve-tasks runs")
 	)
 	flag.Parse()
 
@@ -74,6 +85,29 @@ func main() {
 
 	if *benchJSON != "" {
 		if err := runBench(*benchJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchCheck {
+		os.Exit(runBenchCheck(*benchDir, *seed, *jsonOut))
+	}
+
+	if *explainOf != "" {
+		if err := runExplain(*explainOf, explainConfig{
+			Scale: *scale, Seed: *seed, Workers: *workers,
+			JSON: *jsonOut, Wall: *traceWall, Lineage: *lineageOn,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveAddr != "" {
+		if err := runServe(*serveAddr, *serveTasks, *workers, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/telemetry"
+)
+
+// explainConfig carries the CLI knobs into runExplain.
+type explainConfig struct {
+	Scale   int
+	Seed    uint64
+	Workers int
+	JSON    bool
+	Wall    bool
+	Lineage bool
+}
+
+// runExplain builds and prints the EXPLAIN-ANALYZE profile of one
+// task's workflow. Default output is the deterministic aligned tree;
+// -json emits the raw profile object.
+func runExplain(task string, cfg explainConfig) error {
+	size, err := core.TaskDefaultSize(task)
+	if err != nil {
+		return err
+	}
+	if cfg.Scale > 1 {
+		size /= cfg.Scale
+		if size < 1 {
+			size = 1
+		}
+	}
+	p, err := obs.BuildProfile(task, obs.ProfileOptions{
+		Size:    size,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Lineage: cfg.Lineage,
+		Wall:    cfg.Wall,
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(p)
+	}
+	report.Explain(os.Stdout, p)
+	return nil
+}
+
+// runBenchCheck runs the harness and compares against the newest
+// BENCH_*.json baseline. Exit codes: 0 clean, 1 regression detected,
+// 2 no comparable baseline (missing or env mismatch) or harness error.
+func runBenchCheck(dir string, seed uint64, jsonOut bool) int {
+	path, baseline, err := bench.LatestBaseline(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-check: %v\n", err)
+		return 2
+	}
+	fmt.Printf("bench-check: baseline %s, running fresh harness...\n", path)
+	fresh, err := bench.Run(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-check: %v\n", err)
+		return 2
+	}
+	cmp := bench.Compare(baseline, fresh)
+	cmp.BaselinePath = path
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			return 2
+		}
+	} else {
+		printCompare(cmp)
+	}
+	switch {
+	case len(cmp.EnvMismatch) > 0:
+		return 2
+	case cmp.Regressions > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func printCompare(cmp *bench.CompareReport) {
+	if len(cmp.EnvMismatch) > 0 {
+		fmt.Printf("bench-check: REFUSED — baseline from a different machine configuration:\n")
+		for _, m := range cmp.EnvMismatch {
+			fmt.Printf("  %s\n", m)
+		}
+		return
+	}
+	for _, f := range cmp.Findings {
+		switch {
+		case f.Regressed:
+			fmt.Printf("  REGRESSION %-32s %-5s %12.1f -> %12.1f  (%.2fx, threshold %.0f%%)\n",
+				f.Name, f.Kind, f.Baseline, f.Fresh, f.Ratio, 100*f.Threshold)
+		case f.Improved:
+			fmt.Printf("  improved   %-32s %-5s %12.1f -> %12.1f  (%.2fx)\n",
+				f.Name, f.Kind, f.Baseline, f.Fresh, f.Ratio)
+		}
+	}
+	for _, m := range cmp.Missing {
+		fmt.Printf("  note: %s\n", m)
+	}
+	fmt.Printf("bench-check: %d benchmarks compared, %d regressions\n", len(cmp.Findings), cmp.Regressions)
+}
+
+// parseServeTask parses one -serve-tasks element: name[:paradigm[:size]].
+func parseServeTask(spec string, workers int, seed uint64) (obs.RunRequest, error) {
+	parts := strings.Split(spec, ":")
+	req := obs.RunRequest{Task: parts[0], Seed: seed, Workers: workers}
+	if len(parts) > 1 && parts[1] != "" {
+		req.Paradigm = parts[1]
+	}
+	if len(parts) > 2 {
+		size, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return req, fmt.Errorf("repro: bad size in -serve-tasks element %q: %w", spec, err)
+		}
+		req.Size = size
+	}
+	if len(parts) > 3 {
+		return req, fmt.Errorf("repro: bad -serve-tasks element %q (want name[:paradigm[:size]])", spec)
+	}
+	return req, nil
+}
+
+// runServe starts the observability server, optionally launching an
+// initial batch of task runs, and serves until SIGINT/SIGTERM, then
+// shuts down gracefully.
+func runServe(addr, tasks string, workers int, seed uint64) error {
+	srv := obs.NewServer(obs.NewRegistry(), telemetry.New())
+	if tasks != "" {
+		for _, spec := range strings.Split(tasks, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			req, err := parseServeTask(spec, workers, seed)
+			if err != nil {
+				return err
+			}
+			run, err := srv.Launch(req)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("launched %s (%s, paradigm %s)\n", run.ID, run.Task, run.Paradigm)
+		}
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("observability server on %s — /metrics /runs /runs/{id}/events /runs/{id}/trace /debug/pprof\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("%v: shutting down\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(ctx)
+}

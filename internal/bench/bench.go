@@ -45,10 +45,13 @@ type Macro struct {
 	SimSeconds      float64 `json:"sim_seconds"`
 }
 
-// Report is the full harness output.
+// Report is the full harness output. GoVersion and GOMAXPROCS predate
+// the Env header and stay populated so older tooling (and the
+// regression detector's legacy fallback) keeps working.
 type Report struct {
 	GoVersion  string  `json:"go_version"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	Env        Env     `json:"env"`
 	Micro      []Micro `json:"micro"`
 	Macro      []Macro `json:"macro"`
 }
@@ -554,6 +557,7 @@ func Run(seed uint64) (*Report, error) {
 	return &Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Env:        CurrentEnv(),
 		Micro:      micros(),
 		Macro:      mac,
 	}, nil

@@ -64,6 +64,10 @@ type RunConfig struct {
 	// (suffix-invalidation) semantics. The store persists across runs of
 	// the same task — that persistence is what makes iteration cheap.
 	Lineage *lineage.Store
+	// Progress, when non-nil, receives live per-operator progress
+	// events from the engines (see ProgressEvent). Nil keeps every
+	// engine on its unobserved fast path.
+	Progress ProgressSink
 }
 
 // Normalize fills defaults and validates. Worker counts are bounded by

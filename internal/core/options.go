@@ -43,6 +43,13 @@ func WithLineage(s *lineage.Store) Option {
 	return func(c *RunConfig) { c.Lineage = s }
 }
 
+// WithProgress attaches a live progress sink (typically an obs run
+// registry handle); engines publish per-operator events into it while
+// the run executes.
+func WithProgress(sink ProgressSink) Option {
+	return func(c *RunConfig) { c.Progress = sink }
+}
+
 // NewRunConfig builds and normalizes a RunConfig from options.
 func NewRunConfig(opts ...Option) (RunConfig, error) {
 	var c RunConfig

@@ -1,0 +1,12 @@
+package core
+
+import "repro/internal/telemetry"
+
+// ProgressEvent and ProgressSink live in telemetry (a leaf package) so
+// the engines below core — notebook, raysim, dataflow — can publish
+// into them without an import cycle; core aliases them because the run
+// configuration is where callers attach a sink.
+type (
+	ProgressEvent = telemetry.ProgressEvent
+	ProgressSink  = telemetry.ProgressSink
+)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/faults"
 	"repro/internal/lineage"
@@ -45,6 +46,11 @@ type Config struct {
 	// "workflow:<name>". Runs that share a scope share warm-start
 	// accounting; fingerprints alone keep their artifacts apart.
 	LineageScope string
+	// Progress, when set, receives live per-operator progress events:
+	// state transitions as nodes open, run and complete, and cumulative
+	// tuple counters per emitted batch. Nil (the default) costs one
+	// pointer check per transition and per batch.
+	Progress core.ProgressSink
 }
 
 // Result is the outcome of a completed workflow execution.
@@ -131,6 +137,33 @@ const (
 )
 
 func (rt *nodeRuntime) setState(s State) { rt.state.Store(int32(s)) }
+
+// setState transitions a node's state and, when a progress sink is
+// attached and the state actually changed, publishes the transition.
+// Swap makes the publish exactly-once even when several workers race
+// into Running.
+func (ex *Execution) setState(rt *nodeRuntime, s State) {
+	old := rt.state.Swap(int32(s))
+	if ex.cfg.Progress != nil && old != int32(s) {
+		ex.publishProgress(rt, s.String())
+	}
+}
+
+// publishProgress sends one progress event for a node. Callers check
+// ex.cfg.Progress != nil first; the engine's unobserved fast path pays
+// only that nil check.
+func (ex *Execution) publishProgress(rt *nodeRuntime, state string) {
+	ex.cfg.Progress.Publish(core.ProgressEvent{
+		Task:      ex.wf.name,
+		Paradigm:  "workflow",
+		Op:        rt.n.name,
+		Kind:      rt.n.kind.String(),
+		State:     state,
+		InTuples:  rt.inTuples.Load(),
+		OutTuples: rt.outTuples.Load(),
+		Workers:   rt.n.parallelism,
+	})
+}
 
 // addWork charges work on shard 0 to a port bucket, the end bucket
 // (phaseEnd) or the open bucket (phaseOpen); single-goroutine node
@@ -283,7 +316,7 @@ func (w *Workflow) Start(ctx context.Context, cfg Config) (*Execution, error) {
 		if n.kind == kindSink {
 			rt.sinkTable = relation.NewTable(n.schema)
 		}
-		rt.setState(Initializing)
+		ex.setState(rt, Initializing)
 		ex.rts[n.id] = rt
 	}
 
@@ -410,6 +443,9 @@ func (ex *Execution) emit(rt *nodeRuntime, worker int, rows []relation.Tuple) {
 		st.bytes.Add(bytes)
 		rt.edgeQ[i].push(batchMsg{rows: rows})
 	}
+	if ex.cfg.Progress != nil {
+		ex.publishProgress(rt, "progress")
+	}
 }
 
 // runRouter moves batches from a producer's edge queue into the
@@ -481,7 +517,7 @@ func (ex *Execution) runNode(wg *sync.WaitGroup, rt *nodeRuntime) {
 	switch ex.lineageMode(rt.n.id) {
 	case lmSkip:
 		// Elided entirely: the cached artifact stands in for the node.
-		rt.setState(Completed)
+		ex.setState(rt, Completed)
 		return
 	case lmReplay:
 		ex.runReplay(rt)
@@ -499,14 +535,14 @@ func (ex *Execution) runNode(wg *sync.WaitGroup, rt *nodeRuntime) {
 		}
 		rt.wg.Wait()
 		if State(rt.state.Load()) != Failed {
-			rt.setState(Completed)
+			ex.setState(rt, Completed)
 		}
 	}
 }
 
 // runSource streams the source table downstream in batches.
 func (ex *Execution) runSource(rt *nodeRuntime) {
-	rt.setState(Running)
+	ex.setState(rt, Running)
 	size := rt.n.batchSize
 	if size == 0 {
 		size = ex.cfg.BatchSize
@@ -534,12 +570,12 @@ func (ex *Execution) runSource(rt *nodeRuntime) {
 			tel.batchNS.Observe(shard, t1-t0)
 		}
 	}
-	rt.setState(Completed)
+	ex.setState(rt, Completed)
 }
 
 // runSink collects rows into the sink table.
 func (ex *Execution) runSink(rt *nodeRuntime) {
-	rt.setState(Running)
+	ex.setState(rt, Running)
 	q := rt.inQ[0][0]
 	tel := ex.tel
 	shard := shardIndex(rt.n.id, 0)
@@ -549,7 +585,7 @@ func (ex *Execution) runSink(rt *nodeRuntime) {
 			return
 		}
 		if !ok {
-			rt.setState(Completed)
+			ex.setState(rt, Completed)
 			return
 		}
 		if err := ex.gate.wait(ex.ctx); err != nil {
@@ -595,7 +631,7 @@ func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
 		ex.failOp(rt, worker, -1, err)
 		return
 	}
-	rt.setState(Running)
+	ex.setState(rt, Running)
 	ports := rt.n.op.Desc().Ports
 	tel := ex.tel
 	shard := shardIndex(rt.n.id, worker)
@@ -651,7 +687,7 @@ func (ex *Execution) runWorker(rt *nodeRuntime, worker int) {
 
 // failOp records an operator-attributed error.
 func (ex *Execution) failOp(rt *nodeRuntime, worker, port int, err error) {
-	rt.setState(Failed)
+	ex.setState(rt, Failed)
 	ex.fail(&OpError{Op: rt.n.name, Worker: worker, Port: port, Err: err})
 }
 

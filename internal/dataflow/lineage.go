@@ -193,7 +193,7 @@ func (ex *Execution) lineageMode(id NodeID) lmMode {
 // runReplay streams a node's cached artifact into its dirty consumers'
 // edges, standing in for the node's execution.
 func (ex *Execution) runReplay(rt *nodeRuntime) {
-	rt.setState(Running)
+	ex.setState(rt, Running)
 	art := ex.lin.art[rt.n.id]
 	size := rt.n.batchSize
 	if size == 0 {
@@ -223,7 +223,7 @@ func (ex *Execution) runReplay(rt *nodeRuntime) {
 			rt.edgeQ[i].push(batchMsg{rows: b.Rows})
 		}
 	}
-	rt.setState(Completed)
+	ex.setState(rt, Completed)
 }
 
 // commitLineage materializes every dirty node's output as a new

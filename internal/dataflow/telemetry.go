@@ -175,6 +175,9 @@ func (ex *Execution) recordTelemetry(jobs []sim.Job, sched *sim.Result) {
 		reg.Counter(node+"in_tuples").Add(0, rt.inTuples.Load())
 		reg.Counter(node+"out_tuples").Add(0, rt.outTuples.Load())
 		reg.Counter(node+"batches").Add(0, rt.batches.Load())
+		if ex.lin != nil && ex.lin.mode[rt.n.id] != lmDirty {
+			reg.Counter(node+"lineage_hit").Add(0, 1)
+		}
 		for i, e := range rt.n.outEdges {
 			st := rt.edgeStats[i]
 			edge := fmt.Sprintf("%sedge.%s->%s.p%d.", prefix, e.from.name, e.to.name, e.port)

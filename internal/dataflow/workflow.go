@@ -2,6 +2,7 @@ package dataflow
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cost"
 	"repro/internal/relation"
@@ -348,4 +349,61 @@ func (w *Workflow) OutputSchemaOf(id NodeID) *relation.Schema {
 		return nil
 	}
 	return w.nodes[id].schema
+}
+
+// PlanNode is the exported, read-only view of one node of a workflow
+// plan — the topology the static validator checks and the EXPLAIN
+// profile hangs its measurements on.
+type PlanNode struct {
+	ID          NodeID      `json:"id"`
+	Name        string      `json:"name"`
+	Kind        string      `json:"kind"` // "source", "operator", "sink"
+	Parallelism int         `json:"parallelism"`
+	Signature   string      `json:"signature,omitempty"`
+	Inputs      []PlanInput `json:"inputs,omitempty"`
+}
+
+// PlanInput is one input edge of a plan node.
+type PlanInput struct {
+	From         string `json:"from"`
+	FromID       NodeID `json:"from_id"`
+	Port         int    `json:"port"`
+	Partitioning string `json:"partitioning"`
+}
+
+// PlanNodes returns the workflow's node list in ID order, with input
+// edges ordered by port then producer ID — a deterministic snapshot of
+// the DAG, independent of execution.
+func (w *Workflow) PlanNodes() []PlanNode {
+	out := make([]PlanNode, 0, len(w.nodes))
+	for _, nd := range w.nodes {
+		p := nd.parallelism
+		if p < 1 {
+			p = 1
+		}
+		pn := PlanNode{
+			ID:          nd.id,
+			Name:        nd.name,
+			Kind:        nd.kind.String(),
+			Parallelism: p,
+			Signature:   nd.signature,
+		}
+		for _, e := range nd.inEdges {
+			pn.Inputs = append(pn.Inputs, PlanInput{
+				From:         e.from.name,
+				FromID:       e.from.id,
+				Port:         e.port,
+				Partitioning: e.part.String(),
+			})
+		}
+		sort.Slice(pn.Inputs, func(i, j int) bool {
+			a, b := pn.Inputs[i], pn.Inputs[j]
+			if a.Port != b.Port {
+				return a.Port < b.Port
+			}
+			return a.FromID < b.FromID
+		})
+		out = append(out, pn)
+	}
+	return out
 }

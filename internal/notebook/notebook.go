@@ -190,11 +190,13 @@ func (e *CellError) Unwrap() error { return e.Err }
 
 // Notebook is an ordered list of cells plus their shared kernel.
 type Notebook struct {
-	name   string
-	cells  []*Cell
-	kernel *Kernel
-	rec    *telemetry.Recorder
-	proc   string
+	name     string
+	cells    []*Cell
+	kernel   *Kernel
+	rec      *telemetry.Recorder
+	proc     string
+	progress telemetry.ProgressSink
+	progTask string
 }
 
 // SetTelemetry attaches a recorder; RunCell then emits one span per
@@ -209,6 +211,17 @@ func (n *Notebook) SetTelemetry(rec *telemetry.Recorder, proc string) {
 		proc = "script:" + n.name
 	}
 	n.proc = proc
+}
+
+// SetProgress attaches a live progress sink; RunCell then publishes a
+// "running" event when a cell starts and a "completed"/"failed" event
+// when it returns, stamped with the kernel's virtual clock. Cells are
+// the coarsest progress unit a notebook surface offers — the paper's
+// point that scripts expose far less of their execution than a GUI
+// workflow does.
+func (n *Notebook) SetProgress(sink telemetry.ProgressSink, task string) {
+	n.progress = sink
+	n.progTask = task
 }
 
 // New creates a notebook with a fresh kernel. A nil model uses
@@ -251,6 +264,13 @@ func (n *Notebook) RunCell(i int) error {
 	if n.rec != nil {
 		wall0 = n.rec.NowNS()
 	}
+	if n.progress != nil {
+		n.progress.Publish(telemetry.ProgressEvent{
+			Task: n.progTask, Paradigm: "script",
+			Op: c.Name, Kind: "cell", State: "running",
+			VirtSeconds: before,
+		})
+	}
 	var err error
 	if c.Run != nil {
 		err = c.Run(k)
@@ -272,6 +292,17 @@ func (n *Notebook) RunCell(i int) error {
 			Clock:   telemetry.Wall{StartNS: wall0, DurNS: wall1 - wall0},
 		})
 		n.rec.Metrics.Counter("nb."+n.name+".cells_run").Add(0, 1)
+	}
+	if n.progress != nil {
+		state := "completed"
+		if err != nil {
+			state = "failed"
+		}
+		n.progress.Publish(telemetry.ProgressEvent{
+			Task: n.progTask, Paradigm: "script",
+			Op: c.Name, Kind: "cell", State: state,
+			VirtSeconds: k.elapsed,
+		})
 	}
 	if err != nil {
 		cellErr := &CellError{

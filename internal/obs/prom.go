@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// promName sanitizes an internal instrument name ("wf.dice.exec.tuples")
+// into a Prometheus metric name ("repro_wf_dice_exec_tuples"). The
+// internal scheme uses dots, arrows and brackets; everything outside
+// the Prometheus alphabet becomes an underscore and runs of
+// underscores collapse, so distinct internal names stay distinct in
+// practice while every output name is valid exposition syntax.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 6)
+	b.WriteString("repro_")
+	prevUnderscore := false
+	for _, r := range name {
+		ok := r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+			prevUnderscore = false
+			continue
+		}
+		if !prevUnderscore {
+			b.WriteByte('_')
+			prevUnderscore = true
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// bucketHigh returns the exclusive upper bound of the power-of-two
+// histogram bucket whose inclusive lower bound is low — the value the
+// exposition's cumulative `le` label carries.
+func bucketHigh(low int64) int64 {
+	if low <= 0 {
+		return 1
+	}
+	return low * 2
+}
+
+// RenderProm writes a telemetry metrics snapshot in Prometheus text
+// exposition format (version 0.0.4). The output is a pure function of
+// the snapshot: names are sorted by the snapshot itself and no clock
+// or process state is consulted, so identical snapshots render to
+// identical bytes — the property the scrape-stability test pins.
+//
+// Counters map to counter families, gauges to a pair of gauge families
+// (`…` last value, `…_max` high-water mark), histograms to cumulative
+// `_bucket`/`_count` families in the classic le scheme.
+func RenderProm(w io.Writer, snap telemetry.MetricsSnapshot) error {
+	for _, c := range snap.Counters {
+		n := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s repro counter %s\n# TYPE %s counter\n%s %d\n", n, c.Name, n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s repro gauge %s (last)\n# TYPE %s gauge\n%s %d\n", n, g.Name, n, n, g.Last); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s_max repro gauge %s (max)\n# TYPE %s_max gauge\n%s_max %d\n", n, g.Name, n, n, g.Max); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		n := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s repro histogram %s (%s)\n# TYPE %s histogram\n", n, h.Name, h.Unit, n); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, bucketHigh(b.Low), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n", n, h.Count, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

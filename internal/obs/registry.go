@@ -1,0 +1,482 @@
+// Package obs is the live observability plane: a run registry that
+// watches core runs while they execute, and the HTTP introspection
+// server plus EXPLAIN-style profiles built on top of it. The paper's
+// central usability claim is that the GUI workflow paradigm shows its
+// users what is happening while a job runs and the script paradigm
+// does not; this package is the reproduction's version of that GUI
+// surface, fed by the same progress events and telemetry instruments
+// both engines already emit. Everything here is observer-side: a run
+// with no registry attached pays nothing beyond a nil check.
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+const (
+	// eventRingSize bounds the per-run progress-event ring. A DICE-size
+	// workflow run emits a few thousand batch events; the ring keeps the
+	// recent window and the totals keep the truth.
+	eventRingSize = 8192
+	// sampleRingSize bounds the per-run time-series ring.
+	sampleRingSize = 512
+	// sampleMinInterval is the minimum wall time between event-driven
+	// samples, so a hot emit loop cannot turn sampling into the
+	// bottleneck it is meant to watch.
+	sampleMinInterval = 25 * time.Millisecond
+	// keepCompleted bounds how many finished runs the registry retains.
+	keepCompleted = 64
+)
+
+// Event is one progress event as stored by the registry: the engine's
+// payload plus a monotonic sequence number and a wall stamp relative
+// to the registry epoch.
+type Event struct {
+	Seq    int64 `json:"seq"`
+	WallNS int64 `json:"wall_ns"`
+	telemetry.ProgressEvent
+}
+
+// Sample is one point of a run's time series: process-level runtime
+// stats plus aggregates folded from the run's telemetry registry
+// (queue depths, tuple/batch throughput, lineage reuse, recovery).
+// VirtSeconds carries the latest simulator stamp seen on the event
+// stream, tying the wall-clock series back to the sim clock.
+type Sample struct {
+	WallNS        int64   `json:"wall_ns"`
+	VirtSeconds   float64 `json:"virt_seconds,omitempty"`
+	Events        int64   `json:"events"`
+	Tuples        int64   `json:"tuples,omitempty"`
+	Batches       int64   `json:"batches,omitempty"`
+	QueueDepth    int64   `json:"queue_depth,omitempty"`
+	QueueDepthMax int64   `json:"queue_depth_max,omitempty"`
+	LineageHits   int64   `json:"lineage_hits,omitempty"`
+	LineageMisses int64   `json:"lineage_misses,omitempty"`
+	RecoveryKills int64   `json:"recovery_kills,omitempty"`
+	Goroutines    int     `json:"goroutines"`
+	HeapAlloc     uint64  `json:"heap_alloc"`
+	HeapSys       uint64  `json:"heap_sys"`
+	NumGC         uint32  `json:"num_gc"`
+}
+
+// OpStatus is the latest known state of one operator / cell / task,
+// the per-operator row a workflow GUI keeps permanently on screen.
+type OpStatus struct {
+	Op        string  `json:"op"`
+	Kind      string  `json:"kind,omitempty"`
+	State     string  `json:"state"`
+	InTuples  int64   `json:"in_tuples,omitempty"`
+	OutTuples int64   `json:"out_tuples,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	UpdatedNS int64   `json:"updated_ns"`
+	VirtSec   float64 `json:"virt_seconds,omitempty"`
+}
+
+// Registry tracks every in-flight and completed run the process has
+// started. It is safe for concurrent use; the HTTP server reads it
+// while engines publish into it.
+type Registry struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	nextID int
+	runs   map[string]*Run
+	order  []string // insertion order, oldest first
+
+	started   int64
+	completed int64
+	failed    int64
+}
+
+// NewRegistry creates an empty run registry whose wall epoch is now.
+func NewRegistry() *Registry {
+	return &Registry{
+		epoch: telemetry.WallClock(),
+		runs:  make(map[string]*Run),
+	}
+}
+
+// nowNS is the registry's wall stamp: nanoseconds since its epoch.
+func (g *Registry) nowNS() int64 { return int64(telemetry.WallSince(g.epoch)) }
+
+// StartRun registers a new in-flight run and returns its handle, which
+// implements telemetry.ProgressSink (== core.ProgressSink) so it can
+// be attached directly to a RunConfig. rec is the run's telemetry
+// recorder; it may be shared across runs and may be nil.
+func (g *Registry) StartRun(task, paradigm string, rec *telemetry.Recorder) *Run {
+	g.mu.Lock()
+	g.nextID++
+	g.started++
+	r := &Run{
+		ID:       fmt.Sprintf("r%04d", g.nextID),
+		Task:     task,
+		Paradigm: paradigm,
+		reg:      g,
+		rec:      rec,
+		state:    "running",
+		startNS:  g.nowNS(),
+		ops:      make(map[string]*OpStatus),
+		notify:   make(chan struct{}),
+	}
+	g.runs[r.ID] = r
+	g.order = append(g.order, r.ID)
+	g.evict()
+	g.mu.Unlock()
+	r.sampleLocked(r.startNS) // seed the series with a starting point
+	return r
+}
+
+// evict drops the oldest finished runs beyond the retention cap.
+// Callers hold g.mu.
+func (g *Registry) evict() {
+	finished := 0
+	for _, id := range g.order {
+		if g.runs[id].isFinished() {
+			finished++
+		}
+	}
+	if finished <= keepCompleted {
+		return
+	}
+	kept := g.order[:0]
+	for _, id := range g.order {
+		if finished > keepCompleted && g.runs[id].isFinished() {
+			delete(g.runs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	g.order = kept
+}
+
+// Run looks up a run by ID.
+func (g *Registry) Run(id string) (*Run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	return r, ok
+}
+
+// Runs returns all known runs, oldest first.
+func (g *Registry) Runs() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Run, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.runs[id])
+	}
+	return out
+}
+
+// Counts reports lifetime run counts (started, completed, failed).
+func (g *Registry) Counts() (started, completed, failed int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.started, g.completed, g.failed
+}
+
+// Run is one tracked execution. It implements telemetry.ProgressSink:
+// the engines publish into it live, and HTTP handlers read events,
+// operator status and the sampled time series out of it.
+type Run struct {
+	ID       string
+	Task     string
+	Paradigm string
+
+	reg *Registry
+	rec *telemetry.Recorder
+
+	mu      sync.Mutex
+	state   string // "running", "completed", "failed"
+	errMsg  string
+	startNS int64
+	endNS   int64
+
+	seq     int64 // total events ever published
+	events  [eventRingSize]Event
+	ops     map[string]*OpStatus
+	opOrder []string
+	notify  chan struct{} // closed and replaced on every publish
+
+	samples      [sampleRingSize]Sample
+	nSamples     int64 // total samples ever taken
+	lastSampleNS int64
+	virtNow      float64
+
+	summary map[string]float64 // final scalar results, set by Finish
+}
+
+// Publish implements telemetry.ProgressSink. It stamps the event,
+// stores it in the ring, folds it into the per-operator status table,
+// opportunistically samples the time series, and wakes SSE streams.
+func (r *Run) Publish(ev telemetry.ProgressEvent) {
+	now := r.reg.nowNS()
+	r.mu.Lock()
+	e := Event{Seq: r.seq, WallNS: now, ProgressEvent: ev}
+	r.events[r.seq%eventRingSize] = e
+	r.seq++
+	if ev.VirtSeconds > r.virtNow {
+		r.virtNow = ev.VirtSeconds
+	}
+	if ev.Op != "" {
+		st, ok := r.ops[ev.Op]
+		if !ok {
+			st = &OpStatus{Op: ev.Op}
+			r.ops[ev.Op] = st
+			r.opOrder = append(r.opOrder, ev.Op)
+		}
+		if ev.Kind != "" {
+			st.Kind = ev.Kind
+		}
+		if ev.State != "" {
+			st.State = ev.State
+		}
+		if ev.InTuples > 0 {
+			st.InTuples = ev.InTuples
+		}
+		if ev.OutTuples > 0 {
+			st.OutTuples = ev.OutTuples
+		}
+		if ev.Workers > 0 {
+			st.Workers = ev.Workers
+		}
+		if ev.VirtSeconds > 0 {
+			st.VirtSec = ev.VirtSeconds
+		}
+		st.UpdatedNS = now
+	}
+	if now-r.lastSampleNS >= int64(sampleMinInterval) {
+		r.sampleAt(now)
+	}
+	ch := r.notify
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+	close(ch)
+}
+
+// sampleLocked takes a sample while acquiring the run lock itself.
+func (r *Run) sampleLocked(now int64) {
+	r.mu.Lock()
+	r.sampleAt(now)
+	ch := r.notify
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+	close(ch)
+}
+
+// sampleAt appends one time-series point. Callers hold r.mu.
+func (r *Run) sampleAt(now int64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := Sample{
+		WallNS:      now,
+		VirtSeconds: r.virtNow,
+		Events:      r.seq,
+		Goroutines:  runtime.NumGoroutine(),
+		HeapAlloc:   ms.HeapAlloc,
+		HeapSys:     ms.HeapSys,
+		NumGC:       ms.NumGC,
+	}
+	if r.rec != nil {
+		foldSnapshot(&s, r.rec.Metrics.Snapshot(true))
+	}
+	r.samples[r.nSamples%sampleRingSize] = s
+	r.nSamples++
+	r.lastSampleNS = now
+}
+
+// foldSnapshot aggregates the instrument snapshot into the sample's
+// scalar series by name suffix, the naming scheme the engines use
+// (wf.<wf>.exec.*, lineage.<scope>.*, *.recovery.kills).
+func foldSnapshot(s *Sample, snap telemetry.MetricsSnapshot) {
+	for _, c := range snap.Counters {
+		switch {
+		case strings.HasSuffix(c.Name, "exec.tuples"):
+			s.Tuples += c.Value
+		case strings.HasSuffix(c.Name, "exec.batches"):
+			s.Batches += c.Value
+		case strings.HasPrefix(c.Name, "lineage.") && strings.HasSuffix(c.Name, ".hits"):
+			s.LineageHits += c.Value
+		case strings.HasPrefix(c.Name, "lineage.") && strings.HasSuffix(c.Name, ".misses"):
+			s.LineageMisses += c.Value
+		case strings.HasSuffix(c.Name, "recovery.kills"):
+			s.RecoveryKills += c.Value
+		}
+	}
+	for _, gv := range snap.Gauges {
+		if strings.HasSuffix(gv.Name, "exec.queue_depth") {
+			s.QueueDepth += gv.Last
+			if gv.Max > s.QueueDepthMax {
+				s.QueueDepthMax = gv.Max
+			}
+		}
+	}
+}
+
+// Finish marks the run done. summary carries final scalar results
+// (sim_seconds, quality metrics); err marks the run failed.
+func (r *Run) Finish(summary map[string]float64, err error) {
+	now := r.reg.nowNS()
+	r.mu.Lock()
+	if r.isFinishedLocked() {
+		r.mu.Unlock()
+		return
+	}
+	if err != nil {
+		r.state = "failed"
+		r.errMsg = err.Error()
+	} else {
+		r.state = "completed"
+	}
+	r.endNS = now
+	r.summary = summary
+	r.sampleAt(now)
+	ch := r.notify
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+	close(ch)
+
+	r.reg.mu.Lock()
+	if err != nil {
+		r.reg.failed++
+	} else {
+		r.reg.completed++
+	}
+	r.reg.mu.Unlock()
+}
+
+func (r *Run) isFinishedLocked() bool {
+	return r.state == "completed" || r.state == "failed"
+}
+
+func (r *Run) isFinished() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.isFinishedLocked()
+}
+
+// State returns the run's lifecycle state.
+func (r *Run) State() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Recorder returns the run's telemetry recorder (may be nil).
+func (r *Run) Recorder() *telemetry.Recorder { return r.rec }
+
+// EventsSince returns the buffered events with Seq >= cursor (older
+// events may have been evicted from the ring — the returned slice
+// starts at the oldest retained event), the next cursor, and a channel
+// that is closed the next time anything is published. done reports
+// whether the run has finished, so streamers know no further events
+// will come once they have drained.
+func (r *Run) EventsSince(cursor int64) (evs []Event, next int64, wake <-chan struct{}, done bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lo := cursor
+	if min := r.seq - eventRingSize; lo < min {
+		lo = min
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < r.seq; i++ {
+		evs = append(evs, r.events[i%eventRingSize])
+	}
+	return evs, r.seq, r.notify, r.isFinishedLocked()
+}
+
+// Ops returns the per-operator status table in first-seen order.
+func (r *Run) Ops() []OpStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]OpStatus, 0, len(r.opOrder))
+	for _, name := range r.opOrder {
+		out = append(out, *r.ops[name])
+	}
+	return out
+}
+
+// Samples returns the retained time series, oldest first.
+func (r *Run) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lo := r.nSamples - sampleRingSize
+	if lo < 0 {
+		lo = 0
+	}
+	out := make([]Sample, 0, r.nSamples-lo)
+	for i := lo; i < r.nSamples; i++ {
+		out = append(out, r.samples[i%sampleRingSize])
+	}
+	return out
+}
+
+// Info is the JSON shape of one run in /runs listings.
+type Info struct {
+	ID          string             `json:"id"`
+	Task        string             `json:"task"`
+	Paradigm    string             `json:"paradigm,omitempty"`
+	State       string             `json:"state"`
+	Error       string             `json:"error,omitempty"`
+	StartWallNS int64              `json:"start_wall_ns"`
+	EndWallNS   int64              `json:"end_wall_ns,omitempty"`
+	Events      int64              `json:"events"`
+	Operators   int                `json:"operators"`
+	VirtSeconds float64            `json:"virt_seconds,omitempty"`
+	Summary     map[string]float64 `json:"summary,omitempty"`
+}
+
+// Info snapshots the run's listing row.
+func (r *Run) Info() Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in := Info{
+		ID:          r.ID,
+		Task:        r.Task,
+		Paradigm:    r.Paradigm,
+		State:       r.state,
+		Error:       r.errMsg,
+		StartWallNS: r.startNS,
+		EndWallNS:   r.endNS,
+		Events:      r.seq,
+		Operators:   len(r.opOrder),
+		VirtSeconds: r.virtNow,
+	}
+	if len(r.summary) > 0 {
+		in.Summary = make(map[string]float64, len(r.summary))
+		for k, v := range r.summary {
+			in.Summary[k] = v
+		}
+	}
+	return in
+}
+
+// Detail is the JSON shape of /runs/{id}: the listing row plus the
+// operator table and sampled time series.
+type Detail struct {
+	Info
+	Ops     []OpStatus `json:"ops,omitempty"`
+	Samples []Sample   `json:"samples,omitempty"`
+}
+
+// Detail snapshots the run's full introspection view.
+func (r *Run) Detail() Detail {
+	d := Detail{Info: r.Info(), Ops: r.Ops(), Samples: r.Samples()}
+	return d
+}
+
+// sortOps orders an operator table by name — used by deterministic
+// renderings; the live table keeps first-seen order instead.
+func sortOps(ops []OpStatus) {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Op < ops[j].Op })
+}

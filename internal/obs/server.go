@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// RunRequest asks the server to execute one task while serving — the
+// body of POST /runs and the shape behind `repro -serve`'s initial
+// task list.
+type RunRequest struct {
+	// Task names a registered task (dice, wef, gotta, kge).
+	Task string `json:"task"`
+	// Paradigm is "script", "workflow" or "both" (the default).
+	Paradigm string `json:"paradigm,omitempty"`
+	// Size is the input size; <= 0 uses the task's paper-scale default.
+	Size int `json:"size,omitempty"`
+	// Seed is the dataset seed; 0 means 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers is the parallelism knob; 0 means 1.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Server is the HTTP introspection surface over a run registry: the
+// first long-running serving mode this reproduction has. One shared
+// telemetry recorder backs /metrics (its counters are monotonic across
+// runs, which is what Prometheus scrapes expect) and the Chrome-trace
+// endpoint.
+type Server struct {
+	reg *Registry
+	rec *telemetry.Recorder
+	mux *http.ServeMux
+}
+
+// NewServer builds the introspection server around a registry and the
+// shared recorder. Pass a fresh NewRegistry()/telemetry.New() pair for
+// a standalone server.
+func NewServer(reg *Registry, rec *telemetry.Recorder) *Server {
+	s := &Server{reg: reg, rec: rec, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /runs", s.handleRuns)
+	s.mux.HandleFunc("POST /runs", s.handleStartRun)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	// pprof must be wired explicitly: the package's init only touches
+	// http.DefaultServeMux, which this server deliberately avoids.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Registry returns the server's run registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Launch starts req executing in the background and returns its run
+// handle immediately; progress is observable on the run while it
+// executes and Finish fires when it completes. The request is
+// validated up front so callers get "unknown task" synchronously.
+func (s *Server) Launch(req RunRequest) (*Run, error) {
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Paradigm == "" {
+		req.Paradigm = "both"
+	}
+	switch req.Paradigm {
+	case "script", "workflow", "both":
+	default:
+		return nil, fmt.Errorf("obs: unknown paradigm %q (want script, workflow or both)", req.Paradigm)
+	}
+	task, err := core.NewTask(req.Task, req.Size, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	run := s.reg.StartRun(req.Task, req.Paradigm, s.rec)
+	go func() {
+		summary, err := executeRun(task, req, run, s.rec)
+		run.Finish(summary, err)
+	}()
+	return run, nil
+}
+
+// executeRun runs the task with the run handle attached as its live
+// progress sink and folds the results into the run summary.
+func executeRun(task core.Task, req RunRequest, run *Run, rec *telemetry.Recorder) (map[string]float64, error) {
+	rc, err := core.NewRunConfig(
+		core.WithTelemetry(rec),
+		core.WithProgress(run),
+		core.WithWorkers(req.Workers),
+	)
+	if err != nil {
+		return nil, err
+	}
+	summary := make(map[string]float64)
+	runOne := func(p core.Paradigm) error {
+		res, err := task.Run(p, rc)
+		if err != nil {
+			return err
+		}
+		summary[p.String()+".sim_seconds"] = res.SimSeconds
+		summary[p.String()+".parallel_procs"] = float64(res.ParallelProcs)
+		summary[p.String()+".operators"] = float64(res.Operators)
+		return nil
+	}
+	switch req.Paradigm {
+	case "script":
+		err = runOne(core.Script)
+	case "workflow":
+		err = runOne(core.Workflow)
+	default:
+		if err = runOne(core.Script); err == nil {
+			err = runOne(core.Workflow)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return summary, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the shared registry snapshot in Prometheus
+// text format, then appends process-level families (registry run
+// counts, goroutines, heap, GC) that exist independently of any run.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := RenderProm(w, s.rec.Metrics.Snapshot(true)); err != nil {
+		return
+	}
+	started, completed, failed := s.reg.Counts()
+	fmt.Fprintf(w, "# HELP repro_obs_runs_started_total runs started\n# TYPE repro_obs_runs_started_total counter\nrepro_obs_runs_started_total %d\n", started)
+	fmt.Fprintf(w, "# HELP repro_obs_runs_completed_total runs completed\n# TYPE repro_obs_runs_completed_total counter\nrepro_obs_runs_completed_total %d\n", completed)
+	fmt.Fprintf(w, "# HELP repro_obs_runs_failed_total runs failed\n# TYPE repro_obs_runs_failed_total counter\nrepro_obs_runs_failed_total %d\n", failed)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP repro_go_goroutines current goroutines\n# TYPE repro_go_goroutines gauge\nrepro_go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP repro_go_heap_alloc_bytes heap in use\n# TYPE repro_go_heap_alloc_bytes gauge\nrepro_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP repro_go_gc_total completed GC cycles\n# TYPE repro_go_gc_total counter\nrepro_go_gc_total %d\n", ms.NumGC)
+}
+
+// runsListing is the /runs response body.
+type runsListing struct {
+	Runs  []Info   `json:"runs"`
+	Tasks []string `json:"tasks"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	runs := s.reg.Runs()
+	listing := runsListing{Runs: make([]Info, 0, len(runs)), Tasks: core.TaskNames()}
+	for _, r := range runs {
+		listing.Runs = append(listing.Runs, r.Info())
+	}
+	sort.Slice(listing.Runs, func(i, j int) bool { return listing.Runs[i].ID < listing.Runs[j].ID })
+	writeJSON(w, http.StatusOK, listing)
+}
+
+func (s *Server) handleStartRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("obs: bad run request: %w", err))
+		return
+	}
+	run, err := s.Launch(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, run.Info())
+}
+
+func (s *Server) lookupRun(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	id := r.PathValue("id")
+	run, ok := s.reg.Run(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("obs: no run %q", id))
+		return nil, false
+	}
+	return run, true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRun(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, run.Detail())
+}
+
+// handleEvents streams the run's progress events as SSE: one `data:`
+// frame per event (the JSON Event), a final `event: done` frame once
+// the run has finished and the stream has drained, heartbeat comments
+// are unnecessary because every publish wakes the stream. A client
+// attaching mid-run first receives the retained ring, then live
+// events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRun(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("obs: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	var cursor int64
+	enc := json.NewEncoder(w)
+	for {
+		evs, next, wake, done := run.EventsSince(cursor)
+		for i := range evs {
+			fmt.Fprintf(w, "id: %d\ndata: ", evs[i].Seq)
+			if err := enc.Encode(evs[i]); err != nil {
+				return
+			}
+			fmt.Fprint(w, "\n")
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		cursor = next
+		if done {
+			fmt.Fprintf(w, "event: done\ndata: %q\n\n", run.State())
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleTrace serves the shared recorder's spans as Chrome trace-event
+// JSON (the same export `repro -trace` writes). The recorder is shared
+// across runs, so the trace shows every run this server has executed —
+// the multi-run view is the point of a long-running surface.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRun(w, r)
+	if !ok {
+		return
+	}
+	rec := run.Recorder()
+	if rec == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("obs: run %s has no telemetry recorder", run.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	includeWall := r.URL.Query().Get("wall") == "1"
+	if err := rec.WriteChromeTrace(w, telemetry.ExportOptions{IncludeWall: includeWall}); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do for this response.
+		return //lint:allow errdrop response already committed
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //lint:allow errdrop best-effort error body
+}

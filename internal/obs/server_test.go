@@ -1,0 +1,250 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+func newTestServer(t *testing.T) (*obs.Server, *httptest.Server) {
+	t.Helper()
+	srv := obs.NewServer(obs.NewRegistry(), telemetry.New())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close() //lint:allow errdrop test teardown
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// waitFinished polls until the run leaves the running state. The tiny
+// task sizes used here finish in well under a second.
+func waitFinished(t *testing.T, run *obs.Run) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second) //lint:allow wallclock test timeout
+	for run.State() == "running" {
+		if time.Now().After(deadline) { //lint:allow wallclock test timeout
+			t.Fatalf("run %s still running after 30s", run.ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz: code %d body %q", code, body)
+	}
+
+	run, err := srv.Launch(obs.RunRequest{Task: "dice", Paradigm: "workflow", Size: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, run)
+	if run.State() != "completed" {
+		t.Fatalf("run state %q, want completed", run.State())
+	}
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: code %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE repro_", // at least one exposition family
+		"repro_obs_runs_started_total 1",
+		"repro_obs_runs_completed_total 1",
+		"repro_go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body[:min(len(body), 2000)])
+		}
+	}
+	// Exposition format sanity: every non-comment line is "name value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestRunsEndpointsAndSSE(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Launch over HTTP while the server is up (the acceptance path).
+	resp, err := http.Post(ts.URL+"/runs", "application/json",
+		strings.NewReader(`{"task":"dice","paradigm":"workflow","size":200}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var launched obs.Info
+	if err := json.NewDecoder(resp.Body).Decode(&launched); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //lint:allow errdrop test teardown
+	if resp.StatusCode != http.StatusAccepted || launched.ID == "" {
+		t.Fatalf("POST /runs: code %d, info %+v", resp.StatusCode, launched)
+	}
+
+	// Stream SSE live: the run was just launched, so the stream starts
+	// before the run finishes and must still drain to the done event.
+	sse, err := http.Get(ts.URL + "/runs/" + launched.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close() //lint:allow errdrop test teardown
+	if got := sse.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/event-stream") {
+		t.Fatalf("SSE content type %q", got)
+	}
+	var events, doneSeen int
+	scanner := bufio.NewScanner(sse.Body)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "data: {"):
+			events++
+			var ev obs.Event
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+				t.Fatalf("bad SSE payload %q: %v", line, err)
+			}
+		case strings.HasPrefix(line, "event: done"):
+			doneSeen++
+		}
+	}
+	if doneSeen != 1 {
+		t.Fatalf("SSE stream ended without a done event (saw %d events)", events)
+	}
+	if events == 0 {
+		t.Fatal("SSE stream carried no progress events")
+	}
+
+	// Listing and detail endpoints reflect the finished run.
+	code, body := get(t, ts.URL+"/runs")
+	if code != 200 {
+		t.Fatalf("/runs: code %d", code)
+	}
+	var listing struct {
+		Runs  []obs.Info `json:"runs"`
+		Tasks []string   `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("/runs JSON: %v\n%s", err, body)
+	}
+	if len(listing.Runs) != 1 || listing.Runs[0].State != "completed" {
+		t.Fatalf("/runs listing: %+v", listing.Runs)
+	}
+	if len(listing.Tasks) == 0 {
+		t.Fatal("/runs listing has no registered tasks")
+	}
+
+	code, body = get(t, ts.URL+"/runs/"+launched.ID)
+	if code != 200 {
+		t.Fatalf("/runs/{id}: code %d", code)
+	}
+	var detail obs.Detail
+	if err := json.Unmarshal([]byte(body), &detail); err != nil {
+		t.Fatalf("/runs/{id} JSON: %v", err)
+	}
+	if len(detail.Ops) == 0 || detail.Events == 0 {
+		t.Fatalf("/runs/{id} detail empty: ops=%d events=%d", len(detail.Ops), detail.Events)
+	}
+	if detail.Summary["workflow.sim_seconds"] <= 0 {
+		t.Fatalf("missing sim_seconds summary: %+v", detail.Summary)
+	}
+
+	// Chrome trace is valid JSON with events.
+	code, body = get(t, ts.URL+"/runs/"+launched.ID+"/trace")
+	if code != 200 {
+		t.Fatalf("/runs/{id}/trace: code %d", code)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	if code, _ := get(t, ts.URL+"/runs/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown run id: code %d, want 404", code)
+	}
+}
+
+func TestLaunchRejectsBadRequests(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if _, err := srv.Launch(obs.RunRequest{Task: "no-such-task"}); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if _, err := srv.Launch(obs.RunRequest{Task: "dice", Paradigm: "gui"}); err == nil {
+		t.Error("unknown paradigm accepted")
+	}
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(`{"task":""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //lint:allow errdrop test teardown
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty task: code %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRenderPromStable pins the Prometheus renderer as a pure function
+// of the snapshot: same snapshot, same bytes; names sanitized.
+func TestRenderPromStable(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("wf.dice.node.join-sentences.out_tuples").Add(0, 42)
+	reg.Gauge("queue.depth").Set(0, 7)
+	reg.Histogram("batch.latency", "ns").Observe(0, 900)
+	snap := reg.Snapshot(true)
+
+	var a, b bytes.Buffer
+	if err := obs.RenderProm(&a, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.RenderProm(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("RenderProm not byte-stable:\n--- a ---\n%s\n--- b ---\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"repro_wf_dice_node_join_sentences_out_tuples 42",
+		"repro_queue_depth 7",
+		"repro_queue_depth_max 7",
+		`repro_batch_latency_bucket{le="1024"} 1`,
+		`repro_batch_latency_bucket{le="+Inf"} 1`,
+		"repro_batch_latency_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderProm missing %q:\n%s", want, out)
+		}
+	}
+}

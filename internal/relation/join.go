@@ -395,9 +395,11 @@ func (j *Joiner) Probe(left *Table) *Table {
 			lc, ok = ToColumnar(left)
 		}
 		if ok {
+			kstats.joinCol.Add(1)
 			return FromColumnar(cj.probe(lc))
 		}
 	}
+	kstats.joinRow.Add(1)
 	j.rowIndex()
 	out := NewTable(j.plan.out)
 	rows := left.Rows()

@@ -22,12 +22,14 @@ func Filter(t *Table, keep Predicate) *Table {
 // the selected column vectors.
 func Project(t *Table, names ...string) (*Table, error) {
 	if c := t.colBacking(); c != nil {
+		kstats.projectCol.Add(1)
 		out, err := c.Project(names...)
 		if err != nil {
 			return nil, err
 		}
 		return FromColumnar(out), nil
 	}
+	kstats.projectRow.Add(1)
 	s, err := t.Schema().Project(names...)
 	if err != nil {
 		return nil, err
@@ -266,8 +268,10 @@ func GroupBy(t *Table, keys []string, aggs []Aggregate) (*Table, error) {
 		return nil, err
 	}
 	if c := t.colBacking(); c != nil {
+		kstats.groupCol.Add(1)
 		return colGroupBy(c, keyPos, aggs, aggPos, outSchema), nil
 	}
+	kstats.groupRow.Add(1)
 
 	// Row path: groups bucket by canonical uint64 hash (no key-string
 	// allocation), collisions resolve by canonical value equality —

@@ -184,8 +184,10 @@ func (e *Encoder) EncodeTuple(t Tuple) ([]byte, error) {
 // single allocation however many rows the table has.
 func EncodeTable(t *Table) ([]byte, error) {
 	if c := t.colBacking(); c != nil {
+		kstats.encodeCol.Add(1)
 		return colEncodeTable(c), nil
 	}
+	kstats.encodeRow.Add(1)
 	out := make([]byte, 0, TableBytes(t))
 	out = binary.AppendUvarint(out, uint64(t.Len()))
 	var err error

@@ -168,6 +168,7 @@ print(f"wrote {len(df)} MACCROBAT-EE records")
 func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("dice", cfg.Model)
 	nb.SetTelemetry(cfg.Telemetry, "script:dice")
+	nb.SetProgress(cfg.Progress, "dice")
 	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
 	if err != nil {
 		return nil, err
@@ -199,6 +200,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 				// A replayed cell rebuilds chunkRecords but must not
 				// re-emit spans for work that was served from cache.
 				job.SetTelemetry(cfg.Telemetry, "script:dice")
+				job.SetProgress(cfg.Progress, "dice")
 			}
 			job.SetFaults(cfg.Faults)
 			chunkRecords = make([][]Record, nChunks)

@@ -280,7 +280,7 @@ func (t *Task) ProfileWorkflow(cfg core.RunConfig) (*dataflow.Trace, error) {
 		return nil, err
 	}
 	w := t.buildWorkflow(cfg.Workers)
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults})
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults, Progress: cfg.Progress})
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +298,7 @@ func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Re
 	w := t.buildWorkflow(cfg.Workers)
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, BatchSize: batchSize, Cluster: cluster.Paper(),
-		Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Telemetry: cfg.Telemetry, Faults: cfg.Faults, Progress: cfg.Progress,
 		Lineage:      cfg.Lineage,
 		LineageScope: fmt.Sprintf("workflow:dice[pairs=%d,seed=%d,workers=%d]", t.params.Pairs, t.params.Seed, cfg.Workers),
 	})

@@ -70,6 +70,7 @@ save_jsonl("gotta_answers.jsonl", answers)
 func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("gotta", cfg.Model)
 	nb.SetTelemetry(cfg.Telemetry, "script:gotta")
+	nb.SetProgress(cfg.Progress, "gotta")
 	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
 	if err != nil {
 		return nil, err
@@ -104,6 +105,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 				// A replayed cell rebuilds the answers but must not
 				// re-emit spans for work that was served from cache.
 				job.SetTelemetry(cfg.Telemetry, "script:gotta")
+				job.SetProgress(cfg.Progress, "gotta")
 			}
 			job.SetFaults(cfg.Faults)
 			for _, p := range t.passages {

@@ -195,7 +195,8 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	w := t.buildWorkflow(cfg.Model, cfg.Workers)
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
-		Lineage: cfg.Lineage,
+		Progress: cfg.Progress,
+		Lineage:  cfg.Lineage,
 		LineageScope: fmt.Sprintf("workflow:gotta[paragraphs=%d,sentences=%d,seed=%d,workers=%d]",
 			t.params.Paragraphs, t.params.SentencesPer, t.params.Seed, cfg.Workers),
 	})

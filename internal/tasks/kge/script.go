@@ -72,6 +72,7 @@ pd.DataFrame(results).to_json("recommendations.jsonl",
 func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("kge", cfg.Model)
 	nb.SetTelemetry(cfg.Telemetry, "script:kge")
+	nb.SetProgress(cfg.Progress, "kge")
 	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
 	if err != nil {
 		return nil, err
@@ -121,6 +122,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 				// A replayed cell rebuilds the scored rows but must not
 				// re-emit spans for work that was served from cache.
 				job.SetTelemetry(cfg.Telemetry, "script:kge")
+				job.SetProgress(cfg.Progress, "kge")
 			}
 			job.SetFaults(cfg.Faults)
 			for ci := 0; ci < nChunks; ci++ {

@@ -411,7 +411,8 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	}
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
-		Lineage: cfg.Lineage,
+		Progress: cfg.Progress,
+		Lineage:  cfg.Lineage,
 		LineageScope: fmt.Sprintf("workflow:kge[products=%d,seed=%d,workers=%d,ops=%d,scala=%t]",
 			t.params.Products, t.params.Seed, cfg.Workers, t.params.Variant.Ops, t.params.Variant.ScalaJoin),
 	})

@@ -73,6 +73,7 @@ pred_df.to_json("wef_predictions.jsonl", orient="records", lines=True)
 func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("wef", cfg.Model)
 	nb.SetTelemetry(cfg.Telemetry, "script:wef")
+	nb.SetProgress(cfg.Progress, "wef")
 	var ens *textclf.Ensemble
 	var out *relation.Table
 	var quality map[string]float64

@@ -195,6 +195,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	}
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Progress:     cfg.Progress,
 		Lineage:      cfg.Lineage,
 		LineageScope: fmt.Sprintf("workflow:wef[tweets=%d,epochs=%d,seed=%d]", t.params.Tweets, t.params.Epochs, t.params.Seed),
 	})

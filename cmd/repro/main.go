@@ -1,11 +1,23 @@
 // Command repro runs the reproduction's experiment suite — every table
-// and figure of the paper's evaluation — and prints measured values
-// next to the paper's published numbers.
+// and figure of the paper's evaluation — and the long-running
+// multi-tenant workflow service in front of the same engines.
 //
-// Usage:
+// Usage (subcommand modes; each accepts the shared flags below):
+//
+//	repro run dice            # one task via the unified RunSpec
+//	                          # (-paradigm, -size, -workers, -spec JSON)
+//	repro serve :8080         # multi-tenant service + observability:
+//	                          # POST /v1/runs, fair-share queueing,
+//	                          # /metrics, SSE progress, traces, pprof
+//	repro explain dice        # EXPLAIN-ANALYZE profile of a workflow
+//	repro validate            # static DAG validation; exit 1 on findings
+//	repro bench-check         # compare fresh bench vs newest BENCH_*.json
+//	repro experiment fig13a   # one experiment (repro experiment all)
+//
+// Flag spellings of the modes (-run, -serve, -explain, -validate,
+// -bench-check, -experiment) remain accepted but are deprecated.
 //
 //	repro                     # run everything at paper scale
-//	repro -experiment fig13a  # one experiment
 //	repro -scale 10           # shrink datasets 10x for a quick pass
 //	repro -list               # list experiment IDs
 //	repro -bench-json F.json  # wall-clock benchmark harness, JSON to F.json
@@ -15,13 +27,6 @@
 //	repro -metrics            # print the telemetry summary + metrics dump
 //	repro -faults 4           # arm deterministic fault injection (4 kills
 //	                          # per 100 sim-seconds) for every run
-//	repro -validate           # statically validate every task's workflow
-//	                          # DAG without executing; exit 1 on findings
-//	repro -serve :8080        # live observability server: /metrics, /runs,
-//	                          # SSE progress, Chrome traces, pprof
-//	repro -explain dice       # EXPLAIN-ANALYZE profile of a task's workflow
-//	repro -bench-check        # compare a fresh bench run against the latest
-//	                          # BENCH_*.json baseline; exit 1 on regression
 package main
 
 import (
@@ -43,6 +48,12 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment ID to run (see -list)")
+		runTask    = flag.String("run", "", "run one task through the unified RunSpec (with -paradigm, -size, -workers, -tenant; or -spec for raw JSON) and print its results")
+		specJSON   = flag.String("spec", "", "raw core.RunSpec JSON (or @file) for the run mode; individual flags override nothing once set")
+		paradigm   = flag.String("paradigm", "both", "paradigm for the run mode: script, workflow or both")
+		size       = flag.Int("size", 0, "input size for the run mode; 0 uses the task's paper-scale default")
+		tenant     = flag.String("tenant", "", "tenant attribution for the run mode and -serve submissions")
+		queueCap   = flag.Int("queue-cap", 0, "per-tenant pending-queue bound for -serve admission control; 0 uses the service default (64)")
 		scale      = flag.Int("scale", 1, "dataset shrink factor (1 = paper scale)")
 		seed       = flag.Uint64("seed", 1, "dataset seed")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
@@ -61,9 +72,23 @@ func main() {
 		explainOf  = flag.String("explain", "", "run a task's workflow and print an EXPLAIN-ANALYZE profile (aligned tree; -json for the raw profile; -lineage for cache-hit annotation; -trace-wall adds wall columns)")
 		benchCheck = flag.Bool("bench-check", false, "run the wall-clock harness and compare against the latest BENCH_*.json baseline in -bench-dir; exit 1 on regression, 2 when no comparable baseline exists")
 		benchDir   = flag.String("bench-dir", ".", "directory searched for BENCH_*.json baselines by -bench-check")
-		workers    = flag.Int("workers", 1, "per-operator worker count for -explain and -serve-tasks runs")
+		workers    = flag.Int("workers", 1, "per-operator worker count for run, -explain and -serve-tasks runs")
 	)
-	flag.Parse()
+	defaultUsage := flag.Usage
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repro [run|serve|explain|validate|bench-check|experiment] [args] [flags]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "The bare-flag mode spellings (-run, -serve, -explain, -validate, -bench-check,\n-experiment) are deprecated; prefer the subcommand forms above.\n\n")
+		defaultUsage()
+	}
+	args, err := translateMode(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
 
 	mkCfg := func() (experiments.Config, error) {
 		cfg := experiments.Config{Scale: *scale, Seed: *seed}
@@ -95,6 +120,17 @@ func main() {
 		os.Exit(runBenchCheck(*benchDir, *seed, *jsonOut))
 	}
 
+	if *runTask != "" || *specJSON != "" {
+		if err := runSpecMode(*runTask, *specJSON, specFlags{
+			Paradigm: *paradigm, Size: *size, Seed: *seed, Workers: *workers,
+			Tenant: *tenant, Scale: *scale, FaultRate: *faultRate, Lineage: *lineageOn,
+		}, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *explainOf != "" {
 		if err := runExplain(*explainOf, explainConfig{
 			Scale: *scale, Seed: *seed, Workers: *workers,
@@ -107,7 +143,7 @@ func main() {
 	}
 
 	if *serveAddr != "" {
-		if err := runServe(*serveAddr, *serveTasks, *workers, *seed); err != nil {
+		if err := runServe(*serveAddr, *serveTasks, *workers, *seed, *queueCap, *tenant); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -176,6 +212,59 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+}
+
+// translateMode rewrites a leading subcommand (run, serve, explain,
+// validate, bench-check, experiment) into the equivalent legacy flag
+// spelling, so both forms share one flag set and one code path. Args
+// that already start with a flag pass through untouched.
+func translateMode(args []string) ([]string, error) {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return args, nil
+	}
+	mode, rest := args[0], args[1:]
+	// takeArg pops a leading positional value (the task name, address
+	// or experiment ID) when one is present.
+	takeArg := func() (string, bool) {
+		if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			v := rest[0]
+			rest = rest[1:]
+			return v, true
+		}
+		return "", false
+	}
+	switch mode {
+	case "run":
+		task, ok := takeArg()
+		if !ok {
+			return nil, fmt.Errorf("repro run: missing task name (e.g. repro run dice)")
+		}
+		return append([]string{"-run", task}, rest...), nil
+	case "serve":
+		addr, ok := takeArg()
+		if !ok {
+			addr = ":8080"
+		}
+		return append([]string{"-serve", addr}, rest...), nil
+	case "explain":
+		task, ok := takeArg()
+		if !ok {
+			return nil, fmt.Errorf("repro explain: missing task name (e.g. repro explain dice)")
+		}
+		return append([]string{"-explain", task}, rest...), nil
+	case "validate":
+		return append([]string{"-validate"}, rest...), nil
+	case "bench-check":
+		return append([]string{"-bench-check"}, rest...), nil
+	case "experiment":
+		id, ok := takeArg()
+		if !ok {
+			id = "all"
+		}
+		return append([]string{"-experiment", id}, rest...), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown mode %q (want run, serve, explain, validate, bench-check or experiment)", mode)
 	}
 }
 
@@ -431,6 +520,15 @@ func run(id string, cfg experiments.Config, charts, jsonOut bool) error {
 			return emit(pts)
 		}
 		report.IterationTable(w, pts, charts)
+	case "serving":
+		pts, err := experiments.Serving(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(pts)
+		}
+		report.ServingCurve(w, pts, charts)
 	case "ablation-torch", "ablation-store", "ablation-serde", "ablation-batch":
 		fn := map[string]func(experiments.Config) ([]experiments.AblationRow, error){
 			"ablation-torch": experiments.AblationTorchPin,

@@ -15,7 +15,9 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/relation"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
@@ -122,10 +124,11 @@ func printCompare(cmp *bench.CompareReport) {
 	fmt.Printf("bench-check: %d benchmarks compared, %d regressions\n", len(cmp.Findings), cmp.Regressions)
 }
 
-// parseServeTask parses one -serve-tasks element: name[:paradigm[:size]].
-func parseServeTask(spec string, workers int, seed uint64) (obs.RunRequest, error) {
+// parseServeTask parses one -serve-tasks element into a RunSpec:
+// name[:paradigm[:size]].
+func parseServeTask(spec string, workers int, seed uint64, tenant string) (core.RunSpec, error) {
 	parts := strings.Split(spec, ":")
-	req := obs.RunRequest{Task: parts[0], Seed: seed, Workers: workers}
+	req := core.RunSpec{Task: parts[0], Seed: seed, Workers: workers, Tenant: tenant}
 	if len(parts) > 1 && parts[1] != "" {
 		req.Paradigm = parts[1]
 	}
@@ -142,18 +145,20 @@ func parseServeTask(spec string, workers int, seed uint64) (obs.RunRequest, erro
 	return req, nil
 }
 
-// runServe starts the observability server, optionally launching an
-// initial batch of task runs, and serves until SIGINT/SIGTERM, then
-// shuts down gracefully.
-func runServe(addr, tasks string, workers int, seed uint64) error {
-	srv := obs.NewServer(obs.NewRegistry(), telemetry.New())
+// runServe starts the multi-tenant workflow service (fair-share
+// queueing behind POST /v1/runs plus the observability endpoints),
+// optionally submitting an initial batch of runs, and serves until
+// SIGINT/SIGTERM, then shuts down gracefully — HTTP first, then the
+// scheduler (draining queued runs).
+func runServe(addr, tasks string, workers int, seed uint64, queueCap int, tenant string) error {
+	srv := obs.NewServerWith(obs.NewRegistry(), telemetry.New(), service.Config{QueueCap: queueCap})
 	if tasks != "" {
 		for _, spec := range strings.Split(tasks, ",") {
 			spec = strings.TrimSpace(spec)
 			if spec == "" {
 				continue
 			}
-			req, err := parseServeTask(spec, workers, seed)
+			req, err := parseServeTask(spec, workers, seed, tenant)
 			if err != nil {
 				return err
 			}
@@ -161,13 +166,13 @@ func runServe(addr, tasks string, workers int, seed uint64) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("launched %s (%s, paradigm %s)\n", run.ID, run.Task, run.Paradigm)
+			fmt.Printf("submitted %s (%s, paradigm %s, tenant %s)\n", run.ID, run.Task, run.Paradigm, run.Tenant)
 		}
 	}
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("observability server on %s — /metrics /runs /runs/{id}/events /runs/{id}/trace /debug/pprof\n", addr)
+	fmt.Printf("workflow service on %s — POST /v1/runs, /v1/tenants, /metrics, /runs/{id}/events, /runs/{id}/trace, /debug/pprof\n", addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -179,5 +184,110 @@ func runServe(addr, tasks string, workers int, seed uint64) error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return httpSrv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	srv.Close()
+	return nil
+}
+
+// specFlags carries the run mode's CLI knobs into the RunSpec.
+type specFlags struct {
+	Paradigm  string
+	Size      int
+	Seed      uint64
+	Workers   int
+	Tenant    string
+	Scale     int
+	FaultRate float64
+	Lineage   bool
+}
+
+// runSpecMode executes one task through the unified RunSpec — the same
+// decode target POST /v1/runs uses — and prints per-paradigm results.
+// specJSON, when set, is the raw spec (JSON literal or @file); task
+// and the individual flags populate it otherwise.
+func runSpecMode(task, specJSON string, f specFlags, jsonOut bool) error {
+	var spec core.RunSpec
+	if specJSON != "" {
+		raw := []byte(specJSON)
+		if strings.HasPrefix(specJSON, "@") {
+			b, err := os.ReadFile(specJSON[1:])
+			if err != nil {
+				return err
+			}
+			raw = b
+		}
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return fmt.Errorf("repro: bad -spec JSON: %w", err)
+		}
+	} else {
+		spec = core.RunSpec{
+			Task:      task,
+			Paradigm:  f.Paradigm,
+			Size:      f.Size,
+			Seed:      f.Seed,
+			Workers:   f.Workers,
+			Tenant:    f.Tenant,
+			FaultRate: f.FaultRate,
+			Lineage:   f.Lineage,
+		}
+	}
+	spec, err := spec.Normalize()
+	if err != nil {
+		return err
+	}
+	if spec.Size <= 0 && f.Scale > 1 {
+		size, err := core.TaskDefaultSize(spec.Task)
+		if err != nil {
+			return err
+		}
+		spec.Size = size / f.Scale
+		if spec.Size < 1 {
+			spec.Size = 1
+		}
+	}
+	t, err := spec.NewTask()
+	if err != nil {
+		return err
+	}
+	rc, err := spec.Config()
+	if err != nil {
+		return err
+	}
+	type row struct {
+		Paradigm     string  `json:"paradigm"`
+		SimSeconds   float64 `json:"sim_seconds"`
+		Procs        int     `json:"parallel_procs"`
+		Operators    int     `json:"operators"`
+		OutputDigest string  `json:"output_digest"`
+	}
+	var rows []row
+	for _, p := range spec.Paradigms() {
+		res, err := t.Run(p, rc)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{
+			Paradigm:     p.String(),
+			SimSeconds:   res.SimSeconds,
+			Procs:        res.ParallelProcs,
+			Operators:    res.Operators,
+			OutputDigest: fmt.Sprintf("%016x", relation.Digest(res.Output)),
+		})
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"spec": spec, "results": rows})
+	}
+	out := [][]string{{"paradigm", "sim s", "procs", "operators", "output digest"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Paradigm, report.Secs(r.SimSeconds), strconv.Itoa(r.Procs),
+			strconv.Itoa(r.Operators), r.OutputDigest,
+		})
+	}
+	report.Table(os.Stdout, out)
+	return nil
 }

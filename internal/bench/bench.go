@@ -17,6 +17,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lineage"
 	"repro/internal/relation"
+	"repro/internal/service"
 	"repro/internal/tasks/dice"
 	"repro/internal/tasks/kge"
 	"repro/internal/telemetry"
@@ -330,6 +331,38 @@ func micros() []Micro {
 			if hrun.Lookup("cell", lineage.Fingerprint(1<<32+i)) == nil {
 				panic("bench: expected lineage hit")
 			}
+		}
+	}))
+
+	// Fair-share scheduler: the per-job submit/dispatch/complete price
+	// the serving tier charges on top of the run itself. Four tenants,
+	// 1024 one-vCPU jobs, drained in synchronous rounds.
+	out = append(out, measure("sched_submit_dispatch_1024", 1024, func() {
+		sched := service.NewScheduler(service.Config{BudgetVCPUs: 32, QueueCap: 1024})
+		tenants := [4]string{"a", "b", "c", "d"}
+		for i := 0; i < 1024; i++ {
+			if _, err := sched.Submit(service.Job{Tenant: tenants[i%4], VCPUs: 1, EstSeconds: 1}, 0); err != nil {
+				panic(err)
+			}
+		}
+		now := 0.0
+		var batch []*service.Job
+		for completed := 0; completed < 1024; {
+			for {
+				j, ok := sched.Next(now)
+				if !ok {
+					break
+				}
+				batch = append(batch, j)
+			}
+			now++
+			for _, j := range batch {
+				if err := sched.Complete(j.ID, now, 0); err != nil {
+					panic(err)
+				}
+			}
+			completed += len(batch)
+			batch = batch[:0]
 		}
 	}))
 	return out

@@ -70,6 +70,19 @@ type RunConfig struct {
 	Progress ProgressSink
 }
 
+// ErrTooManyWorkers reports a worker count above the simulated
+// cluster's vCPU budget. It is typed (and carries the limit) so the
+// serving tier can map it to a clean 4xx response instead of a generic
+// internal error.
+type ErrTooManyWorkers struct {
+	Workers int
+	Limit   int
+}
+
+func (e *ErrTooManyWorkers) Error() string {
+	return fmt.Sprintf("core: worker count %d exceeds the cluster's %d worker vCPUs", e.Workers, e.Limit)
+}
+
 // Normalize fills defaults and validates. Worker counts are bounded by
 // the paper cluster's worker vCPUs: both paradigms schedule onto that
 // hardware, so asking for more would simulate machines that don't
@@ -88,7 +101,7 @@ func (c RunConfig) Normalize() (RunConfig, error) {
 		return c, fmt.Errorf("core: negative worker count %d", c.Workers)
 	}
 	if limit := cluster.Paper().TotalWorkerCPUs(); c.Workers > limit {
-		return c, fmt.Errorf("core: worker count %d exceeds the cluster's %d worker vCPUs", c.Workers, limit)
+		return c, &ErrTooManyWorkers{Workers: c.Workers, Limit: limit}
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return c, err

@@ -111,6 +111,17 @@ func (g *Registry) nowNS() int64 { return int64(telemetry.WallSince(g.epoch)) }
 // be attached directly to a RunConfig. rec is the run's telemetry
 // recorder; it may be shared across runs and may be nil.
 func (g *Registry) StartRun(task, paradigm string, rec *telemetry.Recorder) *Run {
+	return g.start(task, paradigm, "", "running", rec)
+}
+
+// StartQueued registers a run waiting in the service queue; it turns
+// live via MarkRunning when the scheduler dispatches it. tenant
+// attributes it for fair-share accounting.
+func (g *Registry) StartQueued(task, paradigm, tenant string, rec *telemetry.Recorder) *Run {
+	return g.start(task, paradigm, tenant, "queued", rec)
+}
+
+func (g *Registry) start(task, paradigm, tenant, state string, rec *telemetry.Recorder) *Run {
 	g.mu.Lock()
 	g.nextID++
 	g.started++
@@ -118,9 +129,10 @@ func (g *Registry) StartRun(task, paradigm string, rec *telemetry.Recorder) *Run
 		ID:       fmt.Sprintf("r%04d", g.nextID),
 		Task:     task,
 		Paradigm: paradigm,
+		Tenant:   tenant,
 		reg:      g,
 		rec:      rec,
-		state:    "running",
+		state:    state,
 		startNS:  g.nowNS(),
 		ops:      make(map[string]*OpStatus),
 		notify:   make(chan struct{}),
@@ -131,6 +143,33 @@ func (g *Registry) StartRun(task, paradigm string, rec *telemetry.Recorder) *Run
 	g.mu.Unlock()
 	r.sampleLocked(r.startNS) // seed the series with a starting point
 	return r
+}
+
+// Remove forgets a run that never started executing — the rollback
+// path when service admission rejects a just-registered submission. It
+// declines to remove a run that has begun running.
+func (g *Registry) Remove(id string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	if !ok {
+		return false
+	}
+	r.mu.Lock()
+	queued := r.state == "queued"
+	r.mu.Unlock()
+	if !queued {
+		return false
+	}
+	delete(g.runs, id)
+	for i, oid := range g.order {
+		if oid == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	g.started--
+	return true
 }
 
 // evict drops the oldest finished runs beyond the retention cap.
@@ -190,13 +229,15 @@ type Run struct {
 	ID       string
 	Task     string
 	Paradigm string
+	Tenant   string
 
 	reg *Registry
 	rec *telemetry.Recorder
 
 	mu      sync.Mutex
-	state   string // "running", "completed", "failed"
+	state   string // "queued", "running", "completed", "failed"
 	errMsg  string
+	notes   map[string]string
 	startNS int64
 	endNS   int64
 
@@ -370,6 +411,39 @@ func (r *Run) State() string {
 	return r.state
 }
 
+// MarkRunning transitions a queued run to running — the scheduler's
+// dispatch moment. It is a no-op for runs already live or finished.
+func (r *Run) MarkRunning() {
+	r.mu.Lock()
+	if r.state != "queued" {
+		r.mu.Unlock()
+		return
+	}
+	r.state = "running"
+	ch := r.notify
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+	close(ch)
+}
+
+// SetNote attaches a small string fact to the run (output digests,
+// scheduling stamps); notes appear in Info.
+func (r *Run) SetNote(key, value string) {
+	r.mu.Lock()
+	if r.notes == nil {
+		r.notes = make(map[string]string)
+	}
+	r.notes[key] = value
+	r.mu.Unlock()
+}
+
+// Note reads one note back; empty when unset.
+func (r *Run) Note(key string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.notes[key]
+}
+
 // Recorder returns the run's telemetry recorder (may be nil).
 func (r *Run) Recorder() *telemetry.Recorder { return r.rec }
 
@@ -426,6 +500,7 @@ type Info struct {
 	ID          string             `json:"id"`
 	Task        string             `json:"task"`
 	Paradigm    string             `json:"paradigm,omitempty"`
+	Tenant      string             `json:"tenant,omitempty"`
 	State       string             `json:"state"`
 	Error       string             `json:"error,omitempty"`
 	StartWallNS int64              `json:"start_wall_ns"`
@@ -434,6 +509,7 @@ type Info struct {
 	Operators   int                `json:"operators"`
 	VirtSeconds float64            `json:"virt_seconds,omitempty"`
 	Summary     map[string]float64 `json:"summary,omitempty"`
+	Notes       map[string]string  `json:"notes,omitempty"`
 }
 
 // Info snapshots the run's listing row.
@@ -444,6 +520,7 @@ func (r *Run) Info() Info {
 		ID:          r.ID,
 		Task:        r.Task,
 		Paradigm:    r.Paradigm,
+		Tenant:      r.Tenant,
 		State:       r.state,
 		Error:       r.errMsg,
 		StartWallNS: r.startNS,
@@ -456,6 +533,12 @@ func (r *Run) Info() Info {
 		in.Summary = make(map[string]float64, len(r.summary))
 		for k, v := range r.summary {
 			in.Summary[k] = v
+		}
+	}
+	if len(r.notes) > 0 {
+		in.Notes = make(map[string]string, len(r.notes))
+		for k, v := range r.notes {
+			in.Notes[k] = v
 		}
 	}
 	return in

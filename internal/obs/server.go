@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -9,48 +10,59 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
-// RunRequest asks the server to execute one task while serving — the
-// body of POST /runs and the shape behind `repro -serve`'s initial
-// task list.
-type RunRequest struct {
-	// Task names a registered task (dice, wef, gotta, kge).
-	Task string `json:"task"`
-	// Paradigm is "script", "workflow" or "both" (the default).
-	Paradigm string `json:"paradigm,omitempty"`
-	// Size is the input size; <= 0 uses the task's paper-scale default.
-	Size int `json:"size,omitempty"`
-	// Seed is the dataset seed; 0 means 1.
-	Seed uint64 `json:"seed,omitempty"`
-	// Workers is the parallelism knob; 0 means 1.
-	Workers int `json:"workers,omitempty"`
-}
+// RunRequest is the body of POST /runs and /v1/runs.
+//
+// Deprecated: RunRequest is an alias for core.RunSpec, the unified
+// request shape shared by the HTTP API, the CLI and the experiment
+// drivers. New code should say core.RunSpec; the alias remains for one
+// release.
+type RunRequest = core.RunSpec
 
-// Server is the HTTP introspection surface over a run registry: the
-// first long-running serving mode this reproduction has. One shared
-// telemetry recorder backs /metrics (its counters are monotonic across
-// runs, which is what Prometheus scrapes expect) and the Chrome-trace
-// endpoint.
+// Server is the HTTP surface over the run registry and the
+// multi-tenant service: submissions queue through fair-share
+// scheduling with admission control, while the observability endpoints
+// (SSE progress, Prometheus metrics, Chrome traces, pprof) read the
+// registry directly. The API is versioned under /v1/; the original
+// unversioned paths remain as a legacy passthrough for one release.
+// One shared telemetry recorder backs /metrics (its counters are
+// monotonic across runs, which is what Prometheus scrapes expect) and
+// the Chrome-trace endpoint.
 type Server struct {
 	reg *Registry
 	rec *telemetry.Recorder
+	svc *service.Service
 	mux *http.ServeMux
 }
 
-// NewServer builds the introspection server around a registry and the
-// shared recorder. Pass a fresh NewRegistry()/telemetry.New() pair for
-// a standalone server.
+// NewServer builds the server with default scheduler sizing (the
+// paper cluster's 32 worker vCPUs, 64-deep tenant queues).
 func NewServer(reg *Registry, rec *telemetry.Recorder) *Server {
+	return NewServerWith(reg, rec, service.Config{})
+}
+
+// NewServerWith builds the server around an explicitly sized
+// scheduler. Pass a fresh NewRegistry()/telemetry.New() pair for a
+// standalone server.
+func NewServerWith(reg *Registry, rec *telemetry.Recorder, cfg service.Config) *Server {
 	s := &Server{reg: reg, rec: rec, mux: http.NewServeMux()}
+	s.svc = service.New(cfg, s.runJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /runs", s.handleRuns)
-	s.mux.HandleFunc("POST /runs", s.handleStartRun)
-	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
-	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	// The run API is versioned under /v1/; the unversioned spellings
+	// are the deprecated legacy passthrough.
+	for _, prefix := range []string{"", "/v1"} {
+		s.mux.HandleFunc("GET "+prefix+"/runs", s.handleRuns)
+		s.mux.HandleFunc("POST "+prefix+"/runs", s.handleStartRun)
+		s.mux.HandleFunc("GET "+prefix+"/runs/{id}", s.handleRun)
+		s.mux.HandleFunc("GET "+prefix+"/runs/{id}/events", s.handleEvents)
+		s.mux.HandleFunc("GET "+prefix+"/runs/{id}/trace", s.handleTrace)
+	}
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	// pprof must be wired explicitly: the package's init only touches
 	// http.DefaultServeMux, which this server deliberately avoids.
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -69,68 +81,82 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Registry returns the server's run registry.
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Launch starts req executing in the background and returns its run
-// handle immediately; progress is observable on the run while it
-// executes and Finish fires when it completes. The request is
-// validated up front so callers get "unknown task" synchronously.
-func (s *Server) Launch(req RunRequest) (*Run, error) {
-	if req.Seed == 0 {
-		req.Seed = 1
-	}
-	if req.Paradigm == "" {
-		req.Paradigm = "both"
-	}
-	switch req.Paradigm {
-	case "script", "workflow", "both":
-	default:
-		return nil, fmt.Errorf("obs: unknown paradigm %q (want script, workflow or both)", req.Paradigm)
-	}
-	task, err := core.NewTask(req.Task, req.Size, req.Seed)
+// Service returns the scheduling tier, for stats and tests.
+func (s *Server) Service() *service.Service { return s.svc }
+
+// Close stops accepting submissions and waits for queued and
+// in-flight runs to finish.
+func (s *Server) Close() { s.svc.Close() }
+
+// Launch validates the spec, registers a queued run and submits it to
+// the fair-share scheduler; the run executes when the scheduler
+// dispatches it. The spec is validated up front so callers get
+// "unknown task" (and admission rejections) synchronously.
+func (s *Server) Launch(spec core.RunSpec) (*Run, error) {
+	spec, err := spec.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	run := s.reg.StartRun(req.Task, req.Paradigm, s.rec)
-	go func() {
-		summary, err := executeRun(task, req, run, s.rec)
-		run.Finish(summary, err)
-	}()
+	if _, err := core.NewTask(spec.Task, spec.Size, spec.Seed); err != nil {
+		return nil, err
+	}
+	run := s.reg.StartQueued(spec.Task, spec.Paradigm, spec.Tenant, s.rec)
+	_, err = s.svc.Submit(service.Job{
+		ID:       run.ID,
+		Tenant:   spec.Tenant,
+		Priority: spec.Priority,
+		VCPUs:    spec.Workers,
+		Spec:     spec,
+	})
+	if err != nil {
+		s.reg.Remove(run.ID)
+		return nil, err
+	}
 	return run, nil
 }
 
-// executeRun runs the task with the run handle attached as its live
-// progress sink and folds the results into the run summary.
-func executeRun(task core.Task, req RunRequest, run *Run, rec *telemetry.Recorder) (map[string]float64, error) {
-	rc, err := core.NewRunConfig(
+// runJob is the service Runner: it marks the registered run live,
+// executes the spec and finishes the run. Scheduler bookkeeping
+// (releasing vCPUs, re-pumping the queue) happens in the service once
+// this returns.
+func (s *Server) runJob(job *service.Job) error {
+	run, ok := s.reg.Run(job.ID)
+	if !ok {
+		return fmt.Errorf("obs: dispatched job %q has no registered run", job.ID)
+	}
+	run.MarkRunning()
+	summary, err := executeRun(job.Spec, run, s.rec)
+	run.Finish(summary, err)
+	return err
+}
+
+// executeRun runs the spec with the run handle attached as its live
+// progress sink and folds the results into the run summary. Each
+// paradigm's output digest is recorded as a run note, so clients (and
+// the golden tests) can check service-path runs against direct core
+// runs bit-for-bit.
+func executeRun(spec core.RunSpec, run *Run, rec *telemetry.Recorder) (map[string]float64, error) {
+	task, err := spec.NewTask()
+	if err != nil {
+		return nil, err
+	}
+	rc, err := spec.Config(
 		core.WithTelemetry(rec),
 		core.WithProgress(run),
-		core.WithWorkers(req.Workers),
 	)
 	if err != nil {
 		return nil, err
 	}
 	summary := make(map[string]float64)
-	runOne := func(p core.Paradigm) error {
+	for _, p := range spec.Paradigms() {
 		res, err := task.Run(p, rc)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		summary[p.String()+".sim_seconds"] = res.SimSeconds
 		summary[p.String()+".parallel_procs"] = float64(res.ParallelProcs)
 		summary[p.String()+".operators"] = float64(res.Operators)
-		return nil
-	}
-	switch req.Paradigm {
-	case "script":
-		err = runOne(core.Script)
-	case "workflow":
-		err = runOne(core.Workflow)
-	default:
-		if err = runOne(core.Script); err == nil {
-			err = runOne(core.Workflow)
-		}
-	}
-	if err != nil {
-		return nil, err
+		run.SetNote(p.String()+".output_digest", fmt.Sprintf("%016x", relation.Digest(res.Output)))
 	}
 	return summary, nil
 }
@@ -142,7 +168,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // handleMetrics renders the shared registry snapshot in Prometheus
 // text format, then appends process-level families (registry run
-// counts, goroutines, heap, GC) that exist independently of any run.
+// counts, scheduler budget and per-tenant queue/admission series,
+// goroutines, heap, GC) that exist independently of any run.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := RenderProm(w, s.rec.Metrics.Snapshot(true)); err != nil {
@@ -152,11 +179,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP repro_obs_runs_started_total runs started\n# TYPE repro_obs_runs_started_total counter\nrepro_obs_runs_started_total %d\n", started)
 	fmt.Fprintf(w, "# HELP repro_obs_runs_completed_total runs completed\n# TYPE repro_obs_runs_completed_total counter\nrepro_obs_runs_completed_total %d\n", completed)
 	fmt.Fprintf(w, "# HELP repro_obs_runs_failed_total runs failed\n# TYPE repro_obs_runs_failed_total counter\nrepro_obs_runs_failed_total %d\n", failed)
+	fmt.Fprintf(w, "# HELP repro_service_vcpus_budget admitted vCPU budget\n# TYPE repro_service_vcpus_budget gauge\nrepro_service_vcpus_budget %d\n", s.svc.Budget())
+	fmt.Fprintf(w, "# HELP repro_service_vcpus_used dispatched vCPUs\n# TYPE repro_service_vcpus_used gauge\nrepro_service_vcpus_used %d\n", s.svc.UsedVCPUs())
+	stats := s.svc.Stats()
+	writeTenantFamily(w, "repro_service_queue_depth", "gauge", "queued runs per tenant", stats, func(t service.TenantStat) float64 { return float64(t.Queued) })
+	writeTenantFamily(w, "repro_service_inflight_runs", "gauge", "dispatched runs per tenant", stats, func(t service.TenantStat) float64 { return float64(t.Inflight) })
+	writeTenantFamily(w, "repro_service_submitted_total", "counter", "submissions per tenant", stats, func(t service.TenantStat) float64 { return float64(t.Submitted) })
+	writeTenantFamily(w, "repro_service_rejected_total", "counter", "admission rejections per tenant", stats, func(t service.TenantStat) float64 { return float64(t.Rejected) })
+	writeTenantFamily(w, "repro_service_served_vcpu_seconds_total", "counter", "completed admitted vCPU-seconds per tenant", stats, func(t service.TenantStat) float64 { return t.ServedVCPUSeconds })
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	fmt.Fprintf(w, "# HELP repro_go_goroutines current goroutines\n# TYPE repro_go_goroutines gauge\nrepro_go_goroutines %d\n", runtime.NumGoroutine())
 	fmt.Fprintf(w, "# HELP repro_go_heap_alloc_bytes heap in use\n# TYPE repro_go_heap_alloc_bytes gauge\nrepro_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
 	fmt.Fprintf(w, "# HELP repro_go_gc_total completed GC cycles\n# TYPE repro_go_gc_total counter\nrepro_go_gc_total %d\n", ms.NumGC)
+}
+
+// writeTenantFamily renders one labelled per-tenant metric family.
+// stats arrive sorted by tenant, keeping the exposition byte-stable.
+func writeTenantFamily(w http.ResponseWriter, name, kind, help string, stats []service.TenantStat, value func(service.TenantStat) float64) {
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	for _, t := range stats {
+		fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, t.Tenant, value(t))
+	}
 }
 
 // runsListing is the /runs response body.
@@ -175,25 +222,59 @@ func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, listing)
 }
 
+// tenantsListing is the /v1/tenants response body.
+type tenantsListing struct {
+	BudgetVCPUs int                  `json:"budget_vcpus"`
+	UsedVCPUs   int                  `json:"used_vcpus"`
+	Tenants     []service.TenantStat `json:"tenants"`
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, tenantsListing{
+		BudgetVCPUs: s.svc.Budget(),
+		UsedVCPUs:   s.svc.UsedVCPUs(),
+		Tenants:     s.svc.Stats(),
+	})
+}
+
 func (s *Server) handleStartRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("obs: bad run request: %w", err))
+	var spec core.RunSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("obs: bad run spec: %w", err))
 		return
 	}
-	run, err := s.Launch(req)
+	run, err := s.Launch(spec)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		code, status := classifyLaunchErr(err)
+		httpError(w, status, code, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, run.Info())
+}
+
+// classifyLaunchErr maps typed scheduling/validation errors onto the
+// error envelope's code and the HTTP status.
+func classifyLaunchErr(err error) (code string, status int) {
+	var saturated *service.ErrTenantSaturated
+	var tooLarge *service.ErrJobTooLarge
+	var tooMany *core.ErrTooManyWorkers
+	switch {
+	case errors.As(err, &saturated):
+		return "tenant_saturated", http.StatusTooManyRequests
+	case errors.As(err, &tooLarge):
+		return "job_too_large", http.StatusBadRequest
+	case errors.As(err, &tooMany):
+		return "too_many_workers", http.StatusBadRequest
+	default:
+		return "bad_request", http.StatusBadRequest
+	}
 }
 
 func (s *Server) lookupRun(w http.ResponseWriter, r *http.Request) (*Run, bool) {
 	id := r.PathValue("id")
 	run, ok := s.reg.Run(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("obs: no run %q", id))
+		httpError(w, http.StatusNotFound, "not_found", fmt.Errorf("obs: no run %q", id))
 		return nil, false
 	}
 	return run, true
@@ -220,7 +301,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("obs: response writer cannot stream"))
+		httpError(w, http.StatusInternalServerError, "internal", fmt.Errorf("obs: response writer cannot stream"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -265,13 +346,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	rec := run.Recorder()
 	if rec == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("obs: run %s has no telemetry recorder", run.ID))
+		httpError(w, http.StatusNotFound, "not_found", fmt.Errorf("obs: run %s has no telemetry recorder", run.ID))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	includeWall := r.URL.Query().Get("wall") == "1"
 	if err := rec.WriteChromeTrace(w, telemetry.ExportOptions{IncludeWall: includeWall}); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		httpError(w, http.StatusInternalServerError, "internal", err)
 	}
 }
 
@@ -286,8 +367,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// errorEnvelope is the single JSON error shape every obs/service
+// handler returns: {"error": {"code", "message"}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func httpError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //lint:allow errdrop best-effort error body
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: err.Error()}}) //lint:allow errdrop best-effort error body
 }

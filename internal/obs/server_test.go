@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,7 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
@@ -37,14 +41,14 @@ func get(t *testing.T, url string) (int, string) {
 	return resp.StatusCode, string(body)
 }
 
-// waitFinished polls until the run leaves the running state. The tiny
-// task sizes used here finish in well under a second.
+// waitFinished polls until the run leaves the queued/running states.
+// The tiny task sizes used here finish in well under a second.
 func waitFinished(t *testing.T, run *obs.Run) {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second) //lint:allow wallclock test timeout
-	for run.State() == "running" {
+	for st := run.State(); st == "queued" || st == "running"; st = run.State() {
 		if time.Now().After(deadline) { //lint:allow wallclock test timeout
-			t.Fatalf("run %s still running after 30s", run.ID)
+			t.Fatalf("run %s still %s after 30s", run.ID, st)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -212,6 +216,242 @@ func TestLaunchRejectsBadRequests(t *testing.T) {
 	resp.Body.Close() //lint:allow errdrop test teardown
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty task: code %d, want 400", resp.StatusCode)
+	}
+}
+
+// postRun posts a run spec and returns the status code and body.
+func postRun(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //lint:allow errdrop test teardown
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// envelope mirrors the single JSON error shape every handler returns.
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func decodeEnvelope(t *testing.T, body string) envelope {
+	t.Helper()
+	var env envelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("error body is not the envelope shape: %v\n%s", err, body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", body)
+	}
+	return env
+}
+
+// TestV1APITenantsAndGoldenOutputs drives two tenants through the
+// versioned API, checks the fair-share accounting surfaces (the
+// /v1/tenants listing and the per-tenant metric families), and pins
+// the golden property: the output digests recorded by service-path
+// runs are bit-identical to direct core runs of the same spec.
+func TestV1APITenantsAndGoldenOutputs(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	launches := []struct {
+		body   string
+		tenant string
+	}{
+		{`{"api_version":"v1","task":"dice","paradigm":"workflow","size":200,"tenant":"ds-team"}`, "ds-team"},
+		{`{"api_version":"v1","task":"wef","paradigm":"script","size":120,"tenant":"ml-team","workers":2}`, "ml-team"},
+	}
+	ids := make([]string, 0, len(launches))
+	for _, l := range launches {
+		code, body := postRun(t, ts.URL+"/v1/runs", l.body)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST /v1/runs: code %d body %s", code, body)
+		}
+		var info obs.Info
+		if err := json.Unmarshal([]byte(body), &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Tenant != l.tenant {
+			t.Fatalf("launched tenant %q, want %q", info.Tenant, l.tenant)
+		}
+		ids = append(ids, info.ID)
+	}
+	for _, id := range ids {
+		run, ok := srv.Registry().Run(id)
+		if !ok {
+			t.Fatalf("run %s not registered", id)
+		}
+		waitFinished(t, run)
+		if run.State() != "completed" {
+			t.Fatalf("run %s state %q, want completed", id, run.State())
+		}
+	}
+
+	// Golden: the digests the service recorded must equal direct runs.
+	for i, spec := range []core.RunSpec{
+		{Task: "dice", Paradigm: "workflow", Size: 200},
+		{Task: "wef", Paradigm: "script", Size: 120, Workers: 2},
+	} {
+		run, _ := srv.Registry().Run(ids[i])
+		norm, err := spec.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := norm.NewTask()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := norm.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := task.Run(norm.Paradigms()[0], rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := fmt.Sprintf("%016x", relation.Digest(res.Output))
+		if got := run.Note(norm.Paradigm + ".output_digest"); got != direct {
+			t.Fatalf("%s: service-path digest %q != direct core digest %q", norm.Task, got, direct)
+		}
+	}
+
+	// The versioned and legacy listings serve the same runs.
+	for _, path := range []string{"/runs", "/v1/runs"} {
+		code, body := get(t, ts.URL+path)
+		if code != 200 {
+			t.Fatalf("%s: code %d", path, code)
+		}
+		var listing struct {
+			Runs []obs.Info `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(body), &listing); err != nil {
+			t.Fatal(err)
+		}
+		if len(listing.Runs) != 2 {
+			t.Fatalf("%s listed %d runs, want 2", path, len(listing.Runs))
+		}
+	}
+
+	// /v1/tenants reports both tenants' completed accounting.
+	code, body := get(t, ts.URL+"/v1/tenants")
+	if code != 200 {
+		t.Fatalf("/v1/tenants: code %d", code)
+	}
+	var tl struct {
+		BudgetVCPUs int                  `json:"budget_vcpus"`
+		UsedVCPUs   int                  `json:"used_vcpus"`
+		Tenants     []service.TenantStat `json:"tenants"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.BudgetVCPUs <= 0 {
+		t.Fatalf("budget %d", tl.BudgetVCPUs)
+	}
+	seen := map[string]service.TenantStat{}
+	for _, st := range tl.Tenants {
+		seen[st.Tenant] = st
+	}
+	for _, tenant := range []string{"ds-team", "ml-team"} {
+		st, ok := seen[tenant]
+		if !ok || st.Completed != 1 || st.ServedVCPUSeconds <= 0 {
+			t.Fatalf("tenant %s accounting wrong: %+v (all %+v)", tenant, st, tl.Tenants)
+		}
+	}
+
+	// Per-tenant metric families are exposed with tenant labels.
+	code, body = get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: code %d", code)
+	}
+	for _, want := range []string{
+		"repro_service_vcpus_budget",
+		`repro_service_submitted_total{tenant="ds-team"} 1`,
+		`repro_service_submitted_total{tenant="ml-team"} 1`,
+		`repro_service_queue_depth{tenant="ds-team"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestErrorEnvelopeAndStatusCodes pins the single error shape and the
+// typed-error → status mapping of the versioned API.
+func TestErrorEnvelopeAndStatusCodes(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, body := postRun(t, ts.URL+"/v1/runs", `{"task":"dice","workers":4096}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized workers: code %d, want 400", code)
+	}
+	if env := decodeEnvelope(t, body); env.Error.Code != "too_many_workers" {
+		t.Fatalf("oversized workers: envelope code %q", env.Error.Code)
+	}
+
+	code, body = postRun(t, ts.URL+"/v1/runs", `{"task":"no-such-task"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown task: code %d, want 400", code)
+	}
+	decodeEnvelope(t, body)
+
+	code, body = get(t, ts.URL+"/v1/runs/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown run: code %d, want 404", code)
+	}
+	if env := decodeEnvelope(t, body); env.Error.Code != "not_found" {
+		t.Fatalf("unknown run: envelope code %q", env.Error.Code)
+	}
+}
+
+// TestAdmissionRejectionOverHTTP saturates a one-deep tenant queue
+// with budget-wide jobs and checks the 429 + tenant_saturated mapping,
+// and that the rejected submission leaves no run behind.
+func TestAdmissionRejectionOverHTTP(t *testing.T) {
+	srv := obs.NewServerWith(obs.NewRegistry(), telemetry.New(), service.Config{QueueCap: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Each job demands the whole budget, so the first occupies the
+	// cluster, the second queues, and the third must be rejected.
+	spec := fmt.Sprintf(`{"task":"dice","paradigm":"both","size":2000,"tenant":"burst","workers":%d}`, srv.Service().Budget())
+	sawRejection := false
+	for i := 0; i < 3; i++ {
+		code, body := postRun(t, ts.URL+"/v1/runs", spec)
+		switch code {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			sawRejection = true
+			if env := decodeEnvelope(t, body); env.Error.Code != "tenant_saturated" {
+				t.Fatalf("429 envelope code %q", env.Error.Code)
+			}
+		default:
+			t.Fatalf("POST %d: code %d body %s", i, code, body)
+		}
+	}
+	if !sawRejection {
+		t.Fatal("three budget-wide submissions at queue cap 1 produced no 429")
+	}
+
+	// The rollback path removed the rejected run: only admitted runs
+	// are listed, and they all drain to completion.
+	runs := srv.Registry().Runs()
+	if len(runs) != 2 {
+		t.Fatalf("%d runs registered, want 2 (rejected one rolled back)", len(runs))
+	}
+	for _, run := range runs {
+		waitFinished(t, run)
+		if run.State() != "completed" {
+			t.Fatalf("run %s state %q", run.ID, run.State())
+		}
 	}
 }
 

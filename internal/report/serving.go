@@ -1,0 +1,41 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// ServingCurve renders the serving experiment's load sweep: a table of
+// latency percentiles, goodput, admission rejections and Jain's
+// fairness index per offered load, and optionally an ASCII chart of
+// p50/p99 latency versus load (the saturation knee is the story).
+func ServingCurve(w io.Writer, points []experiments.ServingPoint, chart bool) {
+	rows := [][]string{{
+		"load", "rate/s", "admitted", "rejected", "p50 s", "p99 s",
+		"goodput vcpu-s/s", "util", "jain",
+	}}
+	var p50, p99 []Point
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.Load),
+			fmt.Sprintf("%.3g", p.RateJobsPerSec),
+			fmt.Sprintf("%d/%d", p.Admitted, p.Arrivals),
+			fmt.Sprintf("%d", p.Rejected),
+			Secs(p.P50Latency), Secs(p.P99Latency),
+			fmt.Sprintf("%.3g", p.Goodput),
+			fmt.Sprintf("%.2f", p.Utilization),
+			fmt.Sprintf("%.3f", p.Jain),
+		})
+		p50 = append(p50, Point{X: p.Load, Y: p.P50Latency})
+		p99 = append(p99, Point{X: p.Load, Y: p.P99Latency})
+	}
+	Table(w, rows)
+	if chart {
+		Chart(w, "sojourn latency vs offered load", []Series{
+			{Name: "p50", Points: p50},
+			{Name: "p99", Points: p99},
+		}, 48, 10)
+	}
+}

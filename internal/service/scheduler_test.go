@@ -1,0 +1,241 @@
+package service
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestFairShareConvergesToWeights keeps two tenants backlogged at
+// unequal offered load (beta submits twice as much) and checks that
+// completed service converges to the 2:1 configured weight ratio —
+// the weights, not the arrival counts, decide the shares.
+func TestFairShareConvergesToWeights(t *testing.T) {
+	s := NewScheduler(Config{
+		BudgetVCPUs: 6,
+		QueueCap:    4096,
+		Weights:     map[string]float64{"alpha": 2, "beta": 1},
+	})
+	for i := 0; i < 900; i++ {
+		if _, err := s.Submit(Job{Tenant: "alpha", VCPUs: 1, EstSeconds: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1800; i++ {
+		if _, err := s.Submit(Job{Tenant: "beta", VCPUs: 1, EstSeconds: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Synchronous rounds: every dispatched job takes one second, so
+	// round t completes round t-1's slots and refills the budget.
+	var inflight []*Job
+	for round := 0; round < 100; round++ {
+		now := float64(round)
+		for _, j := range inflight {
+			if err := s.Complete(j.ID, now, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inflight = inflight[:0]
+		for {
+			j, ok := s.Next(now)
+			if !ok {
+				break
+			}
+			inflight = append(inflight, j)
+		}
+	}
+	served := map[string]float64{}
+	for _, st := range s.Stats() {
+		served[st.Tenant] = st.ServedVCPUSeconds
+	}
+	if served["alpha"] <= 0 || served["beta"] <= 0 {
+		t.Fatalf("a tenant got no service: %+v", served)
+	}
+	if ratio := served["alpha"] / served["beta"]; math.Abs(ratio-2) > 0.1 {
+		t.Fatalf("served ratio alpha/beta = %.3f, want ~2 (served %+v)", ratio, served)
+	}
+}
+
+// TestAdmissionControlBoundsQueues saturates one tenant's queue and
+// checks the typed rejection, that an idle tenant is still admitted,
+// and that the hog's backlog cannot starve the idle tenant's job.
+func TestAdmissionControlBoundsQueues(t *testing.T) {
+	s := NewScheduler(Config{BudgetVCPUs: 8, QueueCap: 2})
+
+	if _, err := s.Submit(Job{Tenant: "hog", VCPUs: 9}, 0); err == nil {
+		t.Fatal("over-budget job admitted")
+	} else {
+		var tooLarge *ErrJobTooLarge
+		if !errors.As(err, &tooLarge) || tooLarge.VCPUs != 9 || tooLarge.Budget != 8 {
+			t.Fatalf("want ErrJobTooLarge{9, 8}, got %v", err)
+		}
+	}
+
+	// One hog job dispatches (filling the budget), two queue at the cap;
+	// the next submit is the 429 path.
+	if _, err := s.Submit(Job{Tenant: "hog", VCPUs: 8, EstSeconds: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := s.Next(0)
+	if !ok {
+		t.Fatal("nothing dispatched from a non-empty queue")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(Job{Tenant: "hog", VCPUs: 8, EstSeconds: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Submit(Job{Tenant: "hog", VCPUs: 8, EstSeconds: 1}, 0)
+	var sat *ErrTenantSaturated
+	if !errors.As(err, &sat) {
+		t.Fatalf("want ErrTenantSaturated, got %v", err)
+	}
+	if sat.Tenant != "hog" || sat.Cap != 2 {
+		t.Fatalf("rejection carries %+v, want tenant hog cap 2", sat)
+	}
+
+	// The saturated hog does not affect the idle tenant's admission...
+	idle, err := s.Submit(Job{Tenant: "idle", VCPUs: 1, EstSeconds: 1}, 0)
+	if err != nil {
+		t.Fatalf("idle tenant rejected alongside a saturated one: %v", err)
+	}
+	// ...nor can the hog's backlog head-of-line-block it: the idle job
+	// must dispatch before the hog's queue drains.
+	inflight := []*Job{first}
+	now := 0.0
+	idleDispatched := false
+	for round := 0; round < 4 && !idleDispatched; round++ {
+		now++
+		for _, j := range inflight {
+			if err := s.Complete(j.ID, now, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inflight = inflight[:0]
+		for {
+			j, ok := s.Next(now)
+			if !ok {
+				break
+			}
+			inflight = append(inflight, j)
+			if j.ID == idle.ID {
+				idleDispatched = true
+			}
+		}
+	}
+	if !idleDispatched {
+		t.Fatal("idle tenant's job never dispatched while the hog drained")
+	}
+	for _, st := range s.Stats() {
+		switch st.Tenant {
+		case "hog":
+			if st.Rejected != 1 {
+				t.Fatalf("hog rejected = %d, want 1", st.Rejected)
+			}
+		case "idle":
+			if st.Rejected != 0 {
+				t.Fatalf("idle rejected = %d, want 0", st.Rejected)
+			}
+		}
+	}
+}
+
+// TestPriorityFIFOWithinTenantDeterministic pins the within-tenant
+// order — priority descending, FIFO among equals — and that the whole
+// dispatch sequence is a pure function of the submissions under a
+// seeded clock.
+func TestPriorityFIFOWithinTenantDeterministic(t *testing.T) {
+	dispatchOrder := func() []string {
+		s := NewScheduler(Config{BudgetVCPUs: 1})
+		clk := xrand.New(11) // seeded clock: jittered but reproducible stamps
+		now := 0.0
+		for _, sub := range []struct {
+			id  string
+			pri int
+		}{
+			{"a", 0}, {"b", 5}, {"c", 0}, {"d", 5}, {"e", 1},
+		} {
+			now += clk.Float64() * 0.001
+			if _, err := s.Submit(Job{ID: sub.id, Tenant: "t", VCPUs: 1, EstSeconds: 1, Priority: sub.pri}, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var order []string
+		for {
+			j, ok := s.Next(now)
+			if !ok {
+				break
+			}
+			order = append(order, j.ID)
+			now++
+			if err := s.Complete(j.ID, now, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return order
+	}
+	want := []string{"b", "d", "e", "a", "c"}
+	first := dispatchOrder()
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("dispatch order %v, want %v", first, want)
+	}
+	if again := dispatchOrder(); !reflect.DeepEqual(first, again) {
+		t.Fatalf("dispatch order not deterministic: %v then %v", first, again)
+	}
+}
+
+func TestSchedulerCompleteGuards(t *testing.T) {
+	s := NewScheduler(Config{BudgetVCPUs: 2})
+	if err := s.Complete("nope", 0, 0); err == nil {
+		t.Fatal("completing an unknown job succeeded")
+	}
+	job, err := s.Submit(Job{Tenant: "t", VCPUs: 1, EstSeconds: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(job.ID, 0, 0); err == nil {
+		t.Fatal("completing an undispatched job succeeded")
+	}
+	if _, ok := s.Next(0); !ok {
+		t.Fatal("no dispatch")
+	}
+	if err := s.Complete(job.ID, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedVCPUs() != 0 {
+		t.Fatalf("used vCPUs = %d after last completion", s.UsedVCPUs())
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	even := []TenantStat{
+		{Tenant: "a", Weight: 1, Submitted: 1, ServedVCPUSeconds: 10},
+		{Tenant: "b", Weight: 1, Submitted: 1, ServedVCPUSeconds: 10},
+	}
+	if got := JainIndex(even); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("even shares: jain = %v, want 1", got)
+	}
+	skew := []TenantStat{
+		{Tenant: "a", Weight: 1, Submitted: 1, ServedVCPUSeconds: 10},
+		{Tenant: "b", Weight: 1, Submitted: 1, ServedVCPUSeconds: 0},
+	}
+	if got := JainIndex(skew); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("one-sided shares: jain = %v, want 0.5", got)
+	}
+	// Weight-normalized: twice the service at twice the weight is fair.
+	weighted := []TenantStat{
+		{Tenant: "a", Weight: 2, Submitted: 1, ServedVCPUSeconds: 20},
+		{Tenant: "b", Weight: 1, Submitted: 1, ServedVCPUSeconds: 10},
+	}
+	if got := JainIndex(weighted); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("weighted shares: jain = %v, want 1", got)
+	}
+	// Tenants that never submitted are excluded, not counted as starved.
+	if got := JainIndex([]TenantStat{{Tenant: "idle"}}); got != 1 {
+		t.Fatalf("idle-only stats: jain = %v, want 1", got)
+	}
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Runner executes one dispatched job synchronously. It runs on a
+// worker goroutine; returning releases the job's vCPUs back to the
+// scheduler. The runner owns all result handling (the service itself
+// never sees task outputs).
+type Runner func(job *Job) error
+
+// Service is the live multi-tenant wrapper around Scheduler: Submit
+// queues under admission control, a dispatch pump launches admitted
+// jobs on worker goroutines through the Runner, and completions
+// re-pump. All scheduler decisions happen under one mutex, so dispatch
+// order is exactly the deterministic core's.
+type Service struct {
+	runner Runner
+	epoch  time.Time
+
+	mu     sync.Mutex
+	sched  *Scheduler
+	closed bool
+	errs   map[string]error // terminal errors by job ID, bounded
+	errIDs []string
+	wg     sync.WaitGroup
+}
+
+// errKeep bounds the retained per-job terminal errors.
+const errKeep = 128
+
+// New builds a service around a scheduler config and a runner.
+func New(cfg Config, runner Runner) *Service {
+	if runner == nil {
+		panic("service: New needs a runner")
+	}
+	return &Service{
+		runner: runner,
+		epoch:  telemetry.WallClock(),
+		sched:  NewScheduler(cfg),
+		errs:   make(map[string]error),
+	}
+}
+
+// now is the service clock: wall seconds since construction.
+func (s *Service) now() float64 { return telemetry.WallSince(s.epoch).Seconds() }
+
+// Submit queues a job and pumps the dispatcher. It returns the
+// scheduler's stamped copy, or a typed admission error
+// (ErrTenantSaturated, ErrJobTooLarge) without side effects.
+func (s *Service) Submit(job Job) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("service: closed")
+	}
+	stamped, err := s.sched.Submit(job, s.now())
+	if err != nil {
+		return nil, err
+	}
+	s.pumpLocked()
+	return stamped, nil
+}
+
+// pumpLocked dispatches every job that fits the free budget. Callers
+// hold s.mu. Worker goroutines are accounted in s.wg before the pump
+// returns, so Close cannot miss them.
+func (s *Service) pumpLocked() {
+	for {
+		job, ok := s.sched.Next(s.now())
+		if !ok {
+			return
+		}
+		s.wg.Add(1)
+		go s.exec(job)
+	}
+}
+
+// exec runs one dispatched job, completes it, and re-pumps.
+func (s *Service) exec(job *Job) {
+	defer s.wg.Done()
+	start := telemetry.WallClock()
+	err := s.runner(job)
+	actual := telemetry.WallSince(start).Seconds()
+	s.mu.Lock()
+	if cerr := s.sched.Complete(job.ID, s.now(), actual); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		if len(s.errIDs) >= errKeep {
+			delete(s.errs, s.errIDs[0])
+			s.errIDs = s.errIDs[1:]
+		}
+		s.errs[job.ID] = err
+		s.errIDs = append(s.errIDs, job.ID)
+	}
+	s.pumpLocked()
+	s.mu.Unlock()
+}
+
+// JobErr reports a job's terminal error, if it failed and the record
+// is still retained.
+func (s *Service) JobErr(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errs[id]
+}
+
+// Stats snapshots per-tenant accounting.
+func (s *Service) Stats() []TenantStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.Stats()
+}
+
+// Budget returns the admitted vCPU budget.
+func (s *Service) Budget() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.Budget()
+}
+
+// UsedVCPUs reports currently dispatched vCPUs.
+func (s *Service) UsedVCPUs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.UsedVCPUs()
+}
+
+// Drain blocks until every queued and in-flight job has completed.
+// New submissions during a drain keep it alive; pair with Close for
+// shutdown.
+func (s *Service) Drain() { s.wg.Wait() }
+
+// Close stops accepting submissions and waits for queued and
+// in-flight jobs to finish.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -73,6 +73,7 @@ func main() {
 		benchCheck = flag.Bool("bench-check", false, "run the wall-clock harness and compare against the latest BENCH_*.json baseline in -bench-dir; exit 1 on regression, 2 when no comparable baseline exists")
 		benchDir   = flag.String("bench-dir", ".", "directory searched for BENCH_*.json baselines by -bench-check")
 		workers    = flag.Int("workers", 1, "per-operator worker count for run, -explain and -serve-tasks runs")
+		nodes      = flag.Int("nodes", 0, "simulated cluster nodes for the run and serve modes; >1 enables the sharded tier (8 vCPUs per node), lifts the 32-worker ceiling and sizes the serve budget")
 	)
 	defaultUsage := flag.Usage
 	flag.Usage = func() {
@@ -122,7 +123,7 @@ func main() {
 
 	if *runTask != "" || *specJSON != "" {
 		if err := runSpecMode(*runTask, *specJSON, specFlags{
-			Paradigm: *paradigm, Size: *size, Seed: *seed, Workers: *workers,
+			Paradigm: *paradigm, Size: *size, Seed: *seed, Workers: *workers, Nodes: *nodes,
 			Tenant: *tenant, Scale: *scale, FaultRate: *faultRate, Lineage: *lineageOn,
 		}, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -143,7 +144,7 @@ func main() {
 	}
 
 	if *serveAddr != "" {
-		if err := runServe(*serveAddr, *serveTasks, *workers, *seed, *queueCap, *tenant); err != nil {
+		if err := runServe(*serveAddr, *serveTasks, *workers, *seed, *queueCap, *nodes, *tenant); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -529,6 +530,15 @@ func run(id string, cfg experiments.Config, charts, jsonOut bool) error {
 			return emit(pts)
 		}
 		report.ServingCurve(w, pts, charts)
+	case "scale":
+		rows, err := experiments.Scale(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(rows)
+		}
+		report.ScaleCurve(w, rows, charts)
 	case "ablation-torch", "ablation-store", "ablation-serde", "ablation-batch":
 		fn := map[string]func(experiments.Config) ([]experiments.AblationRow, error){
 			"ablation-torch": experiments.AblationTorchPin,

@@ -150,8 +150,8 @@ func parseServeTask(spec string, workers int, seed uint64, tenant string) (core.
 // optionally submitting an initial batch of runs, and serves until
 // SIGINT/SIGTERM, then shuts down gracefully — HTTP first, then the
 // scheduler (draining queued runs).
-func runServe(addr, tasks string, workers int, seed uint64, queueCap int, tenant string) error {
-	srv := obs.NewServerWith(obs.NewRegistry(), telemetry.New(), service.Config{QueueCap: queueCap})
+func runServe(addr, tasks string, workers int, seed uint64, queueCap, nodes int, tenant string) error {
+	srv := obs.NewServerWith(obs.NewRegistry(), telemetry.New(), service.Config{QueueCap: queueCap, Nodes: nodes})
 	if tasks != "" {
 		for _, spec := range strings.Split(tasks, ",") {
 			spec = strings.TrimSpace(spec)
@@ -197,6 +197,7 @@ type specFlags struct {
 	Size      int
 	Seed      uint64
 	Workers   int
+	Nodes     int
 	Tenant    string
 	Scale     int
 	FaultRate float64
@@ -228,6 +229,7 @@ func runSpecMode(task, specJSON string, f specFlags, jsonOut bool) error {
 			Size:      f.Size,
 			Seed:      f.Seed,
 			Workers:   f.Workers,
+			Nodes:     f.Nodes,
 			Tenant:    f.Tenant,
 			FaultRate: f.FaultRate,
 			Lineage:   f.Lineage,
@@ -260,6 +262,8 @@ func runSpecMode(task, specJSON string, f specFlags, jsonOut bool) error {
 		SimSeconds   float64 `json:"sim_seconds"`
 		Procs        int     `json:"parallel_procs"`
 		Operators    int     `json:"operators"`
+		ShuffleBytes int64   `json:"shuffle_bytes,omitempty"`
+		SpillBytes   int64   `json:"spill_bytes,omitempty"`
 		OutputDigest string  `json:"output_digest"`
 	}
 	var rows []row
@@ -273,6 +277,8 @@ func runSpecMode(task, specJSON string, f specFlags, jsonOut bool) error {
 			SimSeconds:   res.SimSeconds,
 			Procs:        res.ParallelProcs,
 			Operators:    res.Operators,
+			ShuffleBytes: res.Trace.ShuffleBytes,
+			SpillBytes:   res.Trace.SpillBytes,
 			OutputDigest: fmt.Sprintf("%016x", relation.Digest(res.Output)),
 		})
 	}

@@ -13,11 +13,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/dataflow"
 	"repro/internal/faults"
 	"repro/internal/lineage"
 	"repro/internal/relation"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/tasks/dice"
 	"repro/internal/tasks/kge"
 	"repro/internal/telemetry"
@@ -365,6 +367,38 @@ func micros() []Micro {
 			batch = batch[:0]
 		}
 	}))
+
+	// Sharded-tier planning primitives: the pure per-operator cost the
+	// distributed planner pays — datum-shard arithmetic and grace-spill
+	// plan construction. Both run at plan time on every sharded lowering,
+	// so they must stay allocation-light.
+	spillModel := cost.Default()
+	skew := 2.0 / shard.SpillFanout
+	out = append(out, measure("shard_plan_spill", 1024, func() {
+		for i := 0; i < 1024; i++ {
+			state := int64(1+i%32) << 20
+			p, err := shard.PlanSpill(spillModel, state, 1<<20, skew)
+			if err != nil {
+				panic(err)
+			}
+			if state > 1<<20 && !p.Spilled() {
+				panic("bench: oversized state did not spill")
+			}
+		}
+	}))
+	out = append(out, measure("shard_split_owner_1k", 1024, func() {
+		topo := shard.Of(16)
+		for i := 0; i < 1024; i++ {
+			parts := topo.Split(1000)
+			sum := 0
+			for _, p := range parts {
+				sum += p
+			}
+			if sum != 1000 || topo.Owner(i%1000, 1000) < 0 {
+				panic("bench: shard split/owner disagreed")
+			}
+		}
+	}))
 	return out
 }
 
@@ -458,7 +492,70 @@ func macros(seed uint64) ([]Macro, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(out, col...), nil
+	out = append(out, col...)
+	shd, err := shardMacros(seed)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, shd...), nil
+}
+
+// shardMacros is the end-to-end pair for the distributed tier (E14):
+// the same DICE workflow on the legacy single-cluster path and on a
+// 4-node sharded topology at the lifted 32-worker width. The golden
+// shard tests pin both outputs bit-identical, so the wall-clock delta
+// is the host-side price of exchange pricing and spill planning, and
+// the SimSeconds delta is the simulated makespan win from the wider
+// cluster.
+func shardMacros(seed uint64) ([]Macro, error) {
+	const (
+		reps  = 7
+		pairs = 2000
+	)
+	task, err := dice.New(dice.Params{Pairs: pairs, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	single := core.MustRunConfig(core.WithWorkers(8))
+	sharded := core.MustRunConfig(core.WithWorkers(32), core.WithNodes(4))
+	timeOnce := func(cfg core.RunConfig) (float64, float64, error) {
+		runtime.GC()
+		start := telemetry.WallClock()
+		res, err := task.Run(core.Workflow, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return float64(telemetry.WallSince(start).Microseconds()) / 1000, res.SimSeconds, nil
+	}
+	for _, cfg := range []core.RunConfig{single, sharded} {
+		if _, _, err := timeOnce(cfg); err != nil {
+			return nil, fmt.Errorf("bench: shard warmup: %w", err)
+		}
+	}
+	n1, n4 := -1.0, -1.0
+	var n1Sim, n4Sim float64
+	for r := 0; r < reps; r++ {
+		w, s, err := timeOnce(single)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scale-n1: %w", err)
+		}
+		if n1 < 0 || w < n1 {
+			n1 = w
+		}
+		n1Sim = s
+		w, s, err = timeOnce(sharded)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scale-n4: %w", err)
+		}
+		if n4 < 0 || w < n4 {
+			n4 = w
+		}
+		n4Sim = s
+	}
+	return []Macro{
+		{Task: task.Name(), Experiment: "scale-n1", Size: pairs, WallMS: n1, SimSeconds: n1Sim},
+		{Task: task.Name(), Experiment: "scale-n4", Size: pairs, WallMS: n4, SimSeconds: n4Sim},
+	}, nil
 }
 
 // columnarMacros is the end-to-end before/after pair for the columnar

@@ -39,6 +39,7 @@ func TestMacrosTrajectory(t *testing.T) {
 	}
 	iterate := map[string]Macro{}
 	colpath := map[string]Macro{}
+	scale := map[string]Macro{}
 	for _, m := range mac {
 		if m.WallMS <= 0 || m.SimSeconds <= 0 {
 			t.Fatalf("degenerate macro point %+v", m)
@@ -52,6 +53,10 @@ func TestMacrosTrajectory(t *testing.T) {
 		case "colpath-off", "colpath-on":
 			// The columnar pair compares the two engines directly.
 			colpath[m.Experiment] = m
+			continue
+		case "scale-n1", "scale-n4":
+			// The sharded pair compares cluster widths, not telemetry.
+			scale[m.Experiment] = m
 			continue
 		}
 		if m.WallMSTelemetry <= 0 {
@@ -75,6 +80,15 @@ func TestMacrosTrajectory(t *testing.T) {
 	if warm.SimSeconds >= cold.SimSeconds {
 		t.Fatalf("all-hit run not cheaper in simulated seconds: warm %v vs cold %v",
 			warm.SimSeconds, cold.SimSeconds)
+	}
+	n1, ok1 := scale["scale-n1"]
+	n4, ok4 := scale["scale-n4"]
+	if !ok1 || !ok4 {
+		t.Fatalf("sharded macro pair missing: %+v", scale)
+	}
+	if n4.SimSeconds >= n1.SimSeconds {
+		t.Fatalf("4-node cluster not faster in simulated seconds: n4 %v vs n1 %v",
+			n4.SimSeconds, n1.SimSeconds)
 	}
 }
 

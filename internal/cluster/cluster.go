@@ -23,15 +23,41 @@ type Cluster struct {
 // GB is a convenience constant for sizing nodes.
 const GB = int64(1) << 30
 
+// Node shape shared by every simulated cluster: the paper's worker VMs
+// (n2-standard-8 class) and the sharded tier's nodes are the same
+// machine, so scaling out means more nodes, never bigger ones.
+const (
+	// NodeVCPUs is the vCPU count of one worker node.
+	NodeVCPUs = 8
+	// NodeRAM is the RAM of one worker node.
+	NodeRAM = 64 * GB
+	// PaperWorkerNodes is the paper cluster's worker-node count.
+	PaperWorkerNodes = 4
+	// PaperWorkerVCPUs is the paper cluster's total worker vCPUs — the
+	// parallelism ceiling for single-cluster (nodes <= 1) runs, reused
+	// by core.Normalize and the service scheduler's default budget.
+	PaperWorkerVCPUs = PaperWorkerNodes * NodeVCPUs
+)
+
 // Paper returns the cluster used throughout the paper's evaluation:
 // four workers with 8 vCPUs and 64 GB each, plus a head node.
 func Paper() *Cluster {
-	c := &Cluster{Head: Node{Name: "head", VCPUs: 8, RAMBytes: 64 * GB}}
-	for i := 0; i < 4; i++ {
+	return Sized(PaperWorkerNodes)
+}
+
+// Sized returns a cluster of n paper-shaped worker nodes (8 vCPUs,
+// 64 GB each) plus a head node — the multi-node tier's topology
+// constructor. Sized(PaperWorkerNodes) is exactly Paper().
+func Sized(n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{Head: Node{Name: "head", VCPUs: NodeVCPUs, RAMBytes: NodeRAM}}
+	for i := 0; i < n; i++ {
 		c.Workers = append(c.Workers, Node{
 			Name:     fmt.Sprintf("worker-%d", i+1),
-			VCPUs:    8,
-			RAMBytes: 64 * GB,
+			VCPUs:    NodeVCPUs,
+			RAMBytes: NodeRAM,
 		})
 	}
 	return c

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lineage"
 	"repro/internal/relation"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 )
 
@@ -49,6 +50,16 @@ type RunConfig struct {
 	// the workflow paradigm, Ray num_cpus for the script paradigm.
 	// Zero means 1.
 	Workers int
+	// Nodes selects the cluster tier: <= 1 runs on the paper's flat
+	// 4×8-vCPU cluster (the legacy path, no exchange pricing, no spill
+	// modeling); > 1 runs datum-sharded across that many paper-shaped
+	// nodes, raising the worker ceiling to Nodes × 8 vCPUs and pricing
+	// cross-node shuffles and larger-than-memory operators.
+	Nodes int
+	// ShardMemBytes overrides the sharded tier's per-worker state
+	// budget before blocking operators spill to disk; 0 derives the
+	// default from the node shape. Ignored when Nodes <= 1.
+	ShardMemBytes int64
 	// Telemetry, when non-nil, collects per-operator/per-cell/per-task
 	// spans, hot-path metrics and critical-path rows from the run. Nil
 	// (the default) keeps every engine on its uninstrumented fast path.
@@ -80,13 +91,29 @@ type ErrTooManyWorkers struct {
 }
 
 func (e *ErrTooManyWorkers) Error() string {
-	return fmt.Sprintf("core: worker count %d exceeds the cluster's %d worker vCPUs", e.Workers, e.Limit)
+	return fmt.Sprintf("core: worker count %d exceeds the configured cluster's %d worker vCPUs", e.Workers, e.Limit)
+}
+
+// Topology returns the shard topology the config schedules onto: the
+// legacy single-cluster tier for Nodes <= 1, a datum-sharded multi-node
+// tier beyond it.
+func (c RunConfig) Topology() shard.Topology {
+	t := shard.Topology{Nodes: c.Nodes, WorkerMemBytes: c.ShardMemBytes}
+	t, _ = t.Normalize() // negative dimensions are caught in Normalize
+	return t
+}
+
+// Cluster materializes the config's topology as a cluster description;
+// Nodes <= 1 yields exactly the paper cluster.
+func (c RunConfig) Cluster() *cluster.Cluster {
+	return c.Topology().Cluster()
 }
 
 // Normalize fills defaults and validates. Worker counts are bounded by
-// the paper cluster's worker vCPUs: both paradigms schedule onto that
-// hardware, so asking for more would simulate machines that don't
-// exist.
+// the configured topology's worker vCPUs — the paper cluster's 32 on
+// the legacy tier (cluster.PaperWorkerVCPUs), nodes × 8 on the sharded
+// tier — because both paradigms schedule onto that hardware, and asking
+// for more would simulate machines that don't exist.
 func (c RunConfig) Normalize() (RunConfig, error) {
 	if c.Model == nil {
 		c.Model = cost.Default()
@@ -100,7 +127,13 @@ func (c RunConfig) Normalize() (RunConfig, error) {
 	if c.Workers < 0 {
 		return c, fmt.Errorf("core: negative worker count %d", c.Workers)
 	}
-	if limit := cluster.Paper().TotalWorkerCPUs(); c.Workers > limit {
+	if c.Nodes < 0 {
+		return c, fmt.Errorf("core: negative node count %d", c.Nodes)
+	}
+	if c.ShardMemBytes < 0 {
+		return c, fmt.Errorf("core: negative shard memory budget %d", c.ShardMemBytes)
+	}
+	if limit := c.Topology().TotalVCPUs(); c.Workers > limit {
 		return c, &ErrTooManyWorkers{Workers: c.Workers, Limit: limit}
 	}
 	if err := c.Faults.Validate(); err != nil {
@@ -179,6 +212,12 @@ type TraceTotals struct {
 	EdgeBytes  int64 // encoded bytes crossing all edges
 	WorkInterp float64
 	WorkMem    float64
+	// ShuffleBytes counts bytes crossing the NIC through exchange
+	// operators on the sharded tier (zero on the legacy single-cluster
+	// path); SpillBytes counts bytes written to the disk spill path by
+	// larger-than-memory joins and group-bys.
+	ShuffleBytes int64
+	SpillBytes   int64
 }
 
 // Task is one of the four benchmark workloads, runnable under both

@@ -26,6 +26,21 @@ func WithWorkers(n int) Option {
 	return func(c *RunConfig) { c.Workers = n }
 }
 
+// WithNodes selects the cluster tier: n <= 1 is the legacy paper
+// cluster, n > 1 datum-shards the run across n paper-shaped nodes,
+// raising the worker ceiling to n × 8 vCPUs with NIC-priced exchanges
+// and spill-to-disk for larger-than-memory operators.
+func WithNodes(n int) Option {
+	return func(c *RunConfig) { c.Nodes = n }
+}
+
+// WithShardMem overrides the sharded tier's per-worker state budget in
+// bytes before blocking operators spill; 0 keeps the node-shape
+// default. Ignored on the legacy tier.
+func WithShardMem(bytes int64) Option {
+	return func(c *RunConfig) { c.ShardMemBytes = bytes }
+}
+
 // WithTelemetry attaches a recorder to the run.
 func WithTelemetry(rec *telemetry.Recorder) Option {
 	return func(c *RunConfig) { c.Telemetry = rec }

@@ -35,8 +35,15 @@ type RunSpec struct {
 	// Seed is the dataset seed; 0 means 1.
 	Seed uint64 `json:"seed,omitempty"`
 	// Workers is the parallelism knob; 0 means 1. Bounded by the
-	// cluster's worker vCPUs (ErrTooManyWorkers beyond it).
+	// configured cluster's worker vCPUs (ErrTooManyWorkers beyond it).
 	Workers int `json:"workers,omitempty"`
+	// Nodes selects the cluster tier: <= 1 is the legacy paper cluster
+	// (32-vCPU ceiling), > 1 datum-shards the run across that many
+	// paper-shaped nodes and lifts the ceiling to nodes × 8 vCPUs.
+	Nodes int `json:"nodes,omitempty"`
+	// ShardMem overrides the sharded tier's per-worker memory budget in
+	// bytes before spill; 0 keeps the node-shape default.
+	ShardMem int64 `json:"shard_mem,omitempty"`
 
 	// Tenant attributes the run for fair-share scheduling and
 	// accounting; empty means DefaultTenant. One-shot runs ignore it.
@@ -99,10 +106,10 @@ func (s RunSpec) Normalize() (RunSpec, error) {
 	if s.FaultSeed == 0 {
 		s.FaultSeed = s.Seed
 	}
-	// Worker bounds and fault-plan sanity are RunConfig.Normalize's
-	// rules; running them here means a bad spec is rejected at the API
-	// edge instead of after queueing.
-	if _, err := (RunConfig{Workers: s.Workers}).Normalize(); err != nil {
+	// Worker bounds (against the spec's own topology) and fault-plan
+	// sanity are RunConfig.Normalize's rules; running them here means a
+	// bad spec is rejected at the API edge instead of after queueing.
+	if _, err := (RunConfig{Workers: s.Workers, Nodes: s.Nodes, ShardMemBytes: s.ShardMem}).Normalize(); err != nil {
 		return s, err
 	}
 	if err := s.faultPlan().Validate(); err != nil {
@@ -146,6 +153,12 @@ func (s RunSpec) Config(extra ...Option) (RunConfig, error) {
 		return RunConfig{}, err
 	}
 	opts := []Option{WithWorkers(s.Workers)}
+	if s.Nodes > 1 {
+		opts = append(opts, WithNodes(s.Nodes))
+		if s.ShardMem > 0 {
+			opts = append(opts, WithShardMem(s.ShardMem))
+		}
+	}
 	if plan := s.faultPlan(); plan.Rate > 0 || plan.CheckpointEvery > 0 {
 		opts = append(opts, WithFaults(plan))
 	}

@@ -240,6 +240,16 @@ func (m *Model) TransferSeconds(bytes int64) float64 {
 	return float64(bytes) / m.NetworkBytesPerSec
 }
 
+// ShuffleSeconds prices an exchange operator's cross-node traffic: n
+// bytes leaving their producing node over the NIC. It reuses the
+// network rate (no new model field, so lineage fingerprints are
+// unchanged); the name exists so shuffle cost is attributable at call
+// sites and recalibratable in one place if shuffles ever diverge from
+// point-to-point transfers.
+func (m *Model) ShuffleSeconds(crossBytes int64) float64 {
+	return m.TransferSeconds(crossBytes)
+}
+
 // PutSeconds returns the time to store n bytes in the object store.
 // spilled indicates the object exceeded the store's memory budget and
 // took the disk path.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/lineage"
 	"repro/internal/relation"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -29,6 +30,13 @@ type Config struct {
 	// vCPUs (operators multiplex cores between themselves, as Texera's
 	// workers do, so the sum is not bounded).
 	Cluster *cluster.Cluster
+	// Shard selects the cluster tier. The zero topology (or Nodes <= 1)
+	// is the legacy single-cluster path; Nodes > 1 datum-shards the run
+	// across that many nodes, pricing cross-node exchanges at the NIC
+	// rate and larger-than-memory blocking operators through the grace
+	// spill path. Only the schedule/cost plane is affected — sink
+	// tables stay bit-identical across topologies.
+	Shard shard.Topology
 	// Telemetry, when set, receives per-operator spans, hot-path
 	// metrics and the critical-path breakdown of the execution. Nil
 	// (the default) keeps the executor on its uninstrumented fast path.
@@ -698,6 +706,10 @@ func (ex *Execution) finish() {
 	}
 	ex.commitLineage()
 	trace := ex.buildTrace()
+	if err := ex.annotateShard(trace); err != nil {
+		ex.fail(fmt.Errorf("dataflow: shard annotation failed: %w", err))
+		return
+	}
 	jobs, pools, meta, err := lowerWithMeta(trace, ex.model)
 	if err != nil {
 		ex.fail(fmt.Errorf("dataflow: lowering failed: %w", err))
@@ -706,7 +718,7 @@ func (ex *Execution) finish() {
 	var sched *sim.Result
 	var recInfo *RecoveryInfo
 	if ex.cfg.Faults.Enabled() {
-		sched, recInfo, err = scheduleWithFaults(jobs, pools, meta, trace, ex.model, ex.cfg.Faults)
+		sched, recInfo, err = scheduleWithFaults(jobs, pools, meta, trace, ex.model, ex.cfg.Faults, ex.cfg.Shard)
 	} else {
 		sched, err = sim.Schedule(jobs, pools)
 	}

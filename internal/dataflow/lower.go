@@ -168,7 +168,12 @@ func lowerWithMeta(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, []jobMeta, 
 			var portJobs []sim.JobID
 			if b > 0 {
 				perJob := (work + decode) / float64(b)
-				latency := m.TransferSeconds(e.Bytes / int64(b))
+				// Batch latency: the node-local transfer plus, on the
+				// sharded tier, the exchange's cross-node scatter at the
+				// same NIC rate. ShuffleBytes is zero on the legacy tier,
+				// so this lowers bit-identically to the single-cluster
+				// path there.
+				latency := m.TransferSeconds(e.Bytes/int64(b)) + m.ShuffleSeconds(e.ShuffleBytes/int64(b))
 				upstream := emitJobsOf[e.From]
 				for j := 0; j < b; j++ {
 					deps := []sim.JobID{prevBarrier}
@@ -217,8 +222,10 @@ func lowerWithMeta(tr *Trace, m *cost.Model) ([]sim.Job, []sim.Pool, []jobMeta, 
 		}
 
 		// End job: EndPort/Close work plus, for fully blocking
-		// operators, the whole output serialization.
-		endCost := n.EndWork.Seconds(lang)
+		// operators, the whole output serialization. SpillSeconds folds
+		// in the grace build/probe passes a larger-than-memory operator
+		// paid on the sharded tier (zero elsewhere).
+		endCost := n.EndWork.Seconds(lang) + n.SpillSeconds
 		if n.FullyBlocking {
 			endCost += encodeTotal
 		} else if len(lastPortJobs) > 0 && encodeTotal > 0 {

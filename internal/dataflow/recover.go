@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/faults"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -54,12 +55,16 @@ type RecoveryInfo struct {
 // fixes the fault horizon; killed jobs retry after an OperatorStartup
 // respawn delay, batch jobs additionally paying one epoch's restore
 // read.
-func scheduleWithFaults(jobs []sim.Job, pools []sim.Pool, meta []jobMeta, tr *Trace, m *cost.Model, plan faults.Plan) (*sim.Result, *RecoveryInfo, error) {
+func scheduleWithFaults(jobs []sim.Job, pools []sim.Pool, meta []jobMeta, tr *Trace, m *cost.Model, plan faults.Plan, topo shard.Topology) (*sim.Result, *RecoveryInfo, error) {
 	every := plan.CheckpointEvery
 	if every <= 0 {
 		every = DefaultCheckpointEvery
 	}
 	info := &RecoveryInfo{CheckpointEvery: every}
+	topo, err := topo.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Per-node state size: the bytes that crossed into the node (its
 	// accumulated operator state); sources checkpoint bookkeeping only.
@@ -133,11 +138,21 @@ func scheduleWithFaults(jobs []sim.Job, pools []sim.Pool, meta []jobMeta, tr *Tr
 		// The controller respawns the worker before the retry runs; the
 		// engine does not back off.
 		Delay: func(sim.JobID, int) float64 { return m.OperatorStartup },
-		ExtraCost: func(id sim.JobID, _ int, _ bool) float64 {
-			if mt := meta[int(id)]; mt.Batch {
-				return restoreSecs[mt.Node]
+		ExtraCost: func(id sim.JobID, _ int, objectsLost bool) float64 {
+			mt := meta[int(id)]
+			if !mt.Batch {
+				return 0
 			}
-			return 0
+			extra := restoreSecs[mt.Node]
+			// Whole-node loss on the sharded tier re-shards the dead
+			// node's datum range across the survivors: its 1/N share of
+			// the operator's state re-crosses the NIC before the replayed
+			// batch can run. On the legacy tier the checkpoint store
+			// alone recovers it (no placement to rebuild).
+			if objectsLost && topo.Sharded() {
+				extra += m.ShuffleSeconds(stateBytes[mt.Node] / int64(topo.NumNodes()))
+			}
+			return extra
 		},
 	}
 	sched, err := sim.ScheduleFaulty(jobs, pools, simFaults, retry)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/faults"
 	"repro/internal/relation"
+	"repro/internal/shard"
 )
 
 // faultWorkflow builds a small source → filter → sink pipeline, fresh
@@ -129,7 +130,7 @@ func TestKilledBatchJobPaysRestore(t *testing.T) {
 	}
 	// Rate 2/100s over a ~400s horizon lands several faults inside the
 	// 100-second batch jobs.
-	sched, info, err := scheduleWithFaults(jobs, pools, meta, tr, m, faults.Plan{Seed: 1, Rate: 2, CheckpointEvery: 2})
+	sched, info, err := scheduleWithFaults(jobs, pools, meta, tr, m, faults.Plan{Seed: 1, Rate: 2, CheckpointEvery: 2}, shard.Single())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,6 +51,14 @@ type NodeTrace struct {
 	// FullyBlocking marks operators that emit only at the end.
 	FullyBlocking bool
 
+	// SpillBytes and SpillSeconds record the sharded tier's
+	// larger-than-memory path for this node: bytes its blocking state
+	// (join build side, group-by table) wrote to disk partition files,
+	// and the extra simulated time the grace build/probe passes cost.
+	// Always zero on the legacy single-cluster tier.
+	SpillBytes   int64
+	SpillSeconds float64
+
 	// Parallelizable marks operators the tuner may scale out: stream
 	// operators whose state is either absent or key-partitioned. Sorts,
 	// limits and fully blocking operators (which need all input in one
@@ -80,11 +88,13 @@ func (t *Trace) Totals() core.TraceTotals {
 		w := n.TotalWork().Add(n.OpenWork)
 		tt.WorkInterp += w.Interp
 		tt.WorkMem += w.Mem
+		tt.SpillBytes += n.SpillBytes
 	}
 	for i := range t.Edges {
 		e := &t.Edges[i]
 		tt.EdgeTuples += e.Tuples
 		tt.EdgeBytes += e.Bytes
+		tt.ShuffleBytes += e.ShuffleBytes
 	}
 	return tt
 }
@@ -96,6 +106,12 @@ type EdgeTrace struct {
 	Batches  int64
 	Tuples   int64
 	Bytes    int64 // encoded size of all tuples, for serde accounting
+
+	// ShuffleBytes is the cross-node share of Bytes on the sharded
+	// tier: what the edge's exchange operator (hash/range scatter,
+	// broadcast) pushes over the NIC beyond the node-local transfer.
+	// Zero on the legacy tier and for node-local exchanges.
+	ShuffleBytes int64
 }
 
 // OpProgress is a point-in-time progress snapshot for one node, the

@@ -374,7 +374,7 @@ var IDs = []string{
 	"table1", "fig12a", "fig12b",
 	"fig13a", "fig13b", "fig13c", "fig13d",
 	"fig14a", "fig14b", "fig14c",
-	"recovery", "iterate", "serving",
+	"recovery", "iterate", "serving", "scale",
 	"ablation-torch", "ablation-store", "ablation-serde", "ablation-batch",
 	"autotune", "ext-spreadsheet",
 }
@@ -395,6 +395,7 @@ func Describe(id string) (string, error) {
 		"recovery":        "Recovery — DICE makespan vs. fault rate per paradigm (checkpointing armed)",
 		"iterate":         "Iterate — edit-and-rerun makespan, cold vs. incremental, per paradigm (lineage store armed)",
 		"serving":         "Serving — p50/p99 latency, goodput and per-tenant fairness vs offered load under the fair-share scheduler",
+		"scale":           "Scale — DICE at 10-100x paper size across node counts: makespan, shuffle and spill, digests pinned to the single-cluster run",
 		"ablation-torch":  "Ablation — GOTTA script with and without Ray's 1-CPU torch pin",
 		"ablation-store":  "Ablation — GOTTA script under swept object-store rates",
 		"ablation-serde":  "Ablation — DICE workflow under swept serde throughput",

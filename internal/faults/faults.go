@@ -58,6 +58,18 @@ type Event struct {
 	Salt uint64
 }
 
+// VictimNode deterministically picks which of nodes cluster nodes a
+// KillNode event takes down — the whole-node-loss plane of the sharded
+// tier. The choice is a pure function of the event's salt, so the same
+// plan kills the same node on every run; recovery re-shards that node's
+// datum range across the survivors.
+func (e Event) VictimNode(nodes int) int {
+	if nodes <= 1 {
+		return 0
+	}
+	return int(e.Salt % uint64(nodes))
+}
+
 // Plan is a deterministic fault environment: how often faults strike,
 // what fraction are node-level, and how recovery is configured. The
 // zero value is fully disabled and adds exactly zero cost to a run.

@@ -10,6 +10,7 @@ package objstore
 import (
 	"container/list"
 	"fmt"
+	"sync"
 
 	"repro/internal/cost"
 )
@@ -25,6 +26,10 @@ type Stats struct {
 	Restores   int
 	PutSeconds float64
 	GetSeconds float64
+	// SpilledBytes totals bytes written to the disk spill path, whether
+	// by LRU eviction or by oversized puts landing there directly — the
+	// number the scale experiment's spill curves report.
+	SpilledBytes int64
 	// Reconstructions counts objects rebuilt from lineage after node
 	// faults; ReconstructedBytes and ReconstructSeconds total their
 	// size and simulated cost.
@@ -38,12 +43,15 @@ type object struct {
 	size    int64
 	pinned  bool
 	spilled bool
+	pending bool          // reserved by BeginPut, invisible until CommitPut
 	lruElem *list.Element // nil while spilled
 }
 
 // Store is a simulated object store with a memory budget and an LRU
-// spill policy.
+// spill policy. All methods are goroutine-safe: concurrent spill
+// writers from sharded executions share one store.
 type Store struct {
+	mu       sync.Mutex
 	model    *cost.Model
 	capacity int64
 	used     int64
@@ -73,29 +81,44 @@ func New(model *cost.Model, capacity int64) (*Store, error) {
 }
 
 // Stats returns a copy of the activity counters.
-func (s *Store) Stats() Stats { return s.stats }
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // Used returns the bytes currently resident in memory.
-func (s *Store) Used() int64 { return s.used }
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
 
 // Capacity returns the memory budget.
 func (s *Store) Capacity() int64 { return s.capacity }
 
 // Contains reports whether the object exists (in memory or spilled).
+// Pending (uncommitted) puts are invisible.
 func (s *Store) Contains(id ID) bool {
-	_, ok := s.objects[id]
-	return ok
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[id]
+	return ok && !o.pending
 }
 
 // Spilled reports whether the object is currently on the spill path.
 func (s *Store) Spilled(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objects[id]
-	return ok && o.spilled
+	return ok && !o.pending && o.spilled
 }
 
 // Size returns an object's size, or 0 if absent.
 func (s *Store) Size(id ID) int64 {
-	if o, ok := s.objects[id]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o, ok := s.objects[id]; ok && !o.pending {
 		return o.size
 	}
 	return 0
@@ -107,7 +130,7 @@ func (s *Store) Size(id ID) int64 {
 // leave less than need bytes of reclaimable headroom — it fails
 // up front without spilling anything, so an oversized put does not
 // pointlessly flush every unpinned bystander to disk on its way to the
-// spill path.
+// spill path. The caller must hold s.mu.
 func (s *Store) evictFor(need int64) (float64, bool) {
 	var pinned int64
 	for e := s.lru.Front(); e != nil; e = e.Next() {
@@ -138,6 +161,7 @@ func (s *Store) evictFor(need int64) (float64, bool) {
 		victim.spilled = true
 		s.used -= victim.size
 		s.stats.Spills++
+		s.stats.SpilledBytes += victim.size
 		secs += s.model.PutSeconds(victim.size, true)
 	}
 	return secs, true
@@ -148,6 +172,12 @@ func (s *Store) evictFor(need int64) (float64, bool) {
 // everything unpinned, it is created directly on the spill path.
 // Putting an existing ID is an error.
 func (s *Store) Put(id ID, size int64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(id, size)
+}
+
+func (s *Store) putLocked(id ID, size int64) (float64, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("objstore: object %q has size %d", id, size)
 	}
@@ -156,27 +186,89 @@ func (s *Store) Put(id ID, size int64) (float64, error) {
 	}
 	o := &object{id: id, size: size}
 	s.objects[id] = o
-	secs, ok := s.evictFor(size)
-	if !ok || size > s.capacity {
+	return s.placeLocked(o)
+}
+
+// placeLocked finds room for a freshly created (or committed) object,
+// spilling residents or landing it directly on disk as needed. The
+// caller must hold s.mu and have inserted o into s.objects.
+func (s *Store) placeLocked(o *object) (float64, error) {
+	secs, ok := s.evictFor(o.size)
+	if !ok || o.size > s.capacity {
 		o.spilled = true
 		s.stats.Puts++
-		secs += s.model.PutSeconds(size, true)
+		s.stats.SpilledBytes += o.size
+		secs += s.model.PutSeconds(o.size, true)
 		s.stats.PutSeconds += secs
 		return secs, nil
 	}
-	s.used += size
+	s.used += o.size
 	o.lruElem = s.lru.PushFront(o)
 	s.stats.Puts++
-	secs += s.model.PutSeconds(size, false)
+	secs += s.model.PutSeconds(o.size, false)
 	s.stats.PutSeconds += secs
 	return secs, nil
+}
+
+// BeginPut reserves an ID for a two-phase put: the reservation claims
+// the name (a concurrent Put or BeginPut of the same ID fails) but
+// holds no bytes and is invisible to readers until CommitPut. A writer
+// that dies mid-spill leaves only a reservation; AbortPut (or the
+// janitor that notices the writer is gone) cleans it up with no effect
+// on residents.
+func (s *Store) BeginPut(id ID, size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size <= 0 {
+		return fmt.Errorf("objstore: object %q has size %d", id, size)
+	}
+	if _, dup := s.objects[id]; dup {
+		return fmt.Errorf("objstore: object %q already exists", id)
+	}
+	s.objects[id] = &object{id: id, size: size, pending: true}
+	return nil
+}
+
+// CommitPut completes a reservation made by BeginPut: the object
+// becomes visible and the put is priced exactly as a direct Put.
+func (s *Store) CommitPut(id ID) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("objstore: no pending put for %q", id)
+	}
+	if !o.pending {
+		return 0, fmt.Errorf("objstore: object %q is not a pending put", id)
+	}
+	o.pending = false
+	return s.placeLocked(o)
+}
+
+// AbortPut discards a reservation made by BeginPut — the crash-mid-
+// spill cleanup path. Aborting a committed object is an error; use
+// Delete for those.
+func (s *Store) AbortPut(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("objstore: no pending put for %q", id)
+	}
+	if !o.pending {
+		return fmt.Errorf("objstore: object %q is not a pending put", id)
+	}
+	delete(s.objects, id)
+	return nil
 }
 
 // Get fetches an object, restoring it from the spill path if needed,
 // and returns the simulated seconds the access took.
 func (s *Store) Get(id ID) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objects[id]
-	if !ok {
+	if !ok || o.pending {
 		return 0, fmt.Errorf("objstore: object %q not found", id)
 	}
 	if !o.spilled {
@@ -208,8 +300,10 @@ func (s *Store) Get(id ID) (float64, error) {
 // AccessSeconds prices a Get without mutating store state — used by
 // the scheduler to cost many concurrent readers deterministically.
 func (s *Store) AccessSeconds(id ID) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objects[id]
-	if !ok {
+	if !ok || o.pending {
 		return 0, fmt.Errorf("objstore: object %q not found", id)
 	}
 	return s.model.GetSeconds(o.size, o.spilled), nil
@@ -222,8 +316,10 @@ func (s *Store) AccessSeconds(id ID) (float64, error) {
 // the surviving copy is authoritative — but the reconstruction is
 // recorded in the stats.
 func (s *Store) ReconstructSeconds(id ID) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objects[id]
-	if !ok {
+	if !ok || o.pending {
 		return 0, fmt.Errorf("objstore: object %q not found", id)
 	}
 	secs := s.model.PutSeconds(o.size, false) + s.model.GetSeconds(o.size, o.spilled)
@@ -235,8 +331,10 @@ func (s *Store) ReconstructSeconds(id ID) (float64, error) {
 
 // Pin protects an object from eviction.
 func (s *Store) Pin(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objects[id]
-	if !ok {
+	if !ok || o.pending {
 		return fmt.Errorf("objstore: object %q not found", id)
 	}
 	o.pinned = true
@@ -245,8 +343,10 @@ func (s *Store) Pin(id ID) error {
 
 // Unpin releases an object for eviction.
 func (s *Store) Unpin(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objects[id]
-	if !ok {
+	if !ok || o.pending {
 		return fmt.Errorf("objstore: object %q not found", id)
 	}
 	o.pinned = false
@@ -255,8 +355,10 @@ func (s *Store) Unpin(id ID) error {
 
 // Delete removes an object entirely.
 func (s *Store) Delete(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objects[id]
-	if !ok {
+	if !ok || o.pending {
 		return fmt.Errorf("objstore: object %q not found", id)
 	}
 	if o.lruElem != nil {

@@ -242,6 +242,7 @@ type Run struct {
 	endNS   int64
 
 	seq     int64 // total events ever published
+	dropped int64 // events slow streamers lost to ring eviction
 	events  [eventRingSize]Event
 	ops     map[string]*OpStatus
 	opOrder []string
@@ -453,7 +454,13 @@ func (r *Run) Recorder() *telemetry.Recorder { return r.rec }
 // that is closed the next time anything is published. done reports
 // whether the run has finished, so streamers know no further events
 // will come once they have drained.
-func (r *Run) EventsSince(cursor int64) (evs []Event, next int64, wake <-chan struct{}, done bool) {
+//
+// dropped counts events the caller asked for that the ring had already
+// overwritten — the drop-oldest backpressure a slow streamer pays
+// instead of stalling publishers. A fresh attach (cursor 0) catches up
+// from the retained tail without counting the history as drops; the
+// per-run total accumulates into Info's dropped_events.
+func (r *Run) EventsSince(cursor int64) (evs []Event, next, dropped int64, wake <-chan struct{}, done bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	lo := cursor
@@ -463,10 +470,22 @@ func (r *Run) EventsSince(cursor int64) (evs []Event, next int64, wake <-chan st
 	if lo < 0 {
 		lo = 0
 	}
+	if cursor > 0 && lo > cursor {
+		dropped = lo - cursor
+		r.dropped += dropped
+	}
 	for i := lo; i < r.seq; i++ {
 		evs = append(evs, r.events[i%eventRingSize])
 	}
-	return evs, r.seq, r.notify, r.isFinishedLocked()
+	return evs, r.seq, dropped, r.notify, r.isFinishedLocked()
+}
+
+// DroppedEvents returns the run's cumulative drop-oldest count across
+// all event streams.
+func (r *Run) DroppedEvents() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Ops returns the per-operator status table in first-seen order.
@@ -497,19 +516,20 @@ func (r *Run) Samples() []Sample {
 
 // Info is the JSON shape of one run in /runs listings.
 type Info struct {
-	ID          string             `json:"id"`
-	Task        string             `json:"task"`
-	Paradigm    string             `json:"paradigm,omitempty"`
-	Tenant      string             `json:"tenant,omitempty"`
-	State       string             `json:"state"`
-	Error       string             `json:"error,omitempty"`
-	StartWallNS int64              `json:"start_wall_ns"`
-	EndWallNS   int64              `json:"end_wall_ns,omitempty"`
-	Events      int64              `json:"events"`
-	Operators   int                `json:"operators"`
-	VirtSeconds float64            `json:"virt_seconds,omitempty"`
-	Summary     map[string]float64 `json:"summary,omitempty"`
-	Notes       map[string]string  `json:"notes,omitempty"`
+	ID            string             `json:"id"`
+	Task          string             `json:"task"`
+	Paradigm      string             `json:"paradigm,omitempty"`
+	Tenant        string             `json:"tenant,omitempty"`
+	State         string             `json:"state"`
+	Error         string             `json:"error,omitempty"`
+	StartWallNS   int64              `json:"start_wall_ns"`
+	EndWallNS     int64              `json:"end_wall_ns,omitempty"`
+	Events        int64              `json:"events"`
+	DroppedEvents int64              `json:"dropped_events,omitempty"`
+	Operators     int                `json:"operators"`
+	VirtSeconds   float64            `json:"virt_seconds,omitempty"`
+	Summary       map[string]float64 `json:"summary,omitempty"`
+	Notes         map[string]string  `json:"notes,omitempty"`
 }
 
 // Info snapshots the run's listing row.
@@ -517,17 +537,18 @@ func (r *Run) Info() Info {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	in := Info{
-		ID:          r.ID,
-		Task:        r.Task,
-		Paradigm:    r.Paradigm,
-		Tenant:      r.Tenant,
-		State:       r.state,
-		Error:       r.errMsg,
-		StartWallNS: r.startNS,
-		EndWallNS:   r.endNS,
-		Events:      r.seq,
-		Operators:   len(r.opOrder),
-		VirtSeconds: r.virtNow,
+		ID:            r.ID,
+		Task:          r.Task,
+		Paradigm:      r.Paradigm,
+		Tenant:        r.Tenant,
+		State:         r.state,
+		Error:         r.errMsg,
+		StartWallNS:   r.startNS,
+		EndWallNS:     r.endNS,
+		Events:        r.seq,
+		DroppedEvents: r.dropped,
+		Operators:     len(r.opOrder),
+		VirtSeconds:   r.virtNow,
 	}
 	if len(r.summary) > 0 {
 		in.Summary = make(map[string]float64, len(r.summary))

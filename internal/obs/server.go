@@ -179,6 +179,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP repro_obs_runs_started_total runs started\n# TYPE repro_obs_runs_started_total counter\nrepro_obs_runs_started_total %d\n", started)
 	fmt.Fprintf(w, "# HELP repro_obs_runs_completed_total runs completed\n# TYPE repro_obs_runs_completed_total counter\nrepro_obs_runs_completed_total %d\n", completed)
 	fmt.Fprintf(w, "# HELP repro_obs_runs_failed_total runs failed\n# TYPE repro_obs_runs_failed_total counter\nrepro_obs_runs_failed_total %d\n", failed)
+	var droppedEvents int64
+	for _, r := range s.reg.Runs() {
+		droppedEvents += r.DroppedEvents()
+	}
+	fmt.Fprintf(w, "# HELP repro_obs_dropped_events_total events lost to SSE drop-oldest backpressure\n# TYPE repro_obs_dropped_events_total counter\nrepro_obs_dropped_events_total %d\n", droppedEvents)
 	fmt.Fprintf(w, "# HELP repro_service_vcpus_budget admitted vCPU budget\n# TYPE repro_service_vcpus_budget gauge\nrepro_service_vcpus_budget %d\n", s.svc.Budget())
 	fmt.Fprintf(w, "# HELP repro_service_vcpus_used dispatched vCPUs\n# TYPE repro_service_vcpus_used gauge\nrepro_service_vcpus_used %d\n", s.svc.UsedVCPUs())
 	stats := s.svc.Stats()
@@ -310,7 +315,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	var cursor int64
 	enc := json.NewEncoder(w)
 	for {
-		evs, next, wake, done := run.EventsSince(cursor)
+		evs, next, dropped, wake, done := run.EventsSince(cursor)
+		if dropped > 0 {
+			// Drop-oldest backpressure: the ring outran this stream.
+			// Tell the client how many events it lost rather than
+			// silently skipping the gap.
+			fmt.Fprintf(w, "event: dropped\ndata: %d\n\n", dropped)
+		}
 		for i := range evs {
 			fmt.Fprintf(w, "id: %d\ndata: ", evs[i].Seq)
 			if err := enc.Encode(evs[i]); err != nil {

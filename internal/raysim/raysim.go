@@ -17,6 +17,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/faults"
 	"repro/internal/objstore"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -26,6 +27,36 @@ type Cluster struct {
 	model   *cost.Model
 	numCPUs int
 	store   *objstore.Store
+	topo    shard.Topology
+}
+
+// PaperStoreBytes is the plasma store size the paper's Ray setup used
+// (Ray's default ~30% RAM share of one 64 GB node).
+const PaperStoreBytes = int64(19) << 30
+
+// NewClusterFor creates a Ray cluster for a shard topology: the paper
+// cluster with the paper's 19 GB plasma store on the legacy tier, or a
+// topology-sized cluster whose store grows with the node count on the
+// sharded tier. Jobs created on it price cross-node object fetches
+// automatically.
+func NewClusterFor(model *cost.Model, topo shard.Topology, numCPUs int) (*Cluster, error) {
+	topo, err := topo.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	store := PaperStoreBytes
+	if topo.Sharded() {
+		store = PaperStoreBytes * int64(topo.NumNodes()) / cluster.PaperWorkerNodes
+		if store < PaperStoreBytes {
+			store = PaperStoreBytes
+		}
+	}
+	c, err := NewClusterOn(model, topo.Cluster(), numCPUs, store)
+	if err != nil {
+		return nil, err
+	}
+	c.topo = topo
+	return c, nil
 }
 
 // NewClusterOn creates a Ray cluster on an explicit machine topology,
@@ -104,9 +135,17 @@ type Job struct {
 	rec      *telemetry.Recorder
 	proc     string
 	plan     faults.Plan
+	topo     shard.Topology
 	progress core.ProgressSink
 	progTask string
 }
+
+// SetShard prices the sharded tier onto the job. On a multi-node
+// topology a task's object fetches are no longer node-local: the store
+// is datum-sharded, so the expected (N-1)/N fraction of each fetched
+// object rides the NIC on top of the plasma access. Like faults, this
+// touches only the schedule — task bodies and outputs are unchanged.
+func (j *Job) SetShard(topo shard.Topology) { j.topo = topo }
 
 // SetFaults arms a deterministic fault plan for Run. Recovery follows
 // Ray's lineage semantics: a killed task is re-executed whole after a
@@ -137,9 +176,9 @@ func (j *Job) SetProgress(sink core.ProgressSink, task string) {
 	j.progTask = task
 }
 
-// NewJob starts an empty task graph.
+// NewJob starts an empty task graph on the cluster's topology.
 func (c *Cluster) NewJob() *Job {
-	return &Job{cluster: c}
+	return &Job{cluster: c, topo: c.topo}
 }
 
 // Submit adds a task and returns its ID.
@@ -178,6 +217,9 @@ type Result struct {
 	// Recovery aggregates fault-recovery work (zero without a fault
 	// plan); per-object reconstruction detail is in Store().Stats().
 	Recovery sim.Recovery
+	// ShuffleBytes totals the cross-node share of object fetches on a
+	// sharded topology (zero on the legacy single-cluster tier).
+	ShuffleBytes int64
 }
 
 // Run schedules the job on the cluster and returns its simulated
@@ -194,6 +236,12 @@ func (j *Job) Run() (*Result, error) {
 	torch := cost.TorchSpeedup(m.TorchCoresRay)
 
 	const pool = "ray-cpus"
+	topo, err := j.topo.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	nodes := topo.NumNodes()
+	var shuffleBytes int64
 	jobs := make([]sim.Job, 0, len(j.tasks))
 	for i, t := range j.tasks {
 		var getSecs float64
@@ -203,6 +251,13 @@ func (j *Job) Run() (*Result, error) {
 				return nil, fmt.Errorf("raysim: task %q: %w", t.Name, err)
 			}
 			getSecs += s
+			if topo.Sharded() {
+				// The store is datum-sharded: an expected (N-1)/N of the
+				// object lives on other nodes and rides the NIC.
+				cross := shard.ExHash.CrossBytes(j.cluster.store.Size(id), nodes)
+				shuffleBytes += cross
+				getSecs += m.ShuffleSeconds(cross)
+			}
 		}
 		deps := make([]sim.JobID, len(t.Deps))
 		for k, d := range t.Deps {
@@ -222,7 +277,6 @@ func (j *Job) Run() (*Result, error) {
 	}
 	pools := []sim.Pool{{Name: pool, Slots: j.cluster.numCPUs}}
 	var sched *sim.Result
-	var err error
 	if !j.plan.Injecting() {
 		sched, err = sim.Schedule(jobs, pools)
 	} else {
@@ -238,6 +292,7 @@ func (j *Job) Run() (*Result, error) {
 		Schedule:      sched,
 		ParallelTasks: peakConcurrency(sched),
 		Recovery:      sched.Recovery,
+		ShuffleBytes:  shuffleBytes,
 	}, nil
 }
 

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// ScaleCurve renders the E14 scale-out grid: a table of makespan,
+// exchange and spill volume per (factor, nodes) cell, and optionally
+// an ASCII chart of workflow makespan versus node count, one series
+// per dataset factor (the scaling curve is the story).
+func ScaleCurve(w io.Writer, rows []experiments.ScaleRow, chart bool) {
+	out := [][]string{{
+		"factor", "pairs", "nodes", "workers", "script s", "workflow s",
+		"shuffle MB", "script shuffle MB", "spill MB", "agree", "stable", "node-loss",
+	}}
+	series := map[int][]Point{}
+	var factors []int
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%dx", r.Factor),
+			fmt.Sprintf("%d", r.Pairs),
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Workers),
+			Secs(r.Script), Secs(r.Workflow),
+			MB(r.ShuffleBytes), MB(r.ScriptShuffleBytes), MB(r.SpillBytes),
+			fmt.Sprint(r.OutputsAgree), fmt.Sprint(r.DigestsStable), fmt.Sprint(r.NodeLossStable),
+		})
+		if _, ok := series[r.Factor]; !ok {
+			factors = append(factors, r.Factor)
+		}
+		series[r.Factor] = append(series[r.Factor], Point{X: float64(r.Nodes), Y: r.Workflow})
+	}
+	Table(w, out)
+	if chart {
+		var ss []Series
+		for _, f := range factors {
+			ss = append(ss, Series{Name: fmt.Sprintf("%dx", f), Points: series[f]})
+		}
+		Chart(w, "workflow makespan vs nodes", ss, 48, 10)
+	}
+}
+
+// MB formats a byte count as megabytes with sensible precision.
+func MB(bytes int64) string {
+	return fmt.Sprintf("%.2f", float64(bytes)/(1<<20))
+}

@@ -27,8 +27,13 @@ import (
 // Config sizes the scheduler.
 type Config struct {
 	// BudgetVCPUs is the admitted vCPU budget jobs are packed into;
-	// 0 uses the paper cluster's worker vCPUs (32).
+	// 0 uses the paper cluster's worker vCPUs (32), or Nodes×8 when
+	// the service fronts a sharded cluster.
 	BudgetVCPUs int
+	// Nodes sizes the budget from a simulated node count instead of
+	// the paper cluster when BudgetVCPUs is 0: each node contributes
+	// cluster.NodeVCPUs. Ignored when BudgetVCPUs is set.
+	Nodes int
 	// QueueCap bounds each tenant's pending queue; a submit beyond it
 	// is rejected with ErrTenantSaturated. 0 means 64.
 	QueueCap int
@@ -43,7 +48,11 @@ type Config struct {
 
 func (c Config) normalize() Config {
 	if c.BudgetVCPUs <= 0 {
-		c.BudgetVCPUs = cluster.Paper().TotalWorkerCPUs()
+		if c.Nodes > 0 {
+			c.BudgetVCPUs = c.Nodes * cluster.NodeVCPUs
+		} else {
+			c.BudgetVCPUs = cluster.PaperWorkerVCPUs
+		}
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 64

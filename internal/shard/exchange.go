@@ -1,0 +1,63 @@
+package shard
+
+import "repro/internal/cost"
+
+// Exchange identifies how an edge repartitions data across nodes. It
+// mirrors the dataflow partitioning kinds: hash and range exchanges
+// scatter each producer's output across all nodes, broadcast replicates
+// it to every other node, and a local exchange (round-robin within a
+// node's worker pool, or a 1→1 pipe) never crosses the NIC.
+type Exchange int
+
+const (
+	// ExLocal stays on-node: pipelined round-robin or direct edges.
+	ExLocal Exchange = iota
+	// ExHash scatters by key hash — the shuffle behind joins/group-bys.
+	ExHash
+	// ExRange scatters by key range — sort/merge style repartitioning.
+	// Priced identically to hash (same expected cross-node fraction).
+	ExRange
+	// ExBroadcast replicates the full stream to every node.
+	ExBroadcast
+)
+
+// String returns the exchange kind's name.
+func (e Exchange) String() string {
+	switch e {
+	case ExLocal:
+		return "local"
+	case ExHash:
+		return "hash"
+	case ExRange:
+		return "range"
+	case ExBroadcast:
+		return "broadcast"
+	default:
+		return "exchange(?)"
+	}
+}
+
+// CrossBytes returns how many of bytes cross the NIC when an exchange
+// of this kind runs over nodes nodes. Hash/range scatter uniformly, so
+// the expected cross-node fraction is (nodes-1)/nodes — a producer
+// keeps only its own shard local. Broadcast sends a full copy to each
+// of the other nodes. With one node nothing leaves the machine.
+func (e Exchange) CrossBytes(bytes int64, nodes int) int64 {
+	if nodes <= 1 || bytes <= 0 {
+		return 0
+	}
+	switch e {
+	case ExHash, ExRange:
+		return bytes * int64(nodes-1) / int64(nodes)
+	case ExBroadcast:
+		return bytes * int64(nodes-1)
+	default:
+		return 0
+	}
+}
+
+// Seconds prices the exchange's cross-node traffic at the model's NIC
+// rate via cost.Model.ShuffleSeconds.
+func (e Exchange) Seconds(m *cost.Model, bytes int64, nodes int) float64 {
+	return m.ShuffleSeconds(e.CrossBytes(bytes, nodes))
+}

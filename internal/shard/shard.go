@@ -1,0 +1,157 @@
+// Package shard models datum-sharded multi-node execution: the tier
+// that breaks the paper cluster's 32-vCPU ceiling. A Topology describes
+// N paper-shaped nodes; inputs are datum-sharded across them at plan
+// time; repartitioning operators (hash/range/broadcast exchanges) are
+// priced at the NIC rate through internal/cost; and larger-than-memory
+// hash joins and group-bys take a grace-style partition-wise spill path
+// through internal/objstore.
+//
+// Everything in this package acts on the schedule/cost plane only — the
+// data plane still computes exact results in-process, so outputs are
+// bit-identical across topologies (nodes=1, nodes=N, nodes=N with a
+// node loss). That invariant is what the golden determinism tests pin.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Topology describes the simulated cluster a run schedules onto.
+// The zero value (or Nodes <= 1) is the legacy single-cluster tier:
+// the paper's flat 4×8-vCPU pool with no exchange pricing and no
+// spill modeling.
+type Topology struct {
+	// Nodes is the worker-node count; <= 1 means the legacy paper tier.
+	Nodes int
+	// VCPUsPerNode and RAMPerNode are the node shape; zero means the
+	// paper's node (8 vCPUs, 64 GB).
+	VCPUsPerNode int
+	RAMPerNode   int64
+	// WorkerMemBytes is the per-worker operator-state budget before a
+	// blocking operator (hash join build, group-by table) spills to
+	// disk. Zero derives a default from the node shape: workers share
+	// roughly 60% of node RAM, the rest belongs to the engine, OS page
+	// cache and shuffle buffers.
+	WorkerMemBytes int64
+}
+
+// Single returns the legacy single-cluster topology (the paper tier).
+func Single() Topology { return Topology{Nodes: 1} }
+
+// Of returns a topology of n paper-shaped nodes.
+func Of(n int) Topology { return Topology{Nodes: n} }
+
+// Normalize fills node-shape defaults and validates.
+func (t Topology) Normalize() (Topology, error) {
+	if t.Nodes <= 0 {
+		t.Nodes = 1
+	}
+	if t.VCPUsPerNode == 0 {
+		t.VCPUsPerNode = cluster.NodeVCPUs
+	}
+	if t.RAMPerNode == 0 {
+		t.RAMPerNode = cluster.NodeRAM
+	}
+	if t.VCPUsPerNode < 0 || t.RAMPerNode < 0 || t.WorkerMemBytes < 0 {
+		return t, fmt.Errorf("shard: negative topology dimension %+v", t)
+	}
+	return t, nil
+}
+
+// Sharded reports whether the topology is a genuine multi-node tier.
+func (t Topology) Sharded() bool { return t.Nodes > 1 }
+
+// NumNodes returns the worker-node count, treating the legacy tier as
+// the paper's node count for placement purposes.
+func (t Topology) NumNodes() int {
+	if t.Nodes <= 0 {
+		return 1
+	}
+	return t.Nodes
+}
+
+// TotalVCPUs returns the worker-vCPU ceiling of the topology: the
+// paper budget for the legacy tier, nodes × per-node vCPUs beyond it.
+func (t Topology) TotalVCPUs() int {
+	if !t.Sharded() {
+		return cluster.PaperWorkerVCPUs
+	}
+	per := t.VCPUsPerNode
+	if per == 0 {
+		per = cluster.NodeVCPUs
+	}
+	return t.Nodes * per
+}
+
+// Cluster materializes the topology as a cluster description. The
+// legacy tier is exactly the paper cluster.
+func (t Topology) Cluster() *cluster.Cluster {
+	if !t.Sharded() {
+		return cluster.Paper()
+	}
+	return cluster.Sized(t.Nodes)
+}
+
+// WorkerMem returns the per-worker state budget in bytes before spill,
+// deriving the default when unset. The legacy tier never spills
+// (returns 0 = unlimited): all state is assumed memory-resident, which
+// is the pre-shard behaviour the golden tests pin.
+func (t Topology) WorkerMem() int64 {
+	if !t.Sharded() {
+		return 0
+	}
+	if t.WorkerMemBytes > 0 {
+		return t.WorkerMemBytes
+	}
+	ram := t.RAMPerNode
+	if ram == 0 {
+		ram = cluster.NodeRAM
+	}
+	vcpus := t.VCPUsPerNode
+	if vcpus == 0 {
+		vcpus = cluster.NodeVCPUs
+	}
+	return ram * 6 / 10 / int64(vcpus)
+}
+
+// Split datum-shards n items across the topology's nodes at plan time:
+// contiguous ranges, remainder spread over the first nodes, so shard
+// assignment is a pure function of (n, nodes) and every node's count
+// differs by at most one. The returned slice has NumNodes entries
+// summing to n.
+func (t Topology) Split(n int) []int {
+	nodes := t.NumNodes()
+	out := make([]int, nodes)
+	if n <= 0 {
+		return out
+	}
+	base, rem := n/nodes, n%nodes
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Owner returns the node owning datum i of n under contiguous-range
+// sharding — the inverse of Split.
+func (t Topology) Owner(i, n int) int {
+	nodes := t.NumNodes()
+	if n <= 0 || nodes <= 1 {
+		return 0
+	}
+	base, rem := n/nodes, n%nodes
+	// First rem nodes own base+1 datums each.
+	cut := rem * (base + 1)
+	if i < cut {
+		return i / (base + 1)
+	}
+	if base == 0 {
+		return nodes - 1
+	}
+	return rem + (i-cut)/base
+}

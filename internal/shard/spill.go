@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/objstore"
+)
+
+// SpillFanout is the partition count of one grace-hash pass: state is
+// hash-partitioned into this many spill files, each built and probed
+// independently. Classic grace/hybrid hash joins use small two-digit
+// fanouts so partition files stream sequentially on disk.
+const SpillFanout = 8
+
+// SpillPlan is the priced outcome of running one blocking operator's
+// state (hash-join build side, group-by table) through the grace
+// partition-wise build/probe path under a worker memory budget.
+type SpillPlan struct {
+	// StateBytes is the operator state the plan covered; BudgetBytes
+	// the per-worker memory budget it had to fit into.
+	StateBytes  int64
+	BudgetBytes int64
+	// Partitions is the total number of partition files created,
+	// counting recursive sub-partitions.
+	Partitions int
+	// Passes counts build/probe passes over the data: 1 = fully
+	// in-memory (no spill), 2 = one grace pass, 3 = at least one
+	// skewed partition needed recursive repartitioning.
+	Passes int
+	// SpilledBytes totals bytes written to the disk spill path.
+	SpilledBytes int64
+	// Seconds is the simulated extra time the spill path cost: spill
+	// writes, restore reads and repartition passes, beyond what the
+	// in-memory build/probe already pays.
+	Seconds float64
+}
+
+// Spilled reports whether the plan left memory at all.
+func (p SpillPlan) Spilled() bool { return p.Passes > 1 }
+
+// PlanSpill prices a grace hash build/probe of state bytes under a
+// per-worker budget, with partition files held in an objstore whose
+// capacity is the budget — LRU residency in that store decides which
+// partitions stay hybrid-resident and which pay disk writes and
+// restore reads.
+//
+// skew is the fraction of state landing in the hottest partition;
+// values at or below the uniform share (1/SpillFanout) mean no skew.
+// A skewed partition that alone exceeds the budget is recursively
+// repartitioned: its file is read back, re-scattered into SpillFanout
+// sub-files and re-written (the classic recursive-partitioning pass),
+// raising Passes to 3.
+//
+// The plan is a pure function of its arguments — no randomness, no
+// wall clock — so sharded schedules stay deterministic.
+func PlanSpill(m *cost.Model, state, budget int64, skew float64) (SpillPlan, error) {
+	if m == nil {
+		m = cost.Default()
+	}
+	p := SpillPlan{StateBytes: state, BudgetBytes: budget, Passes: 1}
+	if state <= 0 || budget <= 0 || state <= budget {
+		return p, nil // fits in memory, or spill modeling disabled
+	}
+	store, err := objstore.New(m, budget)
+	if err != nil {
+		return p, err
+	}
+
+	// Partition sizes: the hottest partition takes the skewed share,
+	// the rest split the remainder evenly. Integer remainders go to the
+	// last partition so sizes always sum to state.
+	sizes := make([]int64, SpillFanout)
+	hot := int64(float64(state) * skew)
+	if uniform := state / SpillFanout; hot < uniform {
+		hot = uniform
+	}
+	if hot > state {
+		hot = state
+	}
+	sizes[0] = hot
+	rest := state - hot
+	for i := 1; i < SpillFanout; i++ {
+		sizes[i] = rest / int64(SpillFanout-1)
+	}
+	sizes[SpillFanout-1] += rest - rest/int64(SpillFanout-1)*int64(SpillFanout-1)
+
+	// Build pass: write each partition file through the store. LRU
+	// eviction prices hybrid residency — early partitions may stay in
+	// memory until later ones push them out.
+	for i, sz := range sizes {
+		if sz <= 0 {
+			continue
+		}
+		p.Partitions++
+		secs, err := store.Put(objstore.ID(fmt.Sprintf("part-%d", i)), sz)
+		if err != nil {
+			return p, err
+		}
+		p.Seconds += secs
+	}
+	p.Passes = 2
+
+	// Recursive repartitioning: a partition that alone exceeds the
+	// budget cannot be probed in memory — read it back, re-scatter into
+	// sub-files, re-write. One extra disk read + write of its bytes.
+	for _, sz := range sizes {
+		if sz <= budget {
+			continue
+		}
+		p.Passes = 3
+		p.Partitions += SpillFanout - 1 // the file becomes SpillFanout sub-files
+		p.Seconds += m.GetSeconds(sz, true) + m.PutSeconds(sz, true)
+		p.SpilledBytes += sz // the re-written copy
+	}
+
+	// Probe pass: read every partition back in order; restores from the
+	// spill path pay the disk rate.
+	for i, sz := range sizes {
+		if sz <= 0 {
+			continue
+		}
+		secs, err := store.Get(objstore.ID(fmt.Sprintf("part-%d", i)))
+		if err != nil {
+			return p, err
+		}
+		p.Seconds += secs
+	}
+	p.SpilledBytes += store.Stats().SpilledBytes
+	return p, nil
+}

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/brat"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/datagen"
@@ -169,7 +168,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("dice", cfg.Model)
 	nb.SetTelemetry(cfg.Telemetry, "script:dice")
 	nb.SetProgress(cfg.Progress, "dice")
-	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
+	ray, err := raysim.NewClusterFor(cfg.Model, cfg.Topology(), cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +176,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	var chunkRecords [][]Record
 	parallelProcs := 1
 	var recovery sim.Recovery
+	var shuffleBytes int64
 
 	nb.Add(&notebook.Cell{Name: "imports", Source: srcImports, Run: func(k *notebook.Kernel) error {
 		k.Charge(cost.Work{Interp: 1.2, Mem: 0.3}) // import pandas, ray, init
@@ -242,6 +242,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			k.ChargeSeconds(res.Makespan)
 			parallelProcs = res.ParallelTasks
 			recovery = res.Recovery
+			shuffleBytes = res.ShuffleBytes
 			return nil
 		})
 	}})
@@ -284,6 +285,10 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		Operators:     nb.NumCells(),
 		ParallelProcs: parallelProcs,
 		Output:        RecordsToTable(out),
+		Trace: core.TraceTotals{
+			ShuffleBytes: shuffleBytes,
+			SpillBytes:   ray.Store().Stats().SpilledBytes,
+		},
 		Recovery: core.RecoveryTotals{
 			Kills:              recovery.Kills,
 			LostSeconds:        recovery.LostSeconds,

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dataflow"
@@ -280,7 +279,7 @@ func (t *Task) ProfileWorkflow(cfg core.RunConfig) (*dataflow.Trace, error) {
 		return nil, err
 	}
 	w := t.buildWorkflow(cfg.Workers)
-	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults, Progress: cfg.Progress})
+	res, err := w.Run(context.Background(), dataflow.Config{Model: cfg.Model, Cluster: cfg.Cluster(), Shard: cfg.Topology(), Telemetry: cfg.Telemetry, Faults: cfg.Faults, Progress: cfg.Progress})
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +296,7 @@ func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Re
 	}
 	w := t.buildWorkflow(cfg.Workers)
 	res, err := w.Run(context.Background(), dataflow.Config{
-		Model: cfg.Model, BatchSize: batchSize, Cluster: cluster.Paper(),
+		Model: cfg.Model, BatchSize: batchSize, Cluster: cfg.Cluster(), Shard: cfg.Topology(),
 		Telemetry: cfg.Telemetry, Faults: cfg.Faults, Progress: cfg.Progress,
 		Lineage:      cfg.Lineage,
 		LineageScope: fmt.Sprintf("workflow:dice[pairs=%d,seed=%d,workers=%d]", t.params.Pairs, t.params.Seed, cfg.Workers),

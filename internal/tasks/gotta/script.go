@@ -3,7 +3,6 @@ package gotta
 import (
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lineage"
 	"repro/internal/notebook"
@@ -71,7 +70,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("gotta", cfg.Model)
 	nb.SetTelemetry(cfg.Telemetry, "script:gotta")
 	nb.SetProgress(cfg.Progress, "gotta")
-	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
+	ray, err := raysim.NewClusterFor(cfg.Model, cfg.Topology(), cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -80,6 +79,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	var answers []Answer
 	parallel := 1
 	var recovery sim.Recovery
+	var shuffleBytes int64
 
 	nb.Add(&notebook.Cell{Name: "imports", Source: srcImports, Run: func(k *notebook.Kernel) error {
 		k.Charge(workImports)
@@ -129,6 +129,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			k.ChargeSeconds(res.Makespan)
 			parallel = res.ParallelTasks
 			recovery = res.Recovery
+			shuffleBytes = res.ShuffleBytes
 			return nil
 		})
 	}})
@@ -168,6 +169,10 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		ParallelProcs: parallel,
 		Output:        AnswersToTable(answers),
 		Quality:       out,
+		Trace: core.TraceTotals{
+			ShuffleBytes: shuffleBytes,
+			SpillBytes:   ray.Store().Stats().SpilledBytes,
+		},
 		Recovery: core.RecoveryTotals{
 			Kills:              recovery.Kills,
 			LostSeconds:        recovery.LostSeconds,

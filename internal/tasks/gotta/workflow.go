@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dataflow"
@@ -194,7 +193,7 @@ func (t *Task) WorkflowPlan(workers int) (*dataflow.Workflow, error) {
 func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	w := t.buildWorkflow(cfg.Model, cfg.Workers)
 	res, err := w.Run(context.Background(), dataflow.Config{
-		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Model: cfg.Model, Cluster: cfg.Cluster(), Shard: cfg.Topology(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
 		Progress: cfg.Progress,
 		Lineage:  cfg.Lineage,
 		LineageScope: fmt.Sprintf("workflow:gotta[paragraphs=%d,sentences=%d,seed=%d,workers=%d]",

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/lineage"
@@ -73,7 +72,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	nb := notebook.New("kge", cfg.Model)
 	nb.SetTelemetry(cfg.Telemetry, "script:kge")
 	nb.SetProgress(cfg.Progress, "kge")
-	ray, err := raysim.NewClusterOn(cfg.Model, cluster.Paper(), cfg.Workers, 19<<30)
+	ray, err := raysim.NewClusterFor(cfg.Model, cfg.Topology(), cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +82,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 	var recs []Recommendation
 	parallel := 1
 	var recovery sim.Recovery
+	var shuffleBytes int64
 
 	nb.Add(&notebook.Cell{Name: "imports", Source: srcImports, Run: func(k *notebook.Kernel) error {
 		k.Charge(cost.Work{Interp: 1.0, Mem: 0.3})
@@ -153,6 +153,7 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 			k.ChargeSeconds(res.Makespan)
 			parallel = res.ParallelTasks
 			recovery = res.Recovery
+			shuffleBytes = res.ShuffleBytes
 			return nil
 		})
 	}})
@@ -199,6 +200,10 @@ func (t *Task) runScript(cfg core.RunConfig) (*core.Result, error) {
 		Operators:     nb.NumCells(),
 		ParallelProcs: parallel,
 		Output:        RecommendationsToTable(recs),
+		Trace: core.TraceTotals{
+			ShuffleBytes: shuffleBytes,
+			SpillBytes:   ray.Store().Stats().SpilledBytes,
+		},
 		Recovery: core.RecoveryTotals{
 			Kills:              recovery.Kills,
 			LostSeconds:        recovery.LostSeconds,

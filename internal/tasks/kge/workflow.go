@@ -6,7 +6,6 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dataflow"
@@ -410,7 +409,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		return nil, err
 	}
 	res, err := w.Run(context.Background(), dataflow.Config{
-		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Model: cfg.Model, Cluster: cfg.Cluster(), Shard: cfg.Topology(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
 		Progress: cfg.Progress,
 		Lineage:  cfg.Lineage,
 		LineageScope: fmt.Sprintf("workflow:kge[products=%d,seed=%d,workers=%d,ops=%d,scala=%t]",

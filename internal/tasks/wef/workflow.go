@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dataflow"
@@ -194,7 +193,7 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 		return nil, err
 	}
 	res, err := w.Run(context.Background(), dataflow.Config{
-		Model: cfg.Model, Cluster: cluster.Paper(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
+		Model: cfg.Model, Cluster: cfg.Cluster(), Shard: cfg.Topology(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
 		Progress:     cfg.Progress,
 		Lineage:      cfg.Lineage,
 		LineageScope: fmt.Sprintf("workflow:wef[tweets=%d,epochs=%d,seed=%d]", t.params.Tweets, t.params.Epochs, t.params.Seed),

@@ -11,6 +11,9 @@
 //	                          # /metrics, SSE progress, traces, pprof
 //	repro explain dice        # EXPLAIN-ANALYZE profile of a workflow
 //	repro validate            # static DAG validation; exit 1 on findings
+//	repro validate -optimize  # + cost-based rewrite report (OPT0xx) per plan
+//	repro run dice -optimize  # run with the plan optimizer; output bytes
+//	                          # are bit-identical, only the schedule changes
 //	repro bench-check         # compare fresh bench vs newest BENCH_*.json
 //	repro experiment fig13a   # one experiment (repro experiment all)
 //
@@ -72,6 +75,7 @@ func main() {
 		explainOf  = flag.String("explain", "", "run a task's workflow and print an EXPLAIN-ANALYZE profile (aligned tree; -json for the raw profile; -lineage for cache-hit annotation; -trace-wall adds wall columns)")
 		benchCheck = flag.Bool("bench-check", false, "run the wall-clock harness and compare against the latest BENCH_*.json baseline in -bench-dir; exit 1 on regression, 2 when no comparable baseline exists")
 		benchDir   = flag.String("bench-dir", ".", "directory searched for BENCH_*.json baselines by -bench-check")
+		optimize   = flag.Bool("optimize", false, "run the cost-based plan optimizer over every workflow plan (run, validate and experiment modes); outputs stay bit-identical, only the schedule changes")
 		workers    = flag.Int("workers", 1, "per-operator worker count for run, -explain and -serve-tasks runs")
 		nodes      = flag.Int("nodes", 0, "simulated cluster nodes for the run and serve modes; >1 enables the sharded tier (8 vCPUs per node), lifts the 32-worker ceiling and sizes the serve budget")
 	)
@@ -106,6 +110,9 @@ func main() {
 			}
 			cfg.RunConfig = rc
 		}
+		// Set on the (possibly zero-valued) RunConfig directly: the
+		// experiment drivers normalize their derived configs themselves.
+		cfg.RunConfig.Optimize = *optimize
 		return cfg, nil
 	}
 
@@ -125,6 +132,7 @@ func main() {
 		if err := runSpecMode(*runTask, *specJSON, specFlags{
 			Paradigm: *paradigm, Size: *size, Seed: *seed, Workers: *workers, Nodes: *nodes,
 			Tenant: *tenant, Scale: *scale, FaultRate: *faultRate, Lineage: *lineageOn,
+			Optimize: *optimize,
 		}, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -322,11 +330,13 @@ func runValidate(cfg experiments.Config, jsonOut bool) (bool, error) {
 		}
 		return total == 0, nil
 	}
-	out := [][]string{{"task", "workers", "operators", "edges", "diagnostics"}}
+	out := [][]string{{"task", "workers", "operators", "edges", "diagnostics", "rewrites"}}
+	rewrites := 0
 	for _, r := range reports {
+		rewrites += r.Applied
 		out = append(out, []string{
 			r.Task, strconv.Itoa(r.Workers), strconv.Itoa(r.Operators),
-			strconv.Itoa(r.Edges), strconv.Itoa(len(r.Diags)),
+			strconv.Itoa(r.Edges), strconv.Itoa(len(r.Diags)), strconv.Itoa(r.Applied),
 		})
 	}
 	report.Table(os.Stdout, out)
@@ -334,8 +344,13 @@ func runValidate(cfg experiments.Config, jsonOut bool) (bool, error) {
 		for _, d := range r.Diags {
 			fmt.Printf("%s: %s\n", r.Task, d)
 		}
+		// Optimizer decisions are explanations, not findings; they never
+		// affect the exit code.
+		for _, d := range r.Rewrites {
+			fmt.Printf("%s: %s\n", r.Task, d)
+		}
 	}
-	fmt.Printf("plan validation: %d tasks, %d diagnostics\n", len(reports), total)
+	fmt.Printf("plan validation: %d tasks, %d diagnostics, %d rewrites applied\n", len(reports), total, rewrites)
 	return total == 0, nil
 }
 
@@ -573,6 +588,27 @@ func run(id string, cfg experiments.Config, charts, jsonOut bool) error {
 		report.Table(w, rows)
 		fmt.Fprintf(w, "baseline (1 worker/op): %s s   tuned: %s s   cores used: %d\n",
 			report.Secs(out.BaselineSeconds), report.Secs(out.TunedSeconds), out.CoresUsed)
+	case "optimize":
+		rows, err := experiments.OptimizerSweep(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			return emit(rows)
+		}
+		out := [][]string{{"task", "nodes", "off (s)", "on (s)", "applied", "rejected", "digests equal"}}
+		for _, r := range rows {
+			out = append(out, []string{
+				r.Task, strconv.Itoa(r.Nodes), report.Secs(r.Off), report.Secs(r.On),
+				strconv.Itoa(r.Applied), strconv.Itoa(r.Rejected), fmt.Sprint(r.DigestsEqual),
+			})
+		}
+		report.Table(w, out)
+		for _, r := range rows {
+			for _, d := range r.Rewrites {
+				fmt.Fprintf(w, "%s/nodes=%d: %s\n", r.Task, r.Nodes, d)
+			}
+		}
 	case "ext-spreadsheet":
 		pts, err := experiments.ExtSpreadsheetKGE(cfg)
 		if err != nil {

@@ -202,6 +202,7 @@ type specFlags struct {
 	Scale     int
 	FaultRate float64
 	Lineage   bool
+	Optimize  bool
 }
 
 // runSpecMode executes one task through the unified RunSpec — the same
@@ -233,6 +234,7 @@ func runSpecMode(task, specJSON string, f specFlags, jsonOut bool) error {
 			Tenant:    f.Tenant,
 			FaultRate: f.FaultRate,
 			Lineage:   f.Lineage,
+			Optimize:  f.Optimize,
 		}
 	}
 	spec, err := spec.Normalize()

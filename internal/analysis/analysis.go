@@ -6,8 +6,10 @@
 // imports bypassing the seeded xrand generator, map-range iteration
 // leaking Go's randomized map order into returned slices or serialized
 // output, goroutine launches in the deterministic engine packages that
-// do not join through a barrier, and discarded error returns on the
-// serde/objstore/lineage hot paths.
+// do not join through a barrier, discarded error returns on the
+// serde/objstore/lineage hot paths, float accumulation inside map-range
+// loops (rounding makes the sum order-dependent), and time.Sleep used
+// as cross-goroutine synchronization.
 //
 // The linter is deliberately self-contained: it resolves same-module
 // imports from source and stubs everything else, so it needs neither a
@@ -47,11 +49,18 @@ const (
 	// RuleErrDrop flags discarded error returns on the hot paths that
 	// feed digests and lineage fingerprints.
 	RuleErrDrop = "errdrop"
+	// RuleFloatOrder flags float accumulation inside a range over a map:
+	// float addition does not commute under rounding, so the randomized
+	// iteration order leaks into the final ULPs.
+	RuleFloatOrder = "floatorder"
+	// RuleSleepSync flags time.Sleep in functions that launch
+	// goroutines — sleep-based synchronization races the scheduler.
+	RuleSleepSync = "sleepsync"
 )
 
 // Rules lists every lint rule ID, sorted, for -rules output and docs.
 func Rules() []string {
-	return []string{RuleErrDrop, RuleGoroutine, RuleMapOrder, RuleRand, RuleWallclock}
+	return []string{RuleErrDrop, RuleFloatOrder, RuleGoroutine, RuleMapOrder, RuleRand, RuleSleepSync, RuleWallclock}
 }
 
 // Finding is one structured lint diagnostic.

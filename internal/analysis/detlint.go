@@ -59,6 +59,8 @@ func (fl *fileLinter) run() {
 			continue
 		}
 		fl.mapOrder(fn)
+		fl.floatOrder(fn)
+		fl.sleepSync(fn)
 		if goroutineInScope {
 			fl.goroutines(fn)
 		}
@@ -287,6 +289,125 @@ func (fl *fileLinter) sortedAfter(fn *ast.FuncDecl, name string, pos token.Pos) 
 		return !found
 	})
 	return found
+}
+
+// isFloatExpr reports whether the (partially resolved) type of e is a
+// floating-point type.
+func (fl *fileLinter) isFloatExpr(e ast.Expr) bool {
+	t := fl.pkg.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// floatOrder flags float accumulation inside a range over a map.
+// Float addition does not commute under rounding — (a+b)+c and
+// (a+c)+b can differ in the last ULPs — so a sum built in Go's
+// randomized map order changes bit pattern run to run even though the
+// "same" values were added. Integer accumulation is exact and passes;
+// the deterministic idiom is to sort the keys first.
+func (fl *fileLinter) floatOrder(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !fl.isMapExpr(rs.X) {
+			return true
+		}
+		key := ""
+		if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+			key = id.Name
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch as.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range as.Lhs {
+					// m[k] op= v with k the range key updates a distinct
+					// slot each iteration; such per-key updates commute
+					// across iterations, only cross-key folds do not.
+					if ix, ok := lhs.(*ast.IndexExpr); ok && key != "" {
+						if id, ok := ix.Index.(*ast.Ident); ok && id.Name == key {
+							continue
+						}
+					}
+					if fl.isFloatExpr(lhs) {
+						fl.report(as.Pos(), RuleFloatOrder,
+							"float accumulation into %s inside range over map %s; rounding makes the sum order-dependent — iterate sorted keys (or accumulate exactly)", types.ExprString(lhs), types.ExprString(rs.X))
+					}
+				}
+			case token.ASSIGN:
+				// The spelled-out form: x = x + v (and -, *, /).
+				for i, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(as.Rhs) || !fl.isFloatExpr(lhs) {
+						continue
+					}
+					bin, ok := as.Rhs[i].(*ast.BinaryExpr)
+					if !ok {
+						continue
+					}
+					switch bin.Op {
+					case token.ADD, token.SUB, token.MUL, token.QUO:
+					default:
+						continue
+					}
+					mentions := false
+					ast.Inspect(bin, func(e ast.Node) bool {
+						if ref, ok := e.(*ast.Ident); ok && ref.Name == id.Name {
+							mentions = true
+						}
+						return !mentions
+					})
+					if mentions {
+						fl.report(as.Pos(), RuleFloatOrder,
+							"float accumulation into %s inside range over map %s; rounding makes the sum order-dependent — iterate sorted keys (or accumulate exactly)", id.Name, types.ExprString(rs.X))
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// sleepSync flags time.Sleep calls in functions that also launch
+// goroutines. Sleeping "long enough" for a goroutine to finish is a
+// race with the scheduler, not synchronization: the sleep either
+// wastes time or loses under load. Sleep as pacing (backoff loops,
+// rate limiting) in goroutine-free functions passes.
+func (fl *fileLinter) sleepSync(fn *ast.FuncDecl) {
+	if len(fl.timeNames) == 0 {
+		return
+	}
+	hasGo := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			hasGo = true
+		}
+		return !hasGo
+	})
+	if !hasGo {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && fl.timeNames[id.Name] {
+			fl.report(call.Pos(), RuleSleepSync,
+				"time.Sleep in %s, which launches goroutines — sleep-based synchronization races the scheduler; join through a WaitGroup, channel or done signal instead", fn.Name.Name)
+		}
+		return true
+	})
 }
 
 // goroutines flags `go` statements in functions that wire no join

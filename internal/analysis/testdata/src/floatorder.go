@@ -1,0 +1,65 @@
+// Fixture for the floatorder rule: float accumulation must not happen
+// in map iteration order — rounding makes the sum order-dependent.
+package fixture
+
+import "sort"
+
+// SumValues accumulates floats in Go's randomized map order; the
+// result's last ULPs change run to run.
+func SumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want floatorder
+	}
+	return sum
+}
+
+// MeanSpelledOut leaks the same way through the x = x + v form.
+func MeanSpelledOut(m map[string]float64) (mean float64) {
+	for _, v := range m {
+		mean = mean + v // want floatorder
+	}
+	return mean / float64(len(m))
+}
+
+// SumInts is exact: integer addition commutes, order cannot change
+// the result.
+func SumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumSortedKeys is the deterministic idiom: fix the order, then fold.
+func SumSortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// ScaleInPlace updates each key's slot exactly once per iteration;
+// per-key updates commute across iterations, so order cannot change
+// the result. Only cross-key folds are hazardous.
+func ScaleInPlace(m map[string]float64, k float64) {
+	for key := range m {
+		m[key] *= k
+	}
+}
+
+// ToleratedSum deliberately accepts the ULP jitter and says so.
+func ToleratedSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:allow floatorder fixture: consumer rounds to 2 decimals
+	}
+	return sum
+}

@@ -1,0 +1,47 @@
+// Fixture for the sleepsync rule: time.Sleep must not stand in for
+// cross-goroutine synchronization.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+// SleepForWorker launches a goroutine and sleeps "long enough" for it
+// to finish before reading the result — a race with the scheduler even
+// though a real join exists later.
+func SleepForWorker(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond) // want sleepsync
+	<-done
+}
+
+// Backoff sleeps between retries; no goroutines are involved, so the
+// sleep is pacing, not synchronization.
+func Backoff(try func() error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = try(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Duration(i+1) * time.Millisecond)
+	}
+	return err
+}
+
+// JitterBeforeJoin sleeps deliberately (injected scheduling jitter in
+// a stress harness) and acknowledges it; the WaitGroup is the join.
+func JitterBeforeJoin(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	time.Sleep(time.Millisecond) //lint:allow sleepsync fixture: deliberate jitter before the join
+	wg.Wait()
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/shard"
 	"repro/internal/tasks/dice"
+	"repro/internal/tasks/gotta"
 	"repro/internal/tasks/kge"
 	"repro/internal/telemetry"
 )
@@ -497,7 +498,84 @@ func macros(seed uint64) ([]Macro, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(out, shd...), nil
+	out = append(out, shd...)
+	opt, err := optMacros(seed)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, opt...), nil
+}
+
+// optMacros is the end-to-end before/after pair for the cost-based
+// plan optimizer: the same DICE and GOTTA workflows with `-optimize`
+// off and on, at the hand-set 8-worker width the tasks ship with. The
+// optimizer sweep (E15) asserts both outputs bit-identical, so the
+// SimSeconds delta is the pure scheduling win of the rewrites (wider
+// parallelism, fused operators, swapped join builds) and the WallMS
+// delta bounds the host-side price of running the passes.
+func optMacros(seed uint64) ([]Macro, error) {
+	const reps = 7
+	off := core.MustRunConfig(core.WithWorkers(8))
+	on := core.MustRunConfig(core.WithWorkers(8), core.WithOptimize(true))
+
+	var out []Macro
+	pair := func(task core.Task, size int) error {
+		timeOnce := func(cfg core.RunConfig) (float64, float64, error) {
+			runtime.GC()
+			start := telemetry.WallClock()
+			res, err := task.Run(core.Workflow, cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			return float64(telemetry.WallSince(start).Microseconds()) / 1000, res.SimSeconds, nil
+		}
+		for _, cfg := range []core.RunConfig{off, on} {
+			if _, _, err := timeOnce(cfg); err != nil {
+				return fmt.Errorf("bench: opt warmup: %w", err)
+			}
+		}
+		wOff, wOn := -1.0, -1.0
+		var simOff, simOn float64
+		for r := 0; r < reps; r++ {
+			w, s, err := timeOnce(off)
+			if err != nil {
+				return fmt.Errorf("bench: opt-off: %w", err)
+			}
+			if wOff < 0 || w < wOff {
+				wOff = w
+			}
+			simOff = s
+			w, s, err = timeOnce(on)
+			if err != nil {
+				return fmt.Errorf("bench: opt-on: %w", err)
+			}
+			if wOn < 0 || w < wOn {
+				wOn = w
+			}
+			simOn = s
+		}
+		out = append(out,
+			Macro{Task: task.Name(), Experiment: "opt-off", Size: size, WallMS: wOff, SimSeconds: simOff},
+			Macro{Task: task.Name(), Experiment: "opt-on", Size: size, WallMS: wOn, SimSeconds: simOn},
+		)
+		return nil
+	}
+
+	dt, err := dice.New(dice.Params{Pairs: 200, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := pair(dt, 200); err != nil {
+		return nil, err
+	}
+	gt, err := gotta.New(gotta.Params{Paragraphs: 16, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := pair(gt, 16); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // shardMacros is the end-to-end pair for the distributed tier (E14):

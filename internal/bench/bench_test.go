@@ -40,6 +40,7 @@ func TestMacrosTrajectory(t *testing.T) {
 	iterate := map[string]Macro{}
 	colpath := map[string]Macro{}
 	scale := map[string]Macro{}
+	optim := map[string]Macro{}
 	for _, m := range mac {
 		if m.WallMS <= 0 || m.SimSeconds <= 0 {
 			t.Fatalf("degenerate macro point %+v", m)
@@ -57,6 +58,11 @@ func TestMacrosTrajectory(t *testing.T) {
 		case "scale-n1", "scale-n4":
 			// The sharded pair compares cluster widths, not telemetry.
 			scale[m.Experiment] = m
+			continue
+		case "opt-off", "opt-on":
+			// The optimizer pair compares plans, not telemetry; it runs
+			// once per task, so key by task too.
+			optim[m.Task+"/"+m.Experiment] = m
 			continue
 		}
 		if m.WallMSTelemetry <= 0 {
@@ -89,6 +95,17 @@ func TestMacrosTrajectory(t *testing.T) {
 	if n4.SimSeconds >= n1.SimSeconds {
 		t.Fatalf("4-node cluster not faster in simulated seconds: n4 %v vs n1 %v",
 			n4.SimSeconds, n1.SimSeconds)
+	}
+	for _, task := range []string{"dice", "gotta"} {
+		oOff, okf := optim[task+"/opt-off"]
+		oOn, okn := optim[task+"/opt-on"]
+		if !okf || !okn {
+			t.Fatalf("optimizer macro pair missing for %s: %+v", task, optim)
+		}
+		if oOn.SimSeconds >= oOff.SimSeconds {
+			t.Fatalf("%s: optimized plan not faster in simulated seconds: on %v vs off %v",
+				task, oOn.SimSeconds, oOff.SimSeconds)
+		}
 	}
 }
 

@@ -79,6 +79,12 @@ type RunConfig struct {
 	// events from the engines (see ProgressEvent). Nil keeps every
 	// engine on its unobserved fast path.
 	Progress ProgressSink
+	// Optimize runs the cost-based plan optimizer (internal/planopt)
+	// over each workflow plan before execution: output-preserving
+	// rewrites only, so results are bit-identical with or without it.
+	// The script paradigm has no declarative plan and ignores the flag —
+	// the paper's point about what tooling can see.
+	Optimize bool
 }
 
 // ErrTooManyWorkers reports a worker count above the simulated

@@ -65,6 +65,11 @@ func WithProgress(sink ProgressSink) Option {
 	return func(c *RunConfig) { c.Progress = sink }
 }
 
+// WithOptimize toggles the cost-based plan optimizer for workflow runs.
+func WithOptimize(on bool) Option {
+	return func(c *RunConfig) { c.Optimize = on }
+}
+
 // NewRunConfig builds and normalizes a RunConfig from options.
 func NewRunConfig(opts ...Option) (RunConfig, error) {
 	var c RunConfig

@@ -64,6 +64,11 @@ type RunSpec struct {
 	// batches; > 0 arms checkpointing even at FaultRate 0.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 
+	// Optimize runs the cost-based plan optimizer over each workflow
+	// plan before execution; outputs are bit-identical either way, so it
+	// is purely a performance knob. Scripts ignore it.
+	Optimize bool `json:"optimize,omitempty"`
+
 	// Lineage arms a fresh versioned artifact store for the run. For a
 	// store that persists across runs, attach one via extra options in
 	// Config instead.
@@ -153,6 +158,9 @@ func (s RunSpec) Config(extra ...Option) (RunConfig, error) {
 		return RunConfig{}, err
 	}
 	opts := []Option{WithWorkers(s.Workers)}
+	if s.Optimize {
+		opts = append(opts, WithOptimize(true))
+	}
 	if s.Nodes > 1 {
 		opts = append(opts, WithNodes(s.Nodes))
 		if s.ShardMem > 0 {

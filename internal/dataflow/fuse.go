@@ -1,0 +1,173 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// FusedOp runs two operators as one node: A's output batches are piped
+// straight into B inside the same worker, eliminating the intermediate
+// edge (its queueing, serde and per-batch latency) and B's startup.
+// B must be unary; A may have any port shape. The fused node keeps A's
+// input ports and blocking profile, and is stateless only when both
+// halves are.
+//
+// Safety: within one worker, B sees exactly the batches A emits, in
+// emission order — the same stream the intermediate edge would have
+// carried to one of B's workers. When B is stateless its output does
+// not depend on how that stream was split across workers, so fusing at
+// A's parallelism (the optimizer's policy) preserves the operator's
+// output exactly per worker and the workflow's output as a multiset.
+type FusedOp struct {
+	A, B Operator
+}
+
+// NewFused fuses a into b (a's output feeds b). It validates the port
+// shapes; semantic eligibility (B stateless, languages, parallelism) is
+// the optimizer's policy.
+func NewFused(a, b Operator) (*FusedOp, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("dataflow: fuse: nil operator")
+	}
+	if b.Desc().Ports != 1 {
+		return nil, fmt.Errorf("dataflow: fuse: %q has %d input ports; the downstream half must be unary", b.Desc().Name, b.Desc().Ports)
+	}
+	return &FusedOp{A: a, B: b}, nil
+}
+
+// Desc combines the halves: A's shape and language under a joint name.
+func (f *FusedOp) Desc() Desc {
+	da, db := f.A.Desc(), f.B.Desc()
+	return Desc{
+		Name:          da.Name + "+" + db.Name,
+		Language:      da.Language,
+		Ports:         da.Ports,
+		BlockingPorts: da.BlockingPorts,
+		Stateless:     da.Stateless && db.Stateless,
+	}
+}
+
+// OutputSchema chains A's schema rule into B's.
+func (f *FusedOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
+	mid, err := f.A.OutputSchema(in)
+	if err != nil {
+		return nil, err
+	}
+	return f.B.OutputSchema([]*relation.Schema{mid})
+}
+
+// NewInstance returns a worker running both halves back to back.
+func (f *FusedOp) NewInstance() Instance {
+	return &fusedInstance{op: f, a: f.A.NewInstance(), b: f.B.NewInstance()}
+}
+
+type fusedInstance struct {
+	op   *FusedOp
+	a, b Instance
+}
+
+// bindSchemas binds A with the node's input schemas and B with A's
+// output schema, so position-resolving instances (project, join) work
+// unchanged inside a fusion.
+func (fi *fusedInstance) bindSchemas(in []*relation.Schema) error {
+	if sb, ok := fi.a.(schemaBinder); ok {
+		if err := sb.bindSchemas(in); err != nil {
+			return err
+		}
+	}
+	if sb, ok := fi.b.(schemaBinder); ok {
+		mid, err := fi.op.A.OutputSchema(in)
+		if err != nil {
+			return err
+		}
+		if err := sb.bindSchemas([]*relation.Schema{mid}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fi *fusedInstance) Open(ec ExecCtx) error {
+	if err := fi.a.Open(ec); err != nil {
+		return err
+	}
+	return fi.b.Open(ec)
+}
+
+func (fi *fusedInstance) Process(ec ExecCtx, port int, rows []relation.Tuple) ([]relation.Tuple, error) {
+	mid, err := fi.a.Process(ec, port, rows)
+	if err != nil || len(mid) == 0 {
+		return nil, err
+	}
+	return fi.b.Process(ec, 0, mid)
+}
+
+func (fi *fusedInstance) EndPort(ec ExecCtx, port int) ([]relation.Tuple, error) {
+	mid, err := fi.a.EndPort(ec, port)
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	if len(mid) > 0 {
+		out, err = fi.b.Process(ec, 0, mid)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Ports arrive in ascending order, so A is fully drained exactly
+	// when its last port ends; only then may B's port end too.
+	if port == fi.op.A.Desc().Ports-1 {
+		tail, err := fi.b.EndPort(ec, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tail...)
+	}
+	return out, nil
+}
+
+func (fi *fusedInstance) Close(ec ExecCtx) error {
+	if err := fi.a.Close(ec); err != nil {
+		return err
+	}
+	return fi.b.Close(ec)
+}
+
+// Fuse folds node b into node a, replacing a's operator with
+// FusedOp{a.op, b.op} and re-pointing b's output edges to a. The edge
+// a -> b disappears; node IDs are renumbered. Structural requirements:
+// a and b are operators, a's only consumer is b (single edge), b is
+// unary with a as its only producer.
+func (w *Workflow) Fuse(a, b NodeID) error {
+	na, nb := w.nodeAt(a), w.nodeAt(b)
+	if na == nil || nb == nil || na.kind != kindOperator || nb.kind != kindOperator {
+		return fmt.Errorf("dataflow: fuse: #%d and #%d must both be operators", a, b)
+	}
+	if len(na.outEdges) != 1 || na.outEdges[0].to != nb || len(nb.inEdges) != 1 {
+		return fmt.Errorf("dataflow: fuse: %q must feed %q alone", na.name, nb.name)
+	}
+	fused, err := NewFused(na.op, nb.op)
+	if err != nil {
+		return err
+	}
+	na.op = fused
+	na.name = fused.Desc().Name
+	na.signature = mergeSignatures(na.signature, nb.signature)
+	na.outEdges = nb.outEdges
+	for _, e := range na.outEdges {
+		e.from = na
+	}
+	nodes := w.nodes[:0]
+	for _, n := range w.nodes {
+		if n != nb {
+			nodes = append(nodes, n)
+		}
+	}
+	w.nodes = nodes
+	for i, n := range w.nodes {
+		n.id = NodeID(i)
+	}
+	w.validated = false
+	return nil
+}

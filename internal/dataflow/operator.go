@@ -71,6 +71,12 @@ type Desc struct {
 	// build port, or the single port of a sort). Length must equal
 	// Ports.
 	BlockingPorts []bool
+	// Stateless declares that instances carry no state across batches:
+	// the rows emitted for a batch depend only on that batch (and the
+	// schema), never on earlier input or emission order. The optimizer
+	// relies on this flag to fuse operators and raise parallelism; a
+	// false value is always safe, a wrong true value is not.
+	Stateless bool
 }
 
 // Validate checks the descriptor.

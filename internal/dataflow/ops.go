@@ -51,7 +51,7 @@ type FilterOp struct {
 // NewFilter returns a filter operator named name.
 func NewFilter(name string, lang cost.Language, keep relation.Predicate) *FilterOp {
 	return &FilterOp{
-		base: base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}}},
+		base: base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}, Stateless: true}},
 		Keep: keep,
 		Work: DefaultFilterWork,
 	}
@@ -97,7 +97,7 @@ type ProjectOp struct {
 // NewProject returns a projection operator.
 func NewProject(name string, lang cost.Language, names ...string) *ProjectOp {
 	return &ProjectOp{
-		base:  base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}}},
+		base:  base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}, Stateless: true}},
 		Names: names,
 		Work:  DefaultProjectWork,
 	}
@@ -179,7 +179,7 @@ type MapOp struct {
 // NewMap returns a UDF operator with the given output schema.
 func NewMap(name string, lang cost.Language, out *relation.Schema, fn MapFunc) *MapOp {
 	return &MapOp{
-		base: base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}}},
+		base: base{Desc{Name: name, Language: lang, Ports: 1, BlockingPorts: []bool{false}, Stateless: true}},
 		Out:  out,
 		Fn:   fn,
 		Work: DefaultMapWork,
@@ -236,6 +236,12 @@ type HashJoinOp struct {
 	// ProbeMemLog is the Mem-seconds added per probe tuple per log2 of
 	// the build-side row count.
 	ProbeMemLog float64
+	// outPerm and outSchema, when set by the optimizer's join-swap
+	// rewrite, re-order the physical output columns back into the
+	// pre-swap layout so downstream operators see the original schema.
+	// outPerm[k] is the physical column emitted at logical position k.
+	outPerm   []int
+	outSchema *relation.Schema
 }
 
 // NewHashJoin returns a hash-join operator. Port 0 is the build side,
@@ -258,6 +264,9 @@ func NewHashJoin(name string, lang cost.Language, buildKey, probeKey string, kin
 func (o *HashJoinOp) OutputSchema(in []*relation.Schema) (*relation.Schema, error) {
 	if len(in) != 2 || in[0] == nil || in[1] == nil {
 		return nil, fmt.Errorf("dataflow: %s: hash join needs two inputs", o.desc.Name)
+	}
+	if o.outSchema != nil {
+		return o.outSchema, nil
 	}
 	build, probe := in[0], in[1]
 	empty := relation.NewTable(probe)
@@ -313,7 +322,17 @@ func (ji *joinInstance) Process(ec ExecCtx, port int, rows []relation.Tuple) ([]
 				return nil, err
 			}
 		}
-		return ji.joiner.ProbeRows(nil, rows), nil
+		out := ji.joiner.ProbeRows(nil, rows)
+		if perm := ji.op.outPerm; perm != nil {
+			for i, row := range out {
+				fixed := make(relation.Tuple, len(perm))
+				for k, p := range perm {
+					fixed[k] = row[p]
+				}
+				out[i] = fixed
+			}
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("dataflow: %s: unexpected port %d", ji.op.desc.Name, port)
 	}

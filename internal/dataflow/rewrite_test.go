@@ -1,0 +1,256 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/relation"
+)
+
+// swapChain builds src -> wide -> narrow -> sink, all round-robin.
+func swapChain() (*Workflow, NodeID, NodeID) {
+	w := New("swapchain")
+	src := w.Source("src", intTable(400))
+	a := w.Op(NewFilter("wide", cost.Python, func(r relation.Tuple) bool { return r.MustInt(1) < 9 }))
+	b := w.Op(NewFilter("narrow", cost.Python, func(r relation.Tuple) bool { return r.MustInt(1)%2 == 0 }))
+	snk := w.Sink("out")
+	w.Connect(src, a, 0, RoundRobin())
+	w.Connect(a, b, 0, RoundRobin())
+	w.Connect(b, snk, 0, RoundRobin())
+	return w, a, b
+}
+
+func TestSwapAdjacentUnaryPreservesOutput(t *testing.T) {
+	plain, _, _ := swapChain()
+	swapped, a, b := swapChain()
+	if err := swapped.SwapAdjacentUnary(a, b); err != nil {
+		t.Fatalf("SwapAdjacentUnary: %v", err)
+	}
+	resPlain := runSimple(t, plain)
+	resSwap := runSimple(t, swapped)
+	if !resPlain.Tables["out"].Equal(resSwap.Tables["out"]) {
+		t.Fatal("swapping commuting filters changed the output")
+	}
+}
+
+func TestSwapAdjacentUnaryRejectsPartitionedEdges(t *testing.T) {
+	w := New("swapbad")
+	src := w.Source("src", intTable(100))
+	a := w.Op(NewFilter("a", cost.Python, func(r relation.Tuple) bool { return true }))
+	b := w.Op(NewFilter("b", cost.Python, func(r relation.Tuple) bool { return true }), WithParallelism(2))
+	snk := w.Sink("out")
+	w.Connect(src, a, 0, RoundRobin())
+	w.Connect(a, b, 0, HashPartition("v"))
+	w.Connect(b, snk, 0, RoundRobin())
+	if err := w.SwapAdjacentUnary(a, b); err == nil {
+		t.Fatal("SwapAdjacentUnary accepted a hash-partitioned edge")
+	}
+}
+
+func TestSwapJoinInputsKeepsSchemaAndRows(t *testing.T) {
+	users, orders := joinInputs()
+	build := func() (*Workflow, NodeID) {
+		w := New("joinswap")
+		u := w.Source("users", users)
+		o := w.Source("orders", orders)
+		j := w.Op(NewHashJoin("join", cost.Python, "uid", "uid", relation.Inner))
+		snk := w.Sink("out")
+		// Mis-shaped on purpose: big orders table is the build side.
+		w.Connect(o, j, 0, RoundRobin())
+		w.Connect(u, j, 1, RoundRobin())
+		w.Connect(j, snk, 0, RoundRobin())
+		return w, j
+	}
+	plain, _ := build()
+	swapped, j := build()
+	if err := swapped.SwapJoinInputs(j); err != nil {
+		t.Fatalf("SwapJoinInputs: %v", err)
+	}
+	resPlain := runSimple(t, plain)
+	resSwap := runSimple(t, swapped)
+	po, so := resPlain.Tables["out"], resSwap.Tables["out"]
+	if !po.Schema().Equal(so.Schema()) {
+		t.Fatalf("schema changed: %v vs %v", po.Schema(), so.Schema())
+	}
+	if !po.EqualUnordered(so) {
+		t.Fatal("swapped join rows differ from the original join")
+	}
+}
+
+func TestSwapJoinInputsRejectsOuterJoin(t *testing.T) {
+	users, orders := joinInputs()
+	w := New("outer")
+	u := w.Source("users", users)
+	o := w.Source("orders", orders)
+	j := w.Op(NewHashJoin("join", cost.Python, "uid", "uid", relation.LeftOuter))
+	snk := w.Sink("out")
+	w.Connect(o, j, 0, RoundRobin())
+	w.Connect(u, j, 1, RoundRobin())
+	w.Connect(j, snk, 0, RoundRobin())
+	if err := w.SwapJoinInputs(j); err == nil {
+		t.Fatal("SwapJoinInputs accepted a left-outer join")
+	}
+}
+
+func TestFusePreservesOutputAndCollapsesNode(t *testing.T) {
+	outSchema := relation.MustSchema(relation.Field{Name: "double", Type: relation.Int})
+	build := func() (*Workflow, NodeID, NodeID) {
+		w := New("fusetest")
+		src := w.Source("src", intTable(300))
+		f := w.Op(NewFilter("keep", cost.Python, func(r relation.Tuple) bool { return r.MustInt(1)%3 == 0 }))
+		m := w.Op(NewMap("double", cost.Python, outSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+			return []relation.Tuple{{r.MustInt(1) * 2}}, nil
+		}))
+		snk := w.Sink("out")
+		w.Connect(src, f, 0, RoundRobin())
+		w.Connect(f, m, 0, RoundRobin())
+		w.Connect(m, snk, 0, RoundRobin())
+		return w, f, m
+	}
+	plain, _, _ := build()
+	fused, f, m := build()
+	if err := fused.Fuse(f, m); err != nil {
+		t.Fatalf("Fuse: %v", err)
+	}
+	if got, want := fused.NumOperators(), plain.NumOperators()-1; got != want {
+		t.Fatalf("operators after fusion = %d, want %d", got, want)
+	}
+	resPlain := runSimple(t, plain)
+	resFused := runSimple(t, fused)
+	if !resPlain.Tables["out"].Equal(resFused.Tables["out"]) {
+		t.Fatal("fusion changed the output")
+	}
+}
+
+func TestFuseBlockingTail(t *testing.T) {
+	// A stateless map fused into a blocking sort: EndPort must flush the
+	// sort through the map exactly once.
+	outSchema := relation.MustSchema(relation.Field{Name: "v2", Type: relation.Int})
+	build := func() (*Workflow, NodeID, NodeID) {
+		w := New("fuseblock")
+		src := w.Source("src", intTable(200))
+		s := w.Op(NewSort("sort", cost.Python, "v"))
+		m := w.Op(NewMap("shift", cost.Python, outSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+			return []relation.Tuple{{r.MustInt(1) + 1}}, nil
+		}))
+		snk := w.Sink("out")
+		w.Connect(src, s, 0, RoundRobin())
+		w.Connect(s, m, 0, RoundRobin())
+		w.Connect(m, snk, 0, RoundRobin())
+		return w, s, m
+	}
+	plain, _, _ := build()
+	fused, s, m := build()
+	if err := fused.Fuse(s, m); err != nil {
+		t.Fatalf("Fuse: %v", err)
+	}
+	resPlain := runSimple(t, plain)
+	resFused := runSimple(t, fused)
+	if !resPlain.Tables["out"].Equal(resFused.Tables["out"]) {
+		t.Fatal("fusing into a blocking upstream changed the output")
+	}
+}
+
+func TestFuseRejectsBranchingProducer(t *testing.T) {
+	w := New("branch")
+	src := w.Source("src", intTable(100))
+	a := w.Op(NewFilter("a", cost.Python, func(r relation.Tuple) bool { return true }))
+	b := w.Op(NewFilter("b", cost.Python, func(r relation.Tuple) bool { return true }))
+	c := w.Op(NewFilter("c", cost.Python, func(r relation.Tuple) bool { return true }))
+	s1 := w.Sink("out1")
+	s2 := w.Sink("out2")
+	w.Connect(src, a, 0, RoundRobin())
+	w.Connect(a, b, 0, RoundRobin())
+	w.Connect(a, c, 0, RoundRobin())
+	w.Connect(b, s1, 0, RoundRobin())
+	w.Connect(c, s2, 0, RoundRobin())
+	if err := w.Fuse(a, b); err == nil {
+		t.Fatal("Fuse accepted a producer with two consumers")
+	}
+}
+
+func TestSetEdgePartitioningBroadcastBuild(t *testing.T) {
+	users, orders := joinInputs()
+	w := New("repart")
+	u := w.Source("users", users)
+	o := w.Source("orders", orders)
+	j := w.Op(NewHashJoin("join", cost.Python, "uid", "uid", relation.Inner), WithParallelism(4))
+	snk := w.Sink("out")
+	w.Connect(u, j, 0, HashPartition("uid"))
+	w.Connect(o, j, 1, HashPartition("uid"))
+	w.Connect(j, snk, 0, RoundRobin())
+	if err := w.SetEdgePartitioning(j, 0, Broadcast()); err != nil {
+		t.Fatalf("SetEdgePartitioning: %v", err)
+	}
+	if err := w.SetEdgePartitioning(j, 1, RoundRobin()); err != nil {
+		t.Fatalf("SetEdgePartitioning: %v", err)
+	}
+	res := runSimple(t, w)
+	if !res.Tables["out"].EqualUnordered(joinOracle(t, users, orders)) {
+		t.Fatal("broadcast-build rewrite changed the join output")
+	}
+}
+
+func TestValidateAllowsRoundRobinProbeUnderBroadcastBuild(t *testing.T) {
+	users, orders := joinInputs()
+	w := New("wf006")
+	u := w.Source("users", users)
+	o := w.Source("orders", orders)
+	j := w.Op(NewHashJoin("join", cost.Python, "uid", "uid", relation.Inner), WithParallelism(4))
+	snk := w.Sink("out")
+	w.Connect(u, j, 0, Broadcast())
+	w.Connect(o, j, 1, RoundRobin())
+	w.Connect(j, snk, 0, RoundRobin())
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate rejected broadcast-build + round-robin probe: %v", err)
+	}
+	if diags := Validate(w); len(diags) > 0 {
+		t.Fatalf("standalone Validate rejected it too: %v", diags)
+	}
+}
+
+func TestSortDiagsOrdersByRuleThenNode(t *testing.T) {
+	diags := []Diag{
+		{Rule: "WF006", ID: 4, Node: "join", Msg: "b"},
+		{Rule: "WF001", ID: 7, Node: "z", Msg: "a"},
+		{Rule: "WF006", ID: 2, Node: "early", Msg: "c"},
+		{Rule: "WF001", ID: 7, Node: "z", Msg: "A"},
+	}
+	SortDiags(diags)
+	want := []Diag{
+		{Rule: "WF001", ID: 7, Node: "z", Msg: "A"},
+		{Rule: "WF001", ID: 7, Node: "z", Msg: "a"},
+		{Rule: "WF006", ID: 2, Node: "early", Msg: "c"},
+		{Rule: "WF006", ID: 4, Node: "join", Msg: "b"},
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Fatalf("diag %d = %+v, want %+v", i, diags[i], want[i])
+		}
+	}
+}
+
+func TestRunWorkflowRejectsInvalidAfterMutation(t *testing.T) {
+	// Mutators must leave the workflow re-validatable: a fused workflow
+	// validates cleanly from scratch.
+	outSchema := relation.MustSchema(relation.Field{Name: "x", Type: relation.Int})
+	w := New("revalidate")
+	src := w.Source("src", intTable(50))
+	f := w.Op(NewFilter("keep", cost.Python, func(r relation.Tuple) bool { return true }))
+	m := w.Op(NewMap("m", cost.Python, outSchema, func(r relation.Tuple) ([]relation.Tuple, error) {
+		return []relation.Tuple{{r.MustInt(1)}}, nil
+	}))
+	snk := w.Sink("out")
+	w.Connect(src, f, 0, RoundRobin())
+	w.Connect(f, m, 0, RoundRobin())
+	w.Connect(m, snk, 0, RoundRobin())
+	if err := w.Fuse(f, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("fused workflow fails validation: %v", err)
+	}
+	if ds := Validate(w); len(ds) > 0 {
+		t.Fatalf("fused workflow has diagnostics: %v", ds)
+	}
+}

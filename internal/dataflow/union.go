@@ -19,7 +19,7 @@ type UnionOp struct {
 // NewUnion returns a two-input union operator.
 func NewUnion(name string, lang cost.Language) *UnionOp {
 	return &UnionOp{
-		base: base{Desc{Name: name, Language: lang, Ports: 2, BlockingPorts: []bool{false, false}}},
+		base: base{Desc{Name: name, Language: lang, Ports: 2, BlockingPorts: []bool{false, false}, Stateless: true}},
 		Work: cost.Work{Interp: 0.8e-6, Mem: 0.2e-6},
 	}
 }

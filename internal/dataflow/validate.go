@@ -2,6 +2,7 @@ package dataflow
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -211,7 +212,18 @@ func Validate(w *Workflow) []Diag {
 		case *SortOp, *LimitOp:
 			report(RuleParallel, n, fmt.Sprintf("cannot run with parallelism %d", n.parallelism))
 		case *HashJoinOp:
+			broadcastBuild := false
 			for _, e := range n.inEdges {
+				if e.port == 0 && e.part.kind == partBroadcast {
+					broadcastBuild = true
+				}
+			}
+			for _, e := range n.inEdges {
+				if broadcastBuild && e.port == 1 {
+					// With the build side replicated to every worker, any
+					// probe partitioning joins each probe row exactly once.
+					continue
+				}
 				if e.part.kind != partHash && !(e.port == 0 && e.part.kind == partBroadcast) {
 					report(RuleParallel, n, fmt.Sprintf("parallel join requires hash-partitioned inputs (or a broadcast build side); port %d is %s", e.port, e.part))
 				}
@@ -223,7 +235,28 @@ func Validate(w *Workflow) []Diag {
 		}
 	}
 
+	SortDiags(diags)
 	return diags
+}
+
+// SortDiags orders diagnostics deterministically — by rule, then node
+// ID, then node name, then message — so validator and optimizer output
+// is stable under golden tests and CI greps regardless of emission
+// order.
+func SortDiags(diags []Diag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Msg < b.Msg
+	})
 }
 
 // isInt reports whether s parses as a base-10 integer.

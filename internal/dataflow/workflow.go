@@ -283,7 +283,20 @@ func (w *Workflow) Validate() error {
 		case *SortOp, *LimitOp:
 			return fmt.Errorf("dataflow: operator %q cannot run with parallelism %d", n.name, n.parallelism)
 		case *HashJoinOp:
+			// A broadcast build side replicates the full hash table to
+			// every worker, so the probe side may then use any
+			// partitioning (each probe row meets the whole build side
+			// exactly once wherever it lands).
+			broadcastBuild := false
 			for _, e := range n.inEdges {
+				if e.port == 0 && e.part.kind == partBroadcast {
+					broadcastBuild = true
+				}
+			}
+			for _, e := range n.inEdges {
+				if broadcastBuild && e.port == 1 {
+					continue
+				}
 				if e.part.kind != partHash && !(e.port == 0 && e.part.kind == partBroadcast) {
 					return fmt.Errorf("dataflow: parallel join %q requires hash-partitioned inputs (or a broadcast build side); port %d is %s", n.name, e.port, e.part)
 				}

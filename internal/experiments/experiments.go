@@ -376,7 +376,7 @@ var IDs = []string{
 	"fig14a", "fig14b", "fig14c",
 	"recovery", "iterate", "serving", "scale",
 	"ablation-torch", "ablation-store", "ablation-serde", "ablation-batch",
-	"autotune", "ext-spreadsheet",
+	"autotune", "ext-spreadsheet", "optimize",
 }
 
 // Describe returns a one-line description of an experiment ID.
@@ -402,6 +402,7 @@ func Describe(id string) (string, error) {
 		"ablation-batch":  "Ablation — DICE workflow batching: auto-tuned vs whole-table",
 		"autotune":        "Aspect #2 demo — engine-side worker allocation on DICE (16-core budget)",
 		"ext-spreadsheet": "Extension — KGE under the third paradigm (spreadsheet) vs. script and workflow",
+		"optimize":        "Optimizer — cost-based plan rewriting on/off per task and topology: makespans, applied rewrites, output digests asserted bit-equal",
 	}
 	d, ok := desc[id]
 	if !ok {

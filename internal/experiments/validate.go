@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/planopt"
 )
 
 // PlanProvider is the capability a task exposes for plan-time
@@ -21,6 +22,11 @@ type PlanReport struct {
 	Operators int             `json:"operators"`
 	Edges     int             `json:"edges"`
 	Diags     []dataflow.Diag `json:"diags,omitempty"`
+	// Rewrites holds the optimizer's OPT0xx decision diagnostics when
+	// the config runs with Optimize set; they explain the plan, they
+	// are not failures. Applied counts the rewrites actually made.
+	Rewrites []dataflow.Diag `json:"rewrites,omitempty"`
+	Applied  int             `json:"applied,omitempty"`
 }
 
 // ValidatePlans builds every registered task's workflow DAG at the
@@ -50,13 +56,26 @@ func ValidatePlans(cfg Config) ([]PlanReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: task %q: building plan: %w", name, err)
 		}
-		out = append(out, PlanReport{
+		rep := PlanReport{
 			Task:      name,
 			Workers:   workers,
 			Operators: w.NumOperators(),
 			Edges:     w.NumEdges(),
 			Diags:     dataflow.Validate(w),
-		})
+		}
+		if cfg.RunConfig.Optimize && len(rep.Diags) == 0 {
+			// Static optimize of the plan being validated: the rewrites
+			// and their explanations are part of the plan inspection.
+			opt, err := planopt.Optimize(w, planopt.ConfigOptions(cfg.RunConfig))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: task %q: optimizing plan: %w", name, err)
+			}
+			rep.Rewrites = opt.Diags
+			rep.Applied = opt.Applied
+			rep.Operators = w.NumOperators()
+			rep.Edges = w.NumEdges()
+		}
+		out = append(out, rep)
 	}
 	return out, nil
 }

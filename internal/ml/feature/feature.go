@@ -6,6 +6,7 @@ package feature
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/textproc"
 )
@@ -13,15 +14,23 @@ import (
 // Vector is a sparse feature vector.
 type Vector map[int]float64
 
-// Dot returns the dot product of two sparse vectors.
+// Dot returns the dot product of two sparse vectors. The fold runs
+// over sorted indices: float addition does not commute under rounding,
+// so accumulating in map order would change the result's last ULPs
+// run to run.
 func (v Vector) Dot(o Vector) float64 {
 	a, b := v, o
 	if len(b) < len(a) {
 		a, b = b, a
 	}
+	idx := make([]int, 0, len(a))
+	for i := range a {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
 	var s float64
-	for i, x := range a {
-		s += x * b[i]
+	for _, i := range idx {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -33,11 +42,17 @@ func (v Vector) AddScaled(o Vector, k float64) {
 	}
 }
 
-// Norm returns the L2 norm.
+// Norm returns the L2 norm, folding over sorted indices for a
+// bit-stable sum (see Dot).
 func (v Vector) Norm() float64 {
+	idx := make([]int, 0, len(v))
+	for i := range v {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
 	var s float64
-	for _, x := range v {
-		s += x * x
+	for _, i := range idx {
+		s += v[i] * v[i]
 	}
 	return math.Sqrt(s)
 }

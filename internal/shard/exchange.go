@@ -61,3 +61,18 @@ func (e Exchange) CrossBytes(bytes int64, nodes int) int64 {
 func (e Exchange) Seconds(m *cost.Model, bytes int64, nodes int) float64 {
 	return m.ShuffleSeconds(e.CrossBytes(bytes, nodes))
 }
+
+// BroadcastWins reports whether broadcasting a join's build side beats
+// hash-repartitioning both sides on an n-node topology: replicating
+// buildBytes to every other node versus scattering build and probe
+// alike. A small build side against a large probe side is the classic
+// broadcast-join case — the probe stream stays where it was produced
+// and never crosses the NIC.
+func BroadcastWins(m *cost.Model, buildBytes, probeBytes int64, nodes int) bool {
+	if nodes <= 1 {
+		return false
+	}
+	broadcast := ExBroadcast.Seconds(m, buildBytes, nodes)
+	repartition := ExHash.Seconds(m, buildBytes, nodes) + ExHash.Seconds(m, probeBytes, nodes)
+	return broadcast < repartition
+}

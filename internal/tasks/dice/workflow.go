@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dataflow"
+	"repro/internal/planopt"
 	"repro/internal/relation"
 	"repro/internal/textproc"
 )
@@ -295,6 +296,13 @@ func (t *Task) RunWorkflowWithBatch(cfg core.RunConfig, batchSize int) (*core.Re
 		return nil, err
 	}
 	w := t.buildWorkflow(cfg.Workers)
+	if cfg.Optimize {
+		opts := planopt.ConfigOptions(cfg)
+		opts.FixedBatch = batchSize > 0
+		if _, err := planopt.Optimize(w, opts); err != nil {
+			return nil, fmt.Errorf("dice: optimize: %w", err)
+		}
+	}
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, BatchSize: batchSize, Cluster: cfg.Cluster(), Shard: cfg.Topology(),
 		Telemetry: cfg.Telemetry, Faults: cfg.Faults, Progress: cfg.Progress,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dataflow"
 	"repro/internal/ml/genqa"
+	"repro/internal/planopt"
 	"repro/internal/relation"
 )
 
@@ -88,6 +89,9 @@ func (o *generateOp) Desc() dataflow.Desc {
 		Language:      cost.Python,
 		Ports:         1,
 		BlockingPorts: []bool{false},
+		// Each batch is a pure forward pass; the model loaded in Open
+		// is read-only, so instances carry no cross-batch state.
+		Stateless: true,
 	}
 }
 
@@ -192,6 +196,11 @@ func (t *Task) WorkflowPlan(workers int) (*dataflow.Workflow, error) {
 // one operator and streamed to the generator in engine-tuned batches.
 func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	w := t.buildWorkflow(cfg.Model, cfg.Workers)
+	if cfg.Optimize {
+		if _, err := planopt.Optimize(w, planopt.ConfigOptions(cfg)); err != nil {
+			return nil, fmt.Errorf("gotta: optimize: %w", err)
+		}
+	}
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, Cluster: cfg.Cluster(), Shard: cfg.Topology(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
 		Progress: cfg.Progress,

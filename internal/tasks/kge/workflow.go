@@ -10,6 +10,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dataflow"
 	"repro/internal/ml/kge"
+	"repro/internal/planopt"
 	"repro/internal/relation"
 )
 
@@ -114,9 +115,15 @@ type pipeOp struct {
 // Desc implements dataflow.Operator.
 func (o *pipeOp) Desc() dataflow.Desc {
 	blocking := false
+	stateless := true
 	for _, s := range o.stages {
 		if s == stRank {
 			blocking = true
+		}
+		// Rank buffers rows across batches; reverse numbers its output
+		// with a per-instance counter. Everything else is row-local.
+		if s == stRank || s == stReverse {
+			stateless = false
 		}
 	}
 	return dataflow.Desc{
@@ -124,6 +131,7 @@ func (o *pipeOp) Desc() dataflow.Desc {
 		Language:      o.lang,
 		Ports:         1,
 		BlockingPorts: []bool{blocking},
+		Stateless:     stateless,
 	}
 }
 
@@ -407,6 +415,11 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	w, err := t.buildWorkflow(cfg.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Optimize {
+		if _, err := planopt.Optimize(w, planopt.ConfigOptions(cfg)); err != nil {
+			return nil, fmt.Errorf("kge: optimize: %w", err)
+		}
 	}
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, Cluster: cfg.Cluster(), Shard: cfg.Topology(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,

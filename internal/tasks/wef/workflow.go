@@ -10,6 +10,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/ml/linear"
 	"repro/internal/ml/textclf"
+	"repro/internal/planopt"
 	"repro/internal/relation"
 )
 
@@ -191,6 +192,11 @@ func (t *Task) runWorkflow(cfg core.RunConfig) (*core.Result, error) {
 	w, err := t.buildWorkflow()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Optimize {
+		if _, err := planopt.Optimize(w, planopt.ConfigOptions(cfg)); err != nil {
+			return nil, fmt.Errorf("wef: optimize: %w", err)
+		}
 	}
 	res, err := w.Run(context.Background(), dataflow.Config{
 		Model: cfg.Model, Cluster: cfg.Cluster(), Shard: cfg.Topology(), Telemetry: cfg.Telemetry, Faults: cfg.Faults,
